@@ -1,0 +1,153 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+A1 — synchronized (fluid) vs per-packet loss feedback: the qualitative
+     conclusions (who is friendlier, who is more efficient) must be
+     invariant to the feedback model.
+A2 — measurement-tail length: metric estimates must be stable in the
+     choice of tail fraction.
+A3 — window quantization: integer windows (the paper's {0..M} space) vs
+     float windows must characterize protocols the same way.
+A4 — PCC stand-in: the Table 2 conclusion must hold for both the
+     utility-gradient PccLike and the paper's MIMD(1.01, 0.99) bound.
+A5 — synchronized vs unsynchronized loss feedback within the fluid model
+     (the paper's future-work relaxation): headline scores must not
+     depend on the synchronization assumption.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics.base import EstimatorConfig
+from repro.core.metrics.convergence import convergence_from_trace
+from repro.core.metrics.efficiency import efficiency_from_trace
+from repro.core.metrics.loss_avoidance import loss_avoidance_from_trace
+from repro.experiments.table2 import (
+    measure_friendliness,
+    measure_friendliness_packet,
+    run_table2,
+)
+from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.link import Link
+from repro.packetsim.scenario import PacketScenario, run_scenario
+from repro.protocols import presets
+from repro.protocols.aimd import AIMD
+from repro.protocols.slow_start import SlowStartWrapper
+
+
+def test_a1_feedback_model_invariance(benchmark):
+    """Fluid vs packet feedback: friendliness ordering survives."""
+
+    def run():
+        fluid = {
+            name: measure_friendliness(proto, 2, 20, steps=3000)
+            for name, proto in (
+                ("robust", presets.robust_aimd_paper()),
+                ("cubic", presets.cubic()),
+                ("pcc", presets.pcc_like()),
+            )
+        }
+        packet = {
+            name: measure_friendliness_packet(proto, 2, 20, duration=20.0)
+            for name, proto in (
+                ("robust", presets.robust_aimd_paper()),
+                ("cubic", presets.cubic()),
+                ("pcc", presets.pcc_like()),
+            )
+        }
+        return fluid, packet
+
+    fluid, packet = benchmark.pedantic(run, rounds=1, iterations=1,
+                                       warmup_rounds=0)
+    # Ordering: Robust-AIMD friendliest, PCC least friendly, in both models.
+    assert fluid["robust"] > fluid["pcc"]
+    assert packet["robust"] > packet["pcc"]
+    assert fluid["robust"] > fluid["cubic"] > fluid["pcc"]
+
+
+def test_a2_tail_fraction_stability(benchmark):
+    """Estimates barely move across tail fractions 0.25-0.75."""
+
+    def run():
+        link = Link.from_mbps(20, 42, 100)
+        sim = FluidSimulator(link, [AIMD(1, 0.5)] * 2)
+        trace = sim.run(4000)
+        return {
+            fraction: (
+                efficiency_from_trace(trace, fraction).score,
+                loss_avoidance_from_trace(trace, fraction).score,
+                convergence_from_trace(trace, fraction).score,
+            )
+            for fraction in (0.25, 0.5, 0.75)
+        }
+
+    estimates = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    reference = estimates[0.5]
+    for fraction, values in estimates.items():
+        for ref, val in zip(reference, values):
+            assert val == pytest.approx(ref, rel=0.1, abs=0.01), (fraction,)
+
+
+def test_a3_window_quantization(benchmark):
+    """Integer windows (the paper's window space) change nothing material."""
+
+    def run():
+        link = Link.from_mbps(20, 42, 100)
+        out = {}
+        for label, integer in (("float", False), ("integer", True)):
+            config = SimulationConfig(
+                initial_windows=[1.0, 1.0], integer_windows=integer
+            )
+            trace = FluidSimulator(link, [AIMD(1, 0.5)] * 2, config).run(3000)
+            out[label] = (
+                efficiency_from_trace(trace).score,
+                convergence_from_trace(trace).score,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    for f_val, i_val in zip(results["float"], results["integer"]):
+        assert i_val == pytest.approx(f_val, rel=0.1, abs=0.02)
+
+
+def test_a4_pcc_standin_invariance(benchmark):
+    """Table 2's conclusion holds under both PCC stand-ins."""
+
+    def run():
+        return {
+            "pcc_like": run_table2(senders=(2, 3), bandwidths_mbps=(20, 60),
+                                   pcc=presets.pcc_like(), steps=3000),
+            "pcc_bound": run_table2(senders=(2, 3), bandwidths_mbps=(20, 60),
+                                    pcc=presets.pcc_bound(), steps=3000),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    for name, table in results.items():
+        assert table.all_friendlier, name
+        assert table.min_improvement > 1.5, name
+
+
+def test_a5_loss_synchronization_invariance(benchmark):
+    """Synchronized vs per-sender-notified loss: scores stay in band."""
+
+    def run():
+        link = Link.from_mbps(20, 42, 100)
+        out = {}
+        for label, unsync in (("synchronized", False), ("unsynchronized", True)):
+            config = SimulationConfig(
+                initial_windows=[1.0, 1.0],
+                unsynchronized_loss=unsync,
+                seed=17,
+            )
+            trace = FluidSimulator(link, [AIMD(1, 0.5)] * 2, config).run(4000)
+            out[label] = (
+                min(1.0, efficiency_from_trace(trace).score),
+                loss_avoidance_from_trace(trace).score,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    sync_eff, sync_loss = results["synchronized"]
+    unsync_eff, unsync_loss = results["unsynchronized"]
+    assert unsync_eff == pytest.approx(sync_eff, abs=0.15)
+    assert unsync_loss == pytest.approx(sync_loss, abs=0.02)

@@ -1,0 +1,30 @@
+"""Benchmark/regeneration target for the **Section 4 derivations**.
+
+Demonstrates Claim 1 and Theorems 1-5 in the fluid model, the way the
+paper's analytical section would be validated experimentally.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.claims import render_claims, run_claims
+from repro.experiments.results import save_result
+
+_printed = False
+
+
+def test_claims_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_claims(steps=4000), rounds=1, iterations=1, warmup_rounds=0
+    )
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(render_claims(result))
+        save_result(result, results_dir / "claims.json")
+    assert result.all_hold, [
+        (c.statement, c.instance, c.observed) for c in result.failures()
+    ]
+    statements = {c.statement for c in result.checks}
+    assert {"Claim 1", "Theorem 1", "Theorem 2", "Theorem 3", "Theorem 4",
+            "Theorem 5"} <= {s.split(" (")[0] for s in statements}

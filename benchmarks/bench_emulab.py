@@ -1,0 +1,49 @@
+"""Benchmark/regeneration target for the **Section 5.1 validation**.
+
+The paper's Emulab experiment, on our packet-level simulator: Reno, Cubic
+and Scalable across sender counts, bandwidths and buffer sizes at a fixed
+42 ms RTT; acceptance is that the per-metric hierarchy over protocols
+matches the theoretical one ("the same hierarchy over protocols (from
+'worst' to 'best') as induced by the theoretical results").
+
+The default benchmark covers a representative sub-grid; set
+``REPRO_EMULAB_FULL=1`` to run the paper's full grid (n in {2, 3, 4},
+BW in {20, 30, 60, 100} Mbps, buffers {10, 100} MSS — several minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.emulab import render_emulab, run_emulab
+from repro.experiments.results import save_result
+
+_printed = False
+
+
+def _run():
+    if os.environ.get("REPRO_EMULAB_FULL"):
+        return run_emulab(
+            ns=(2, 3, 4),
+            bandwidths_mbps=(20, 30, 60, 100),
+            buffers_mss=(10, 100),
+            duration=20.0,
+        )
+    return run_emulab(
+        ns=(2, 4), bandwidths_mbps=(20, 60), buffers_mss=(10, 100),
+        duration=20.0,
+    )
+
+
+def test_emulab_hierarchy_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(render_emulab(result))
+        save_result(result, results_dir / "emulab.json")
+    assert result.agreement >= 0.9, result.disagreements()
+    # Every validated metric individually stays in strong agreement.
+    for metric, score in result.agreement_by_metric().items():
+        assert score >= 0.75, (metric, score)

@@ -1,0 +1,61 @@
+"""Microbenchmarks of the two simulation substrates.
+
+These are genuine performance benchmarks (multiple rounds), tracking the
+step rate of the fluid engine and the event rate of the packet engine so
+regressions in the hot loops are visible.
+"""
+
+from __future__ import annotations
+
+from repro.model.dynamics import FluidSimulator
+from repro.model.link import Link
+from repro.packetsim.scenario import PacketScenario, run_scenario
+from repro.protocols import presets
+from repro.protocols.aimd import AIMD
+
+
+def test_fluid_engine_step_rate(benchmark):
+    link = Link.from_mbps(20, 42, 100)
+
+    def run():
+        return FluidSimulator(link, [AIMD(1, 0.5)] * 4).run(2000)
+
+    trace = benchmark(run)
+    assert trace.steps == 2000
+
+
+def test_fluid_engine_many_senders(benchmark):
+    link = Link.from_mbps(100, 42, 100)
+
+    def run():
+        return FluidSimulator(link, [AIMD(1, 0.5)] * 16).run(500)
+
+    trace = benchmark(run)
+    assert trace.n_senders == 16
+
+
+def test_packet_engine_event_rate(benchmark):
+    def run():
+        scenario = PacketScenario.from_mbps(
+            20, 42, 100, [presets.reno(), presets.reno()], duration=10.0
+        )
+        return run_scenario(scenario)
+
+    result = benchmark(run)
+    assert result.events > 10_000
+
+
+def test_metric_vector_estimation_cost(benchmark):
+    """End-to-end cost of characterizing one protocol on one link."""
+    from repro.core.metrics import EstimatorConfig, estimate_all_metrics
+
+    link = Link.from_mbps(20, 42, 100)
+    config = EstimatorConfig(steps=1000, n_senders=2)
+
+    def run():
+        return estimate_all_metrics(
+            AIMD(1, 0.5), link, config, include_robustness=False
+        )
+
+    vector = benchmark(run)
+    assert vector.efficiency > 0.5

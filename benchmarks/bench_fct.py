@@ -1,0 +1,36 @@
+"""Benchmark: flow-completion times track TCP-friendliness.
+
+Regenerates the FCT study and pins its headline: the harm a background
+protocol inflicts on short TCP transfers follows its Metric VII
+friendliness score — PCC-like worst, plain Reno benign.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fct import render_fct, run_fct_study
+from repro.experiments.results import save_result
+
+_printed = False
+
+
+def test_fct_tracks_friendliness(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_fct_study(duration=40.0),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(render_fct(result))
+        save_result(result, results_dir / "fct.json")
+
+    # Anchors of the ordering (individual adjacent pairs can jitter).
+    assert result.ordering()[0] == "none"
+    assert result.ordering()[-1] == "pcc-like"
+    assert result.row("pcc-like").mean_fct > 2 * result.row("reno").mean_fct
+    assert result.row("reno").mean_fct > result.row("none").mean_fct
+    # The offered short flows essentially all complete except under PCC.
+    for name in ("none", "reno", "cubic", "robust-aimd"):
+        row = result.row(name)
+        assert row.completed >= 0.95 * row.offered, name

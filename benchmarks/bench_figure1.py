@@ -1,0 +1,42 @@
+"""Benchmark/regeneration target for **Figure 1** (the Pareto frontier).
+
+Regenerates the figure's surface
+``(alpha, beta) -> 3(1 - beta) / (alpha (1 + beta))`` over the plotted
+range, verifies the frontier property (mutual non-domination), and
+validates attainment: ``AIMD(alpha, beta)`` measured in the fluid model
+lands on the surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import EstimatorConfig
+from repro.experiments.figure1 import render_figure1, run_figure1
+from repro.experiments.results import save_result
+
+_printed = False
+
+
+def _run():
+    return run_figure1(
+        alphas=list(np.linspace(0.25, 4.0, 16)),
+        betas=list(np.linspace(0.05, 0.95, 19)),
+        empirical_alphas=[0.5, 1.0, 2.0],
+        empirical_betas=[0.3, 0.5, 0.8],
+        config=EstimatorConfig(steps=3000, n_senders=2),
+    )
+
+
+def test_figure1_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(render_figure1(result))
+        save_result(result, results_dir / "figure1.json")
+    assert result.mutually_non_dominated
+    assert len(result.surface) == 16 * 19
+    # Attainment: AIMD realizes the surface within 10%.
+    assert result.max_friendliness_error < 0.1

@@ -1,0 +1,46 @@
+"""Benchmark for the network-wide model extension (paper future work).
+
+Exercises the multi-link fluid engine on the classic parking-lot topology
+and pins its qualitative results: the long flow delivers less goodput
+than the single-hop flows, symmetric short flows share fairly, and the
+single-link reduction matches the paper's base model bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.dynamics import FluidSimulator
+from repro.model.link import Link
+from repro.netmodel import NetworkFluidSimulator, parking_lot, single_link
+from repro.protocols.aimd import AIMD
+
+
+def test_parking_lot_dynamics(benchmark):
+    link = Link.from_mbps(20, 42, 100)
+    topo = parking_lot(link, 3)
+
+    def run():
+        sim = NetworkFluidSimulator(topo, [AIMD(1, 0.5)] * topo.n_flows)
+        return sim.run(3000)
+
+    trace = benchmark(run)
+    tail = trace.tail(0.5)
+    goodput = tail.mean_goodput()
+    assert all(goodput[0] < g for g in goodput[1:])
+    shorts = goodput[1:]
+    assert min(shorts) / max(shorts) > 0.8
+
+
+def test_single_link_reduction_exact(benchmark):
+    link = Link.from_mbps(20, 42, 100)
+
+    def run():
+        protocols = [AIMD(1, 0.5)] * 2
+        network = NetworkFluidSimulator(single_link(link, 2), protocols).run(1500)
+        reference = FluidSimulator(link, protocols).run(1500)
+        return network, reference
+
+    network, reference = benchmark.pedantic(run, rounds=1, iterations=1,
+                                            warmup_rounds=0)
+    np.testing.assert_allclose(network.windows, reference.windows)

@@ -1,0 +1,36 @@
+"""Benchmark/regeneration target for **Table 1** (protocol characterization).
+
+Regenerates the paper's Table 1 on the reference link: the empirical
+8-metric characterization of AIMD/MIMD/BIN/CUBIC/Robust-AIMD next to the
+closed forms, plus the prediction and hierarchy validation the paper's
+Section 5.1 describes.
+
+Run with ``pytest benchmarks/bench_table1.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import EstimatorConfig
+from repro.experiments.results import save_result
+from repro.experiments.table1 import render_table1, run_table1
+from repro.model.link import Link
+
+_printed = False
+
+
+def _run():
+    link = Link.from_mbps(20, 42, 100)
+    return run_table1(link, EstimatorConfig(steps=3000, n_senders=2))
+
+
+def test_table1_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1, warmup_rounds=0)
+    global _printed
+    if not _printed:
+        _printed = True
+        print()
+        print(render_table1(result))
+        save_result(result, results_dir / "table1.json")
+    # The reproduction's acceptance criteria.
+    assert result.predictions_hold == 1.0, result.failures()
+    assert result.agreement >= 0.95, result.disagreements()

@@ -1,0 +1,56 @@
+"""Benchmark/regeneration target for **Table 2** (Robust-AIMD vs PCC).
+
+Regenerates the paper's Table 2: the TCP-friendliness improvement of
+``Robust-AIMD(1, 0.8, 0.01)`` over PCC for every (n, BW) cell of the
+paper's grid — n in {2, 3, 4}, BW in {20, 30, 60, 100} Mbps, RTT 42 ms,
+buffer 100 MSS — in the fluid model, plus a packet-level spot check.
+
+Acceptance: Robust-AIMD friendlier than PCC in *every* cell and by more
+than the paper's 1.5x threshold (the paper reports 1.19x-2.75x with real
+PCC endpoints; our PCC stand-ins yield larger factors — see
+EXPERIMENTS.md for the accounting).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.results import save_result
+from repro.experiments.table2 import (
+    PAPER_BANDWIDTHS_MBPS,
+    PAPER_SENDERS,
+    render_table2,
+    run_table2,
+    run_table2_packet,
+)
+
+_printed = {"fluid": False, "packet": False}
+
+
+def test_table2_fluid_full_grid(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_table2(senders=PAPER_SENDERS,
+                           bandwidths_mbps=PAPER_BANDWIDTHS_MBPS, steps=4000),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    if not _printed["fluid"]:
+        _printed["fluid"] = True
+        print()
+        print(render_table2(result))
+        save_result(result, results_dir / "table2_fluid.json")
+    assert result.all_friendlier
+    assert result.min_improvement > 1.5
+    assert len(result.cells) == len(PAPER_SENDERS) * len(PAPER_BANDWIDTHS_MBPS)
+
+
+def test_table2_packet_spot_check(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_table2_packet(senders=(2, 3), bandwidths_mbps=(20, 60),
+                                  duration=25.0),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    if not _printed["packet"]:
+        _printed["packet"] = True
+        print()
+        print(render_table2(result))
+        save_result(result, results_dir / "table2_packet.json")
+    assert result.all_friendlier
+    assert result.min_improvement > 1.5

@@ -1,0 +1,22 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one of the paper's artifacts through
+``pytest-benchmark`` and, on the first run, prints the regenerated table
+so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction's results dump. Structured results are archived under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

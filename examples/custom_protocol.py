@@ -1,0 +1,105 @@
+"""Characterize your own protocol in the 8-dimensional axiom space.
+
+The framework is open: any deterministic map from a sender's observation
+history to its next window is a protocol. This example defines
+"AIAD-with-memory" — additive increase, additive decrease scaled by a
+short loss memory — plugs it into the fluid model, scores it on all
+eight axioms, and checks which Section 4 constraints it is subject to.
+
+Run: ``python examples/custom_protocol.py``
+"""
+
+from __future__ import annotations
+
+from repro import Link
+from repro.core.characterization import characterize
+from repro.core.metrics import EstimatorConfig
+from repro.core.theory.theorems import (
+    theorem1_efficiency_bound,
+    theorem2_friendliness_bound,
+)
+from repro.model.sender import Observation
+from repro.protocols.base import Protocol
+from repro.protocols.registry import make_protocol, register_protocol
+
+
+class AiadWithMemory(Protocol):
+    """Additive increase; additive decrease scaled by recent loss history.
+
+    The decrease grows with the number of lossy steps in the last
+    ``memory`` observations, so persistent congestion triggers harder
+    backoff than an isolated drop — a toy "history-dependent" protocol
+    showing that the framework is not limited to memoryless rules.
+    """
+
+    loss_based = True
+
+    def __init__(self, a: float = 1.0, d: float = 4.0, memory: int = 8) -> None:
+        if a <= 0 or d <= 0:
+            raise ValueError("increase and decrease quanta must be positive")
+        if memory < 1:
+            raise ValueError("memory must be at least 1")
+        self.a = a
+        self.d = d
+        self.memory = int(memory)
+        self._recent_losses: list[bool] = []
+
+    def reset(self) -> None:
+        self._recent_losses = []
+
+    def next_window(self, obs: Observation) -> float:
+        self._recent_losses.append(obs.loss_rate > 0.0)
+        self._recent_losses = self._recent_losses[-self.memory:]
+        if obs.loss_rate > 0.0:
+            lossy = sum(self._recent_losses)
+            return max(0.0, obs.window - self.d * lossy)
+        return obs.window + self.a
+
+    @property
+    def name(self) -> str:
+        return f"AIAD-mem({self.a:g},{self.d:g},{self.memory})"
+
+
+def main() -> None:
+    link = Link.from_mbps(20, 42, 100)
+    config = EstimatorConfig(steps=4000, n_senders=2)
+
+    protocol = AiadWithMemory(a=1.0, d=4.0, memory=8)
+    result = characterize(protocol, link, config)
+
+    print(f"Characterization of {protocol.name} on {link.describe()}:")
+    for metric, score in result.empirical.as_dict().items():
+        print(f"  {metric:>18}: {score:.4f}")
+    print("  (no closed-form Table 1 row — this family is not one the "
+          "paper analyzes)")
+
+    # Which Section 4 constraints bind?
+    scores = result.empirical
+    print("\nSection 4 constraints applied to the measurements:")
+    t1 = theorem1_efficiency_bound(scores.convergence)
+    print(f"  Theorem 1: convergence {scores.convergence:.3f} forces "
+          f"efficiency >= {t1:.3f} -> measured {scores.efficiency:.3f} "
+          f"({'ok' if min(1.0, scores.efficiency) >= t1 - 0.05 else 'VIOLATED'})")
+    if scores.fast_utilization > 0:
+        # Theorem 2's beta is the efficiency *guarantee across all links*;
+        # a deep buffer makes any protocol look 1-efficient on one link, so
+        # we measure beta adversarially on a zero-buffer variant.
+        from repro.core.metrics import estimate_efficiency
+
+        bare = Link(bandwidth=link.bandwidth, theta=link.theta, buffer_size=0.0)
+        beta = min(1.0, estimate_efficiency(protocol, bare, config).score)
+        t2 = theorem2_friendliness_bound(scores.fast_utilization, beta)
+        verdict = "ok" if scores.tcp_friendliness <= t2 * 1.15 + 0.02 else "VIOLATED"
+        print(f"  Theorem 2: fast-utilization {scores.fast_utilization:.3f} and "
+              f"worst-case efficiency {beta:.3f} cap friendliness at {t2:.3f} "
+              f"-> measured {scores.tcp_friendliness:.3f} ({verdict})")
+
+    # Registered protocols are available to the CLI and sweep configs too.
+    register_protocol("aiad-mem", AiadWithMemory)
+    rebuilt = make_protocol("aiad-mem(1, 4, 8)")
+    print(f"\nRegistered with the protocol registry: spec 'aiad-mem(1,4,8)' "
+          f"-> {rebuilt.name}")
+
+
+if __name__ == "__main__":
+    main()

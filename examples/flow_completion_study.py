@@ -1,0 +1,66 @@
+"""Flow-completion-time study: short transfers under different protocols.
+
+The paper's intro motivates the design-space problem with diverse
+application loads — "small vs. large traffic demands, latency- vs.
+bandwidth-sensitive". This example quantifies that at packet level: a
+Poisson stream of short transfers shares a 20 Mbps link with one
+long-lived background flow, and we compare mean/median/p99 flow
+completion times when the *background* runs Reno, Cubic, Robust-AIMD or
+the PCC-like protocol.
+
+The punchline connects back to the axioms: the background protocol's
+TCP-friendliness score predicts how badly it hurts the short flows.
+
+Run: ``python examples/flow_completion_study.py``
+"""
+
+from __future__ import annotations
+
+from repro.model.link import Link
+from repro.packetsim.workload import poisson_workload, run_workload
+from repro.protocols import presets
+
+BACKGROUNDS = {
+    "none": None,
+    "Reno": presets.reno,
+    "Cubic (kernel)": lambda: _kernel_cubic(),
+    "Robust-AIMD": presets.robust_aimd_paper,
+    "PCC-like": presets.pcc_like,
+}
+
+
+def _kernel_cubic():
+    from repro.experiments.emulab import kernel_cubic_c_per_round
+    from repro.protocols.cubic import CUBIC
+
+    return CUBIC(kernel_cubic_c_per_round(42.0), 0.8)
+
+
+def main() -> None:
+    link = Link.from_mbps(20, 42, 100)
+    print("Poisson short flows (rate 1.5/s, mean 60 MSS, Reno) vs one "
+          "long-lived background flow")
+    print(f"on {link.describe()}, 40 s simulated:\n")
+    print(f"  {'background':>16}  completed   mean FCT   median    p99     "
+          "retransmits")
+    for name, factory in BACKGROUNDS.items():
+        specs = poisson_workload(
+            rate_per_s=1.5, mean_size=60, duration=30.0,
+            protocol=presets.reno(), seed=42,
+        )
+        background = [factory()] if factory is not None else []
+        result = run_workload(link, specs, duration=40.0, background=background)
+        print(
+            f"  {name:>16}  {result.completed:4d}/{len(specs):<4d}  "
+            f"{result.mean_fct():7.3f}s  {result.percentile_fct(0.5):6.3f}s  "
+            f"{result.percentile_fct(0.99):6.3f}s  {result.total_retransmissions():6d}"
+        )
+    print(
+        "\nReading: the more TCP-unfriendly the background (PCC-like worst), "
+        "the longer the\nshort Reno transfers take — Metric VII measured in "
+        "user-visible seconds."
+    )
+
+
+if __name__ == "__main__":
+    main()

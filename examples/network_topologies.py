@@ -1,0 +1,86 @@
+"""Multi-link topologies: the paper's future-work model, runnable today.
+
+Three studies on the network-wide fluid extension:
+
+1. a parking lot — the long flow's multi-bottleneck penalty,
+2. a dumbbell — verifying the shared link is the binding constraint,
+3. desynchronized hops — how hop heterogeneity skews window shares.
+
+Run: ``python examples/network_topologies.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.link import Link
+from repro.netmodel import (
+    NetworkFluidSimulator,
+    Topology,
+    dumbbell,
+    parking_lot,
+)
+from repro.protocols.aimd import AIMD
+from repro.protocols.robust_aimd import RobustAIMD
+
+
+def parking_lot_study() -> None:
+    link = Link.from_mbps(20, 42, 100)
+    topo = parking_lot(link, 3)
+    sim = NetworkFluidSimulator(topo, [AIMD(1, 0.5)] * topo.n_flows)
+    tail = sim.run(4000).tail(0.5)
+    goodput = tail.mean_goodput()
+    print("Parking lot (3 hops of 20 Mbps), TCP Reno everywhere:")
+    print(f"  long flow   (3 hops): {goodput[0]:7.1f} MSS/s")
+    for i, rate in enumerate(goodput[1:], start=1):
+        print(f"  short flow  (hop {i - 1}): {rate:7.1f} MSS/s")
+    print("  The long flow pays a triple RTT and triple loss exposure — the "
+          "classic multi-\n  bottleneck penalty the single-link model cannot "
+          "express.")
+
+
+def dumbbell_study() -> None:
+    access = Link.from_mbps(100, 10, 50)
+    bottleneck = Link.from_mbps(20, 20, 50)
+    topo = dumbbell(access, bottleneck, 3)
+    sim = NetworkFluidSimulator(topo, [AIMD(1, 0.5)] * 3)
+    tail = sim.run(3000).tail(0.5)
+    capacities = np.array([topo.links[name].capacity for name in tail.link_names])
+    utilization = dict(zip(tail.link_names, tail.link_utilization(capacities)))
+    print("\nDumbbell (3 pairs, 100 Mbps access feeding a 20 Mbps core):")
+    print("  (load as % of the link's bandwidth-delay product; >100% means a "
+          "standing queue)")
+    for name in sorted(utilization):
+        print(f"  {name:>12}: {utilization[name]:6.1%} loaded")
+    print("  Only the shared core runs hot: the bottleneck identifies itself.")
+
+
+def heterogeneous_hops_study() -> None:
+    topo = Topology()
+    topo.add_link("hop-0", Link.from_mbps(20, 42, 60))
+    topo.add_link("hop-1", Link.from_mbps(33, 42, 100))
+    topo.add_flow(["hop-0", "hop-1"])
+    topo.add_flow(["hop-0"])
+    topo.add_flow(["hop-1"])
+    print("\nHeterogeneous two-hop path, Reno vs Robust-AIMD as the long flow:")
+    for long_protocol in (AIMD(1, 0.5), RobustAIMD(1, 0.8, 0.01)):
+        sim = NetworkFluidSimulator(
+            topo, [long_protocol, AIMD(1, 0.5), AIMD(1, 0.5)]
+        )
+        tail = sim.run(4000).tail(0.5)
+        means = tail.mean_windows()
+        print(f"  long flow {long_protocol.name:>24}: window {means[0]:6.1f} "
+              f"vs short flows {means[1]:6.1f} / {means[2]:6.1f} MSS")
+    print("  Robust-AIMD's loss tolerance recovers much of the long flow's "
+          "multi-hop\n  disadvantage — threshold backoff shrugs off the "
+          "desynchronized hop losses.")
+
+
+def main() -> None:
+    parking_lot_study()
+    dumbbell_study()
+    heterogeneous_hops_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Time-series and statistical utilities shared by metrics and experiments."""
+
+from repro.analysis.stats import (
+    convergence_alpha,
+    detect_settling_step,
+    jain_index,
+    loss_free_runs,
+    min_over_max,
+    relative_band,
+    tail_mean,
+)
+from repro.analysis.dominance import dominates, pareto_front
+from repro.analysis.timeseries import (
+    autocorrelation_period,
+    find_peaks,
+    find_troughs,
+    moving_average,
+    summarize_sawtooth,
+    throughput_latency_points,
+)
+
+__all__ = [
+    "autocorrelation_period",
+    "convergence_alpha",
+    "detect_settling_step",
+    "dominates",
+    "find_peaks",
+    "find_troughs",
+    "jain_index",
+    "loss_free_runs",
+    "min_over_max",
+    "moving_average",
+    "pareto_front",
+    "relative_band",
+    "summarize_sawtooth",
+    "tail_mean",
+    "throughput_latency_points",
+]

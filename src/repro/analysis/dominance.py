@@ -1,0 +1,56 @@
+"""Pareto dominance over points in the metric space.
+
+Section 5.2 frames protocol design as choosing a point on the Pareto
+frontier of the feasibility region: a feasible point is on the frontier if
+no other feasible point is strictly better in one metric without being
+strictly worse in another. These helpers implement dominance and frontier
+extraction for arbitrary collections of points (higher is better in every
+coordinate, matching the paper's metrics where each alpha-score increases
+with protocol quality).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def dominates(p: Sequence[float], q: Sequence[float], tol: float = 0.0) -> bool:
+    """Whether ``p`` Pareto-dominates ``q`` (>= everywhere, > somewhere).
+
+    ``tol`` absorbs estimation noise: coordinates within ``tol`` count as
+    equal.
+    """
+    p_arr = np.asarray(p, dtype=float)
+    q_arr = np.asarray(q, dtype=float)
+    if p_arr.shape != q_arr.shape or p_arr.ndim != 1:
+        raise ValueError("points must be 1-D and of equal dimension")
+    if tol < 0:
+        raise ValueError(f"tol must be non-negative, got {tol}")
+    diff = p_arr - q_arr
+    return bool(np.all(diff >= -tol) and np.any(diff > tol))
+
+
+def pareto_front(points: Sequence[Sequence[float]], tol: float = 0.0) -> list[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Duplicate points are all retained (none strictly dominates another).
+    """
+    arr = np.asarray(points, dtype=float)
+    if arr.ndim != 2:
+        raise ValueError("points must be a 2-D array-like (n_points, n_dims)")
+    keep: list[int] = []
+    for i in range(arr.shape[0]):
+        dominated = any(
+            dominates(arr[j], arr[i], tol) for j in range(arr.shape[0]) if j != i
+        )
+        if not dominated:
+            keep.append(i)
+    return keep
+
+
+def is_on_front(point: Sequence[float], others: Sequence[Sequence[float]],
+                tol: float = 0.0) -> bool:
+    """Whether ``point`` is dominated by none of ``others``."""
+    return not any(dominates(other, point, tol) for other in others)

@@ -1,0 +1,140 @@
+"""Window time-series analysis: sawtooth structure and smoothing.
+
+The fluid dynamics of AIMD-family protocols settle into sawtooth limit
+cycles; these helpers extract that structure from traces — peak/trough
+locations, period, amplitude — so experiments can compare measured cycles
+against the closed forms in :mod:`repro.core.theory.equilibrium`, and so
+reports can summarize long runs compactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def moving_average(series: np.ndarray, window: int) -> np.ndarray:
+    """Centered-ish moving average (same length, edges partially averaged)."""
+    series = np.asarray(series, dtype=float)
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    if series.ndim != 1:
+        raise ValueError("series must be 1-D")
+    if window == 1 or series.size == 0:
+        return series.copy()
+    kernel = np.ones(min(window, series.size))
+    sums = np.convolve(series, kernel, mode="same")
+    counts = np.convolve(np.ones_like(series), kernel, mode="same")
+    return sums / counts
+
+
+def find_peaks(series: np.ndarray) -> np.ndarray:
+    """Indices of strict local maxima (plateau-starts count once)."""
+    series = np.asarray(series, dtype=float)
+    if series.size < 3:
+        return np.array([], dtype=int)
+    rising = series[1:-1] > series[:-2]
+    falling = series[1:-1] > series[2:]
+    return np.nonzero(rising & falling)[0] + 1
+
+
+def find_troughs(series: np.ndarray) -> np.ndarray:
+    """Indices of strict local minima."""
+    return find_peaks(-np.asarray(series, dtype=float))
+
+
+@dataclass(frozen=True)
+class SawtoothSummary:
+    """Extracted limit-cycle structure of a window series."""
+
+    mean_peak: float
+    mean_trough: float
+    mean_period: float
+    n_cycles: int
+
+    @property
+    def amplitude(self) -> float:
+        return self.mean_peak - self.mean_trough
+
+    @property
+    def decrease_factor(self) -> float:
+        """Empirical ``b``: trough over peak."""
+        if self.mean_peak == 0:
+            return 1.0
+        return self.mean_trough / self.mean_peak
+
+    @property
+    def convergence_alpha(self) -> float:
+        """The Metric V alpha of the extracted cycle: ``2b/(1+b)``."""
+        b = self.decrease_factor
+        return 2.0 * b / (1.0 + b)
+
+
+def summarize_sawtooth(series: np.ndarray, min_cycles: int = 2) -> SawtoothSummary | None:
+    """Extract sawtooth structure, or None if too few cycles are present."""
+    if min_cycles < 1:
+        raise ValueError(f"min_cycles must be positive, got {min_cycles}")
+    series = np.asarray(series, dtype=float)
+    series = series[~np.isnan(series)]
+    peaks = find_peaks(series)
+    troughs = find_troughs(series)
+    if peaks.size < min_cycles or troughs.size < min_cycles:
+        return None
+    periods = np.diff(peaks)
+    return SawtoothSummary(
+        mean_peak=float(series[peaks].mean()),
+        mean_trough=float(series[troughs].mean()),
+        mean_period=float(periods.mean()) if periods.size else float(series.size),
+        n_cycles=int(peaks.size),
+    )
+
+
+def autocorrelation_period(series: np.ndarray, max_lag: int | None = None) -> int | None:
+    """Dominant period by the first autocorrelation peak (None if flat)."""
+    series = np.asarray(series, dtype=float)
+    series = series[~np.isnan(series)]
+    if series.size < 8:
+        return None
+    centered = series - series.mean()
+    if np.allclose(centered, 0.0):
+        return None
+    if max_lag is None:
+        max_lag = series.size // 2
+    max_lag = min(max_lag, series.size - 2)
+    correlation = np.array([
+        float(np.dot(centered[:-lag], centered[lag:]))
+        for lag in range(1, max_lag + 1)
+    ])
+    correlation /= float(np.dot(centered, centered))
+    peaks = find_peaks(correlation)
+    if peaks.size == 0:
+        return None
+    # +1 because lag 1 is index 0 of the correlation array.
+    return int(peaks[0] + 1)
+
+
+def throughput_latency_points(
+    windows: np.ndarray, rtts: np.ndarray, bucket: int = 50
+) -> list[tuple[float, float]]:
+    """(mean throughput, mean RTT) per time bucket — the tradeoff cloud.
+
+    Useful for Kleinrock-style power plots: protocols trace different
+    curves through throughput-latency space.
+    """
+    windows = np.asarray(windows, dtype=float)
+    rtts = np.asarray(rtts, dtype=float)
+    if windows.shape != rtts.shape or windows.ndim != 1:
+        raise ValueError("windows and rtts must be 1-D and aligned")
+    if bucket <= 0:
+        raise ValueError(f"bucket must be positive, got {bucket}")
+    points = []
+    for start in range(0, windows.size, bucket):
+        w = windows[start:start + bucket]
+        r = rtts[start:start + bucket]
+        mask = ~np.isnan(w)
+        if not mask.any():
+            continue
+        throughput = float((w[mask] / r[mask]).mean())
+        points.append((throughput, float(r[mask].mean())))
+    return points

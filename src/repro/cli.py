@@ -1,0 +1,213 @@
+"""Command-line interface: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    repro table1 [--bw 20 --rtt 42 --buffer 100 --steps 4000 --json out.json]
+    repro table2 [--packet] [--pcc-bound]
+    repro figure1
+    repro claims
+    repro emulab [--full]
+    repro simulate --protocols "AIMD(1,0.5)" "CUBIC(0.4,0.8)" --steps 2000
+
+Every subcommand prints the paper-style table to stdout; ``--json`` also
+archives the structured result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.metrics import EstimatorConfig
+from repro.experiments import (
+    render_claims,
+    render_emulab,
+    render_figure1,
+    render_table1,
+    render_table2,
+    run_claims,
+    run_emulab,
+    run_figure1,
+    run_table1,
+    run_table2,
+    save_result,
+)
+from repro.experiments.table2 import run_table2_packet
+from repro.model.dynamics import FluidSimulator
+from repro.model.link import Link
+from repro.protocols import make_protocol, presets
+
+
+def _add_link_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bw", type=float, default=20.0, help="bandwidth in Mbps")
+    parser.add_argument("--rtt", type=float, default=42.0, help="base RTT in ms")
+    parser.add_argument("--buffer", type=float, default=100.0, help="buffer in MSS")
+
+
+def _link_from(args: argparse.Namespace) -> Link:
+    return Link.from_mbps(args.bw, args.rtt, args.buffer)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'An Axiomatic Approach to Congestion Control' "
+        "(HotNets 2017)",
+    )
+    parser.add_argument("--json", type=str, default=None,
+                        help="also write the structured result to this path")
+    parser.add_argument("--markdown", action="store_true",
+                        help="render tables as Markdown")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    t1 = subparsers.add_parser("table1", help="protocol characterization (Table 1)")
+    _add_link_arguments(t1)
+    t1.add_argument("--steps", type=int, default=4000)
+    t1.add_argument("--senders", type=int, default=2)
+
+    t2 = subparsers.add_parser(
+        "table2", help="Robust-AIMD vs PCC TCP-friendliness (Table 2)"
+    )
+    t2.add_argument("--steps", type=int, default=4000)
+    t2.add_argument("--packet", action="store_true",
+                    help="measure at packet level instead of the fluid model")
+    t2.add_argument("--pcc-bound", action="store_true",
+                    help="use the MIMD(1.01,0.99) aggressiveness bound as the "
+                    "PCC stand-in")
+
+    subparsers.add_parser("figure1", help="Pareto frontier surface (Figure 1)")
+
+    claims = subparsers.add_parser(
+        "claims", help="Claim 1 and Theorems 1-5 demonstrations"
+    )
+    _add_link_arguments(claims)
+    claims.add_argument("--steps", type=int, default=4000)
+
+    emulab = subparsers.add_parser(
+        "emulab", help="packet-level hierarchy validation (Section 5.1)"
+    )
+    emulab.add_argument("--full", action="store_true",
+                        help="run the paper's full grid (slow)")
+    emulab.add_argument("--duration", type=float, default=10.0,
+                        help="seconds of simulated time per run")
+
+    sim = subparsers.add_parser("simulate", help="run an ad-hoc fluid simulation")
+    _add_link_arguments(sim)
+    sim.add_argument("--protocols", nargs="+", required=True,
+                     help="protocol specs, e.g. 'AIMD(1,0.5)' reno cubic")
+    sim.add_argument("--steps", type=int, default=2000)
+
+    char = subparsers.add_parser(
+        "characterize",
+        help="score one protocol on all eight axioms (plus extensions)",
+    )
+    _add_link_arguments(char)
+    char.add_argument("--protocol", required=True,
+                      help="protocol spec or preset name")
+    char.add_argument("--steps", type=int, default=4000)
+    char.add_argument("--senders", type=int, default=2)
+    char.add_argument("--extensions", action="store_true",
+                      help="also measure responsiveness and churn resilience")
+
+    survey = subparsers.add_parser(
+        "survey",
+        help="characterize the full protocol zoo across link regimes",
+    )
+    survey.add_argument("--steps", type=int, default=3000)
+    survey.add_argument("--no-extensions", action="store_true",
+                        help="skip the responsiveness/churn extension metrics")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        link = _link_from(args)
+        result = run_table1(
+            link, EstimatorConfig(steps=args.steps, n_senders=args.senders)
+        )
+        print(render_table1(result, markdown=args.markdown))
+    elif args.command == "table2":
+        pcc = presets.pcc_bound() if args.pcc_bound else presets.pcc_like()
+        if args.packet:
+            result = run_table2_packet(pcc=pcc)
+        else:
+            result = run_table2(pcc=pcc, steps=args.steps)
+        print(render_table2(result, markdown=args.markdown))
+    elif args.command == "figure1":
+        result = run_figure1()
+        print(render_figure1(result, markdown=args.markdown))
+    elif args.command == "claims":
+        result = run_claims(_link_from(args), steps=args.steps)
+        print(render_claims(result, markdown=args.markdown))
+    elif args.command == "emulab":
+        if args.full:
+            result = run_emulab(
+                ns=(2, 3, 4),
+                bandwidths_mbps=(20, 30, 60, 100),
+                buffers_mss=(10, 100),
+                duration=args.duration,
+            )
+        else:
+            result = run_emulab(duration=args.duration)
+        print(render_emulab(result, markdown=args.markdown))
+    elif args.command == "simulate":
+        link = _link_from(args)
+        protocols = [make_protocol(spec) for spec in args.protocols]
+        sim = FluidSimulator(link, protocols)
+        trace = sim.run(args.steps)
+        print(f"{link.describe()}, {args.steps} steps")
+        for key, value in trace.summary().items():
+            print(f"  {key}: {value:.4f}")
+        for i, protocol in enumerate(protocols):
+            mean = trace.tail(0.5).mean_windows()[i]
+            print(f"  {protocol.name}: tail mean window {mean:.2f} MSS")
+        return 0
+    elif args.command == "characterize":
+        from repro.core.characterization import characterize
+        from repro.core.metrics.extensions import (
+            estimate_churn_resilience,
+            estimate_responsiveness,
+        )
+
+        link = _link_from(args)
+        protocol = make_protocol(args.protocol)
+        characterization = characterize(
+            protocol, link,
+            EstimatorConfig(steps=args.steps, n_senders=args.senders),
+        )
+        print(f"{protocol.name} on {link.describe()}:")
+        for metric, score in characterization.empirical.as_dict().items():
+            theory = ""
+            if characterization.theoretical is not None:
+                theory = f"   (theory: {characterization.theoretical.score(metric):.4g})"
+            print(f"  {metric:>18}: {score:.4f}{theory}")
+        if args.extensions:
+            responsiveness = estimate_responsiveness(protocol, link)
+            churn = estimate_churn_resilience(protocol, link)
+            print(f"  {'responsiveness':>18}: {responsiveness.score:.0f} steps "
+                  "to reclaim a doubled link")
+            print(f"  {'churn_resilience':>18}: {churn.score:.0f} steps for a "
+                  "joiner to reach half share")
+        return 0
+    elif args.command == "survey":
+        from repro.core.metrics import EstimatorConfig as _Config
+        from repro.experiments.survey import render_survey, run_survey
+
+        result = run_survey(
+            config=_Config(steps=args.steps, n_senders=2),
+            include_extensions=not args.no_extensions,
+        )
+        print(render_survey(result, markdown=args.markdown))
+    else:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(f"unhandled command {args.command}")
+
+    if args.json is not None:
+        save_result(result, args.json)
+        print(f"\nstructured result written to {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

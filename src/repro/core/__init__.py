@@ -1,0 +1,19 @@
+"""The paper's primary contribution: the axiomatic framework.
+
+- :mod:`repro.core.metrics` — the eight parameterized axioms of Section 3
+  as empirical estimators over fluid-model traces.
+- :mod:`repro.core.theory` — the closed-form characterization of Table 1,
+  the theorems of Section 4 and the Pareto machinery of Section 5.
+- :mod:`repro.core.characterization` — maps protocols to points in the
+  8-dimensional metric space, combining estimation and theory.
+"""
+
+from repro.core.metrics import MetricVector, estimate_all_metrics
+from repro.core.characterization import CharacterizationResult, characterize
+
+__all__ = [
+    "CharacterizationResult",
+    "MetricVector",
+    "characterize",
+    "estimate_all_metrics",
+]

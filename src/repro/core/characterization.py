@@ -1,0 +1,111 @@
+"""Mapping protocols to points in the 8-dimensional metric space.
+
+Section 5.1's program: each protocol is characterized both *theoretically*
+(the Table 1 closed forms, when the protocol belongs to a family the paper
+analyzes) and *empirically* (the Section 3 estimators run on a concrete
+link). :func:`characterize` produces both views side by side;
+:func:`hierarchy` extracts the per-metric ordinal ranking that the paper's
+Emulab validation checks against theory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.metrics import EstimatorConfig, MetricVector, estimate_all_metrics
+from repro.core.metrics.vector import LOWER_IS_BETTER, METRIC_ORDER
+from repro.core.theory import table1
+from repro.model.link import Link
+from repro.protocols.aimd import AIMD
+from repro.protocols.base import Protocol
+from repro.protocols.binomial import BIN
+from repro.protocols.cubic import CUBIC
+from repro.protocols.mimd import MIMD
+from repro.protocols.robust_aimd import RobustAIMD
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """A protocol's empirical point and (when known) theoretical row."""
+
+    protocol: str
+    empirical: MetricVector
+    theoretical: table1.Table1Row | None
+
+    def discrepancy(self, metric: str) -> float | None:
+        """``empirical - theoretical`` for one metric (None when unavailable)."""
+        if self.theoretical is None:
+            return None
+        theory = self.theoretical.score(metric)
+        measured = float(getattr(self.empirical, metric))
+        if math.isnan(measured) or math.isinf(theory):
+            return None
+        return measured - theory
+
+
+def theoretical_row_for(protocol: Protocol, link: Link, n: int) -> table1.Table1Row | None:
+    """The Table 1 row matching a protocol instance, if its family is analyzed."""
+    capacity, buffer_size = link.capacity, link.buffer_size
+    if isinstance(protocol, RobustAIMD):
+        return table1.robust_aimd_row(
+            protocol.a, protocol.b, protocol.epsilon, capacity, buffer_size, n
+        )
+    if isinstance(protocol, AIMD):
+        return table1.aimd_row(protocol.a, protocol.b, capacity, buffer_size, n)
+    if isinstance(protocol, MIMD):
+        return table1.mimd_row(protocol.a, protocol.b, capacity, buffer_size, n)
+    if isinstance(protocol, BIN):
+        return table1.bin_row(
+            protocol.a, protocol.b, protocol.k, protocol.l, capacity, buffer_size, n
+        )
+    if isinstance(protocol, CUBIC):
+        return table1.cubic_row(protocol.c, protocol.b, capacity, buffer_size, n)
+    return None
+
+
+def characterize(
+    protocol: Protocol,
+    link: Link,
+    config: EstimatorConfig | None = None,
+    include_robustness: bool = True,
+) -> CharacterizationResult:
+    """Characterize one protocol on one link, empirically and theoretically."""
+    config = config or EstimatorConfig()
+    empirical = estimate_all_metrics(
+        protocol, link, config, include_robustness=include_robustness
+    )
+    return CharacterizationResult(
+        protocol=protocol.name,
+        empirical=empirical,
+        theoretical=theoretical_row_for(protocol, link, config.n_senders),
+    )
+
+
+def hierarchy(
+    results: list[CharacterizationResult],
+    metric: str,
+    use_theory: bool = False,
+) -> list[str]:
+    """Protocol names ordered best-to-worst on one metric.
+
+    Respects metric orientation (loss- and latency-avoidance rank
+    ascending). With ``use_theory``, ranks by the Table 1 scores instead
+    of the empirical estimates; comparing the two orders is exactly the
+    paper's Section 5.1 validation.
+    """
+    if metric not in METRIC_ORDER:
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def score(result: CharacterizationResult) -> float:
+        if use_theory:
+            if result.theoretical is None:
+                raise ValueError(f"no theoretical row for {result.protocol}")
+            return result.theoretical.score(metric)
+        return float(getattr(result.empirical, metric))
+
+    reverse = metric not in LOWER_IS_BETTER
+    return [
+        r.protocol
+        for r in sorted(results, key=score, reverse=reverse)
+    ]

@@ -1,0 +1,105 @@
+"""Shared machinery for the metric estimators.
+
+Every axiom in Section 3 is an asymptotic statement ("there is some time
+step T such that from T onwards ..."). An estimator approximates the
+quantifier with a finite run: simulate long enough for transients to die
+out, then reduce over a measurement *tail*. :class:`EstimatorConfig`
+fixes those horizons once so all eight metrics are measured consistently,
+and :class:`MetricResult` carries the estimated alpha-score together with
+the evidence used to produce it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.link import Link
+from repro.model.trace import SimulationTrace
+from repro.protocols.base import Protocol
+
+
+@dataclass(frozen=True)
+class EstimatorConfig:
+    """Horizons and scenario parameters shared by the metric estimators.
+
+    Attributes
+    ----------
+    steps:
+        Simulation length in RTT steps. Long enough for the Emulab-scale
+        links (C + tau of a few hundred MSS) to pass several sawtooth
+        periods.
+    tail_fraction:
+        The final fraction of the run used for measurement — the stand-in
+        for the paper's "from T onwards".
+    n_senders:
+        Number of senders for the homogeneous metrics (I, III, IV, V, VIII).
+    spread_initial_windows:
+        Fairness and convergence are quantified over *any* initial
+        configuration; we approximate the adversarial choice by starting
+        senders maximally unequal (one near the pipe limit, others at 1).
+    """
+
+    steps: int = 4000
+    tail_fraction: float = 0.5
+    n_senders: int = 2
+    spread_initial_windows: bool = True
+
+    def __post_init__(self) -> None:
+        if self.steps <= 0:
+            raise ValueError(f"steps must be positive, got {self.steps}")
+        if not 0.0 < self.tail_fraction <= 1.0:
+            raise ValueError(
+                f"tail_fraction must be in (0, 1], got {self.tail_fraction}"
+            )
+        if self.n_senders <= 0:
+            raise ValueError(f"n_senders must be positive, got {self.n_senders}")
+
+
+@dataclass
+class MetricResult:
+    """An estimated alpha-score plus the evidence behind it."""
+
+    metric: str
+    score: float
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.metric:
+            raise ValueError("metric name must be non-empty")
+
+    def __float__(self) -> float:
+        return float(self.score)
+
+
+def initial_windows_for(link: Link, n: int, spread: bool) -> list[float]:
+    """Initial windows for homogeneous runs.
+
+    With ``spread`` on, sender 0 starts near the pipe limit and the rest at
+    1 MSS — the adversarial late-joiner configuration the paper reasons
+    about; otherwise everyone starts at 1 MSS.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not spread or n == 1:
+        return [1.0] * n
+    big = max(1.0, 0.9 * link.pipe_limit)
+    return [big] + [1.0] * (n - 1)
+
+
+def run_homogeneous_trace(
+    protocol: Protocol,
+    link: Link,
+    config: EstimatorConfig,
+    sim_config: SimulationConfig | None = None,
+) -> SimulationTrace:
+    """Run ``n_senders`` copies of ``protocol`` on ``link`` per the config."""
+    if sim_config is None:
+        sim_config = SimulationConfig(
+            initial_windows=initial_windows_for(
+                link, config.n_senders, config.spread_initial_windows
+            )
+        )
+    sim = FluidSimulator(link, [protocol] * config.n_senders, sim_config)
+    return sim.run(config.steps)

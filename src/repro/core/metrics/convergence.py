@@ -1,0 +1,52 @@
+"""Metric V — convergence.
+
+A protocol is *alpha-convergent* (alpha in [0, 1]) if there exist window
+values ``x*_i`` and a time T such that for all t > T every sender stays in
+the band ``alpha * x*_i <= x_i(t) <= (2 - alpha) * x*_i``. The closer
+alpha is to 1, the tighter the protocol settles around a fixed point.
+
+For a fixed sender with tail extremes ``x_min, x_max`` the optimal
+witness is ``x* = (x_min + x_max) / 2``, giving
+``alpha = 2 x_min / (x_min + x_max)`` (see
+:func:`repro.analysis.stats.convergence_alpha`). An ``AIMD(a, b)``
+sawtooth oscillating between ``b W`` and ``W`` scores exactly
+``2b / (1 + b)`` — Table 1's convergence column — so this estimator
+reproduces the paper's closed form by construction on ideal sawtooths.
+
+The protocol's score is the minimum over senders.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import convergence_alpha
+from repro.core.metrics.base import EstimatorConfig, MetricResult, run_homogeneous_trace
+from repro.model.link import Link
+from repro.model.trace import SimulationTrace
+from repro.protocols.base import Protocol
+
+METRIC_NAME = "convergence"
+
+
+def convergence_from_trace(
+    trace: SimulationTrace, tail_fraction: float = 0.5
+) -> MetricResult:
+    """Estimate the convergence alpha as the worst per-sender band fit."""
+    tail = trace.tail(tail_fraction)
+    per_sender = [
+        convergence_alpha(tail.sender_series(i)) for i in range(tail.n_senders)
+    ]
+    score = min(per_sender)
+    return MetricResult(
+        metric=METRIC_NAME,
+        score=score,
+        detail={"per_sender_alpha": per_sender, "tail_steps": tail.steps},
+    )
+
+
+def estimate_convergence(
+    protocol: Protocol, link: Link, config: EstimatorConfig | None = None
+) -> MetricResult:
+    """Run the homogeneous Metric V scenario and estimate alpha-convergence."""
+    config = config or EstimatorConfig()
+    trace = run_homogeneous_trace(protocol, link, config)
+    return convergence_from_trace(trace, config.tail_fraction)

@@ -1,0 +1,54 @@
+"""Metric IV — fairness.
+
+A protocol is *alpha-fair* if, when all senders use it and from any
+initial window configuration, from some time T onwards each sender's
+average window is at least an alpha-fraction of any other's. The
+witnessed alpha of a run is therefore ``min_i avg_i / max_j avg_j`` over
+the measurement tail.
+
+The adversarial initial configuration matters: AIMD equalizes from any
+start (alpha -> 1), while MIMD preserves window ratios forever (alpha
+stays at the initial imbalance, worst case 0). The estimator therefore
+starts senders maximally unequal by default (one near the pipe limit, the
+rest at 1 MSS).
+
+Jain's index over tail-average windows is reported alongside as a
+secondary, aggregate view.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import jain_index, min_over_max
+from repro.core.metrics.base import EstimatorConfig, MetricResult, run_homogeneous_trace
+from repro.model.link import Link
+from repro.model.trace import SimulationTrace
+from repro.protocols.base import Protocol
+
+METRIC_NAME = "fairness"
+
+
+def fairness_from_trace(trace: SimulationTrace, tail_fraction: float = 0.5) -> MetricResult:
+    """Estimate the fairness alpha (min/max of tail-average windows)."""
+    if trace.n_senders < 2:
+        raise ValueError("fairness requires at least two senders")
+    averages = trace.tail(tail_fraction).mean_windows()
+    score = min_over_max(averages)
+    return MetricResult(
+        metric=METRIC_NAME,
+        score=score,
+        detail={
+            "tail_average_windows": [float(a) for a in averages],
+            "jain_index": jain_index(averages),
+        },
+    )
+
+
+def estimate_fairness(
+    protocol: Protocol, link: Link, config: EstimatorConfig | None = None
+) -> MetricResult:
+    """Run the homogeneous Metric IV scenario with adversarial initial windows."""
+    config = config or EstimatorConfig()
+    if config.n_senders < 2:
+        raise ValueError("fairness estimation requires n_senders >= 2")
+    trace = run_homogeneous_trace(protocol, link, config)
+    return fairness_from_trace(trace, config.tail_fraction)

@@ -1,0 +1,99 @@
+"""Metric VII — friendliness (and TCP-friendliness).
+
+A protocol P is *alpha-friendly* to Q if, in any mix of P- and Q-senders
+and from any initial windows, every Q-sender's long-run average window is
+at least an alpha-fraction of every P-sender's. P is alpha-TCP-friendly
+when Q is ``AIMD(1, 0.5)`` (TCP Reno).
+
+The witnessed alpha of one run is::
+
+    min over Q-senders j, P-senders i of  avg_j / avg_i
+
+over the measurement tail. The estimator sweeps the P/Q mix (1..n-1
+P-senders out of n) and reports the worst case, approximating the
+definition's "for any combination".
+
+Friendliness relates to fairness (Metric IV) but across *different*
+protocols; scores above 1 mean Q actually outcompetes P.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics.base import EstimatorConfig, MetricResult, initial_windows_for
+from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.link import Link
+from repro.model.trace import SimulationTrace
+from repro.protocols.aimd import AIMD
+from repro.protocols.base import Protocol
+
+METRIC_NAME = "tcp_friendliness"
+
+
+def friendliness_from_trace(
+    trace: SimulationTrace,
+    p_senders: list[int],
+    q_senders: list[int],
+    tail_fraction: float = 0.5,
+) -> float:
+    """Witnessed friendliness alpha of P toward Q in one mixed run."""
+    if not p_senders or not q_senders:
+        raise ValueError("both protocol groups must be non-empty")
+    if set(p_senders) & set(q_senders):
+        raise ValueError("a sender cannot run both protocols")
+    averages = trace.tail(tail_fraction).mean_windows()
+    worst = float("inf")
+    for j in q_senders:
+        for i in p_senders:
+            if averages[i] <= 0:
+                # P got starved entirely; Q trivially holds any fraction.
+                continue
+            worst = min(worst, float(averages[j] / averages[i]))
+    return worst if np.isfinite(worst) else float("inf")
+
+
+def estimate_friendliness(
+    protocol: Protocol,
+    toward: Protocol,
+    link: Link,
+    config: EstimatorConfig | None = None,
+) -> MetricResult:
+    """Estimate how friendly ``protocol`` is toward ``toward`` on ``link``.
+
+    Sweeps every split of ``config.n_senders`` senders into P- and
+    Q-groups (at least one of each) and reports the minimum witnessed
+    alpha.
+    """
+    config = config or EstimatorConfig()
+    n = max(2, config.n_senders)
+    worst = float("inf")
+    per_mix: dict[str, float] = {}
+    for n_p in range(1, n):
+        n_q = n - n_p
+        protocols: list[Protocol] = [protocol] * n_p + [toward] * n_q
+        sim_config = SimulationConfig(
+            initial_windows=initial_windows_for(link, n, config.spread_initial_windows)
+        )
+        sim = FluidSimulator(link, protocols, sim_config)
+        trace = sim.run(config.steps)
+        alpha = friendliness_from_trace(
+            trace,
+            p_senders=list(range(n_p)),
+            q_senders=list(range(n_p, n)),
+            tail_fraction=config.tail_fraction,
+        )
+        per_mix[f"{n_p}P/{n_q}Q"] = alpha
+        worst = min(worst, alpha)
+    return MetricResult(
+        metric=METRIC_NAME,
+        score=worst,
+        detail={"per_mix": per_mix, "toward": toward.name},
+    )
+
+
+def estimate_tcp_friendliness(
+    protocol: Protocol, link: Link, config: EstimatorConfig | None = None
+) -> MetricResult:
+    """Friendliness toward TCP Reno (``AIMD(1, 0.5)``) — the paper's Metric VII."""
+    return estimate_friendliness(protocol, AIMD(1.0, 0.5), link, config)

@@ -1,0 +1,122 @@
+"""Metric VI — robustness to non-congestion loss.
+
+The paper isolates non-congestion loss with the PCC motivating scenario: a
+single sender on a link of (effectively) infinite capacity experiencing a
+constant random loss rate. A protocol is *alpha-robust* if loss of rate at
+most alpha does not prevent it from growing its window past any bound
+beta.
+
+Classic TCP fails immediately: any persistent loss keeps triggering
+multiplicative decrease, so AIMD/MIMD/BIN/CUBIC are all 0-robust
+(Table 1). Robust-AIMD tolerates loss under its threshold epsilon and is
+epsilon-robust; the PCC-like protocol tolerates loss up to (roughly) its
+utility tolerance.
+
+The estimator checks divergence at a given loss rate by simulating the
+infinite-capacity scenario and testing that the window both exceeded a
+growth threshold and kept rising through the final quarter; the protocol's
+alpha is then located by bisection on the loss rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics.base import MetricResult
+from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.link import Link
+from repro.model.random_loss import BernoulliLoss
+from repro.protocols.base import Protocol
+
+METRIC_NAME = "robustness"
+
+DEFAULT_HORIZON = 2000
+DEFAULT_GROWTH_FACTOR = 50.0
+
+
+def diverges_under_loss(
+    protocol: Protocol,
+    loss_rate: float,
+    horizon: int = DEFAULT_HORIZON,
+    start_window: float = 1.0,
+    growth_factor: float = DEFAULT_GROWTH_FACTOR,
+) -> bool:
+    """Does the window grow without bound under constant random loss?
+
+    The finite-run proxy for "for every beta there is a T with
+    ``x(t) >= beta``": the final window must exceed
+    ``growth_factor * start_window`` and the final quarter of the series
+    must still be trending upward.
+    """
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+    if horizon < 8:
+        raise ValueError(f"horizon must be at least 8, got {horizon}")
+    link = Link.infinite()
+    config = SimulationConfig(
+        initial_windows=[start_window],
+        loss_process=BernoulliLoss(loss_rate, deterministic=True),
+    )
+    sim = FluidSimulator(link, [protocol], config)
+    trace = sim.run(horizon)
+    windows = trace.sender_series(0)
+    if windows[-1] < growth_factor * max(start_window, 1.0):
+        return False
+    quarter = windows[-horizon // 4:]
+    return bool(quarter[-1] > quarter[0])
+
+
+def estimate_robustness(
+    protocol: Protocol,
+    max_rate: float = 0.5,
+    tolerance: float = 1e-3,
+    horizon: int = DEFAULT_HORIZON,
+) -> MetricResult:
+    """Locate the protocol's robustness alpha by bisection on the loss rate.
+
+    Returns the largest loss rate (within ``tolerance``) at which the
+    window still diverges; 0.0 when even infinitesimal loss stalls the
+    protocol (every pure loss-signal protocol).
+    """
+    if not 0.0 < max_rate <= 1.0:
+        raise ValueError(f"max_rate must be in (0, 1], got {max_rate}")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+
+    probe = tolerance / 2.0
+    if not diverges_under_loss(protocol, probe, horizon):
+        return MetricResult(
+            metric=METRIC_NAME,
+            score=0.0,
+            detail={"reason": f"stalls already at loss rate {probe:g}"},
+        )
+    low, high = probe, max_rate
+    if diverges_under_loss(protocol, max_rate, horizon):
+        return MetricResult(
+            metric=METRIC_NAME,
+            score=max_rate,
+            detail={"reason": f"still diverges at max tested rate {max_rate:g}"},
+        )
+    while high - low > tolerance:
+        mid = (low + high) / 2.0
+        if diverges_under_loss(protocol, mid, horizon):
+            low = mid
+        else:
+            high = mid
+    return MetricResult(
+        metric=METRIC_NAME,
+        score=low,
+        detail={"bracket": (low, high), "horizon": horizon},
+    )
+
+
+def robustness_profile(
+    protocol: Protocol,
+    rates: np.ndarray | list[float],
+    horizon: int = DEFAULT_HORIZON,
+) -> dict[float, bool]:
+    """Divergence verdict at each requested loss rate (for reports/plots)."""
+    return {
+        float(rate): diverges_under_loss(protocol, float(rate), horizon)
+        for rate in rates
+    }

@@ -1,0 +1,93 @@
+"""The 8-dimensional metric space of Section 3.
+
+A congestion control protocol is a point in the space spanned by the
+eight axioms; :class:`MetricVector` is that point. Two of the axes —
+loss-avoidance and latency-avoidance — are "smaller is better" (the alpha
+bounds loss/latency from above), the other six are "larger is better";
+:meth:`MetricVector.as_pareto_point` orients all axes upward so the
+dominance machinery of :mod:`repro.analysis.dominance` applies uniformly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, fields
+
+METRIC_ORDER = (
+    "efficiency",
+    "fast_utilization",
+    "loss_avoidance",
+    "fairness",
+    "convergence",
+    "robustness",
+    "tcp_friendliness",
+    "latency_avoidance",
+)
+
+LOWER_IS_BETTER = frozenset({"loss_avoidance", "latency_avoidance"})
+
+
+@dataclass(frozen=True)
+class MetricVector:
+    """A protocol's scores in the eight metrics (NaN = not measured)."""
+
+    efficiency: float = math.nan
+    fast_utilization: float = math.nan
+    loss_avoidance: float = math.nan
+    fairness: float = math.nan
+    convergence: float = math.nan
+    robustness: float = math.nan
+    tcp_friendliness: float = math.nan
+    latency_avoidance: float = math.nan
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if not isinstance(value, (int, float)):
+                raise TypeError(f"{f.name} must be numeric, got {type(value).__name__}")
+
+    def as_dict(self) -> dict[str, float]:
+        """Scores keyed by metric name, in the paper's order."""
+        return {name: float(getattr(self, name)) for name in METRIC_ORDER}
+
+    def as_pareto_point(self, metrics: tuple[str, ...] = METRIC_ORDER) -> list[float]:
+        """Coordinates oriented so larger is always better.
+
+        Lower-is-better axes are negated. Restrict ``metrics`` to project
+        onto a subspace (e.g. the Figure 1 triple).
+        """
+        point = []
+        for name in metrics:
+            if name not in METRIC_ORDER:
+                raise ValueError(f"unknown metric {name!r}")
+            value = float(getattr(self, name))
+            point.append(-value if name in LOWER_IS_BETTER else value)
+        return point
+
+    def measured_metrics(self) -> tuple[str, ...]:
+        """The metric names that carry a real (non-NaN) score."""
+        return tuple(
+            name for name in METRIC_ORDER if not math.isnan(getattr(self, name))
+        )
+
+    def replace(self, **scores: float) -> "MetricVector":
+        """A copy with some scores replaced."""
+        current = self.as_dict()
+        for name in scores:
+            if name not in METRIC_ORDER:
+                raise ValueError(f"unknown metric {name!r}")
+        current.update(scores)
+        return MetricVector(**current)
+
+    def format_row(self, precision: int = 3) -> str:
+        """Fixed-width rendering for report tables."""
+        cells = []
+        for name in METRIC_ORDER:
+            value = getattr(self, name)
+            if math.isnan(value):
+                cells.append("   -  ")
+            elif math.isinf(value):
+                cells.append("  inf ")
+            else:
+                cells.append(f"{value:6.{precision}f}")
+        return " ".join(cells)

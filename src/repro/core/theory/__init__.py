@@ -1,0 +1,53 @@
+"""Closed-form results of the paper: Table 1, Theorems 1-5, Pareto frontier.
+
+- :mod:`repro.core.theory.table1` — per-family metric formulas (worst-case
+  and parameter-dependent), generating the paper's Table 1.
+- :mod:`repro.core.theory.theorems` — the bound functions of Claim 1 and
+  Theorems 1-5.
+- :mod:`repro.core.theory.pareto` — the Figure 1 frontier surface and
+  feasibility/dominance checks in metric subspaces.
+"""
+
+from repro.core.theory import pareto, table1, theorems
+from repro.core.theory.table1 import (
+    Table1Row,
+    aimd_row,
+    bin_row,
+    cubic_row,
+    mimd_row,
+    paper_table1,
+    robust_aimd_row,
+)
+from repro.core.theory.theorems import (
+    theorem1_efficiency_bound,
+    theorem2_friendliness_bound,
+    theorem3_friendliness_bound,
+)
+from repro.core.theory.pareto import (
+    Figure1Point,
+    figure1_surface,
+    frontier_friendliness,
+    is_feasible_point,
+    is_frontier_point,
+)
+
+__all__ = [
+    "Figure1Point",
+    "Table1Row",
+    "aimd_row",
+    "bin_row",
+    "cubic_row",
+    "figure1_surface",
+    "frontier_friendliness",
+    "is_feasible_point",
+    "is_frontier_point",
+    "mimd_row",
+    "paper_table1",
+    "pareto",
+    "robust_aimd_row",
+    "table1",
+    "theorem1_efficiency_bound",
+    "theorem2_friendliness_bound",
+    "theorem3_friendliness_bound",
+    "theorems",
+]

@@ -1,0 +1,144 @@
+"""Analytic steady-state solutions of the fluid dynamics.
+
+The nuanced Table 1 expressions all come from solving the homogeneous
+sawtooth in closed form. This module makes those solutions first-class:
+given a protocol family's increase/decrease rule and the link, it returns
+the limit cycle — peak, trough, period, time-average window, loss-event
+rate — against which the simulator is validated (tests pin simulator
+output to these formulas).
+
+For ``n`` homogeneous AIMD(a, b) senders on a link with pipe limit
+``P = C + tau``, synchronized feedback makes every sender's window follow
+the same sawtooth:
+
+- peak (per sender):    ``x_peak = (P + n a) / n``  (the first step past P),
+- trough:               ``x_trough = b x_peak``,
+- period:               ``ceil(x_peak (1 - b) / a)`` steps,
+- loss per event:       ``1 - P / (P + n a)``,
+- average window:       ``(1 + b) x_peak / 2`` (continuous approximation).
+
+MIMD and Robust-AIMD analogues follow the same template.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.model.link import Link
+
+
+@dataclass(frozen=True)
+class LimitCycle:
+    """A homogeneous limit cycle of the synchronized fluid dynamics."""
+
+    peak_window: float
+    trough_window: float
+    period_steps: float
+    loss_per_event: float
+    average_window: float
+
+    def __post_init__(self) -> None:
+        if self.peak_window < self.trough_window:
+            raise ValueError("peak below trough")
+        if self.period_steps <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= self.loss_per_event < 1.0:
+            raise ValueError("loss per event must be in [0, 1)")
+
+    @property
+    def loss_event_rate(self) -> float:
+        """Loss events per step."""
+        return 1.0 / self.period_steps
+
+    @property
+    def average_loss(self) -> float:
+        """Time-average loss rate: one lossy step per period."""
+        return self.loss_per_event / self.period_steps
+
+    def average_utilization(self, link: Link, n: int) -> float:
+        """Time-average aggregate window over capacity."""
+        return n * self.average_window / link.capacity
+
+
+def aimd_limit_cycle(a: float, b: float, link: Link, n: int) -> LimitCycle:
+    """The homogeneous AIMD(a, b) sawtooth on ``link``."""
+    _validate(a, b, n)
+    pipe = link.pipe_limit
+    peak = (pipe + n * a) / n
+    trough = b * peak
+    period = max(1.0, math.ceil((peak - trough) / a))
+    return LimitCycle(
+        peak_window=peak,
+        trough_window=trough,
+        period_steps=period,
+        loss_per_event=1.0 - pipe / (pipe + n * a),
+        average_window=(peak + trough) / 2.0,
+    )
+
+
+def mimd_limit_cycle(a: float, b: float, link: Link, n: int) -> LimitCycle:
+    """The homogeneous MIMD(a, b) cycle: geometric climb, one-step drop.
+
+    From trough ``x``, the window multiplies by ``a`` until ``n x a^k``
+    first exceeds the pipe; the overshoot factor lies in ``(1, a]`` and is
+    ``a`` in the worst case, giving loss ``(a - 1)/a`` per event and
+    period ``log_a(1/b) + 1`` steps.
+    """
+    if a <= 1.0:
+        raise ValueError(f"MIMD increase factor must exceed 1, got {a}")
+    if not 0.0 < b < 1.0:
+        raise ValueError(f"decrease factor must be in (0, 1), got {b}")
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    pipe = link.pipe_limit
+    peak = a * pipe / n  # worst-case overshoot by a full factor of a
+    trough = b * peak
+    period = max(1.0, math.ceil(math.log(1.0 / b) / math.log(a)) + 1.0)
+    # Geometric mean over the climb approximates the average window.
+    average = (peak - trough) / math.log(peak / trough)
+    return LimitCycle(
+        peak_window=peak,
+        trough_window=trough,
+        period_steps=period,
+        loss_per_event=(a - 1.0) / a,
+        average_window=average,
+    )
+
+
+def robust_aimd_operating_point(a: float, b: float, epsilon: float,
+                                link: Link, n: int) -> LimitCycle:
+    """Robust-AIMD's cycle: the backoff triggers at loss >= epsilon.
+
+    The senders climb past the pipe until the loss rate reaches epsilon,
+    i.e. until ``X = P / (1 - epsilon)``; then every sender multiplies by
+    ``b``. When the additive loss quantum ``n a / (P + n a)`` already
+    exceeds epsilon, the threshold binds on the very first overshoot and
+    the cycle degenerates to the plain AIMD one.
+    """
+    _validate(a, b, n)
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    pipe = link.pipe_limit
+    quantum = n * a / (pipe + n * a)
+    if epsilon <= quantum:
+        return aimd_limit_cycle(a, b, link, n)
+    peak = pipe / (1.0 - epsilon) / n
+    trough = b * peak
+    period = max(1.0, math.ceil((peak - trough) / a))
+    return LimitCycle(
+        peak_window=peak,
+        trough_window=trough,
+        period_steps=period,
+        loss_per_event=epsilon,
+        average_window=(peak + trough) / 2.0,
+    )
+
+
+def _validate(a: float, b: float, n: int) -> None:
+    if a <= 0:
+        raise ValueError(f"additive increase must be positive, got {a}")
+    if not 0.0 < b < 1.0:
+        raise ValueError(f"decrease factor must be in (0, 1), got {b}")
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")

@@ -1,0 +1,364 @@
+"""Experiment: demonstrate Claim 1 and Theorems 1-5 in simulation.
+
+The paper's Section 4 results are proven in the model; this driver
+*exhibits* each of them in the fluid simulator, both as a sanity check of
+the implementation and as the regeneration target for the Section 4
+content:
+
+- **Claim 1** — the probe-and-hold protocol is 0-loss yet scores 0 on
+  fast-utilization, while AIMD (which keeps probing) scores ``a`` and
+  keeps incurring loss.
+- **Theorem 1** — across an AIMD(a, b) sweep, measured efficiency is at
+  least ``alpha/(2 - alpha)`` for the measured convergence alpha.
+- **Theorem 2** — measured TCP-friendliness never exceeds
+  ``3(1-b)/(a(1+b))``, and AIMD attains it (tightness).
+- **Theorem 3** — Robust-AIMD's measured TCP-friendliness respects the
+  tighter robustness-adjusted cap (measured with the model's window floor
+  removed, since the cap concerns the idealized model with windows in
+  ``[0, M]``).
+- **Theorem 4** — protocols empirically more aggressive than Reno receive
+  at least Reno's share from an alpha-TCP-friendly AIMD/BIN protocol.
+- **Theorem 5** — Reno's friendliness toward the Vegas-like
+  latency-avoider collapses toward 0 as buffers deepen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.metrics.base import EstimatorConfig
+from repro.core.metrics.convergence import convergence_from_trace
+from repro.core.metrics.efficiency import efficiency_from_trace
+from repro.core.metrics.fast_utilization import fast_utilization_from_trace
+from repro.core.metrics.friendliness import friendliness_from_trace
+from repro.core.metrics.loss_avoidance import loss_avoidance_from_trace
+from repro.core.theory import theorems
+from repro.experiments.report import Table
+from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.link import Link
+from repro.protocols.aimd import AIMD
+from repro.protocols.base import Protocol
+from repro.protocols.binomial import BIN
+from repro.protocols.mimd import MIMD
+from repro.protocols.probe import ProbeAndHold
+from repro.protocols.robust_aimd import RobustAIMD
+from repro.protocols.vegas import VegasLike
+
+
+@dataclass(frozen=True)
+class TheoremCheck:
+    """One verified statement."""
+
+    statement: str
+    instance: str
+    expected: str
+    observed: str
+    holds: bool
+
+
+@dataclass
+class ClaimsResult:
+    """All Section 4 demonstrations."""
+
+    checks: list[TheoremCheck] = field(default_factory=list)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(c.holds for c in self.checks)
+
+    def failures(self) -> list[TheoremCheck]:
+        return [c for c in self.checks if not c.holds]
+
+    def to_jsonable(self) -> dict:
+        return {
+            "all_hold": self.all_hold,
+            "checks": [
+                {
+                    "statement": c.statement,
+                    "instance": c.instance,
+                    "expected": c.expected,
+                    "observed": c.observed,
+                    "holds": c.holds,
+                }
+                for c in self.checks
+            ],
+        }
+
+
+def _homogeneous_trace(protocol: Protocol, link: Link, n: int, steps: int,
+                       min_window: float = 1.0):
+    sim = FluidSimulator(
+        link,
+        [protocol] * n,
+        SimulationConfig(initial_windows=[1.0] * n, min_window=min_window),
+    )
+    return sim.run(steps)
+
+
+def _mixed_trace(p: Protocol, q: Protocol, link: Link, steps: int,
+                 min_window: float = 1.0):
+    sim = FluidSimulator(
+        link,
+        [p, q],
+        SimulationConfig(initial_windows=[1.0, 1.0], min_window=min_window),
+    )
+    return sim.run(steps)
+
+
+# ----------------------------------------------------------------------
+def check_claim1(link: Link, steps: int = 3000) -> list[TheoremCheck]:
+    """Probe-and-hold: 0-loss and 0-fast-utilizing; AIMD: neither."""
+    checks = []
+    hold_trace = _homogeneous_trace(ProbeAndHold(1.0, 0.9), link, n=1, steps=steps)
+    hold_loss = loss_avoidance_from_trace(hold_trace)
+    hold_fast = fast_utilization_from_trace(hold_trace)
+    zero_loss = bool(hold_loss.detail["is_zero_loss"])
+    consistent = theorems.claim1_consistent(True, zero_loss, max(0.0, hold_fast.score))
+    checks.append(
+        TheoremCheck(
+            statement="Claim 1",
+            instance="Probe&Hold(1,0.9), single sender",
+            expected="0-loss implies fast-utilization = 0",
+            observed=f"tail max loss {hold_loss.score:.4f}, "
+            f"fast-utilization {hold_fast.score:.4f}",
+            holds=zero_loss and consistent and hold_fast.score == 0.0,
+        )
+    )
+    aimd_trace = _homogeneous_trace(AIMD(1.0, 0.5), link, n=1, steps=steps)
+    aimd_loss = loss_avoidance_from_trace(aimd_trace)
+    aimd_fast = fast_utilization_from_trace(aimd_trace)
+    checks.append(
+        TheoremCheck(
+            statement="Claim 1 (contrast)",
+            instance="AIMD(1,0.5), single sender",
+            expected="fast-utilizing protocols keep incurring loss",
+            observed=f"fast-utilization {aimd_fast.score:.3f}, "
+            f"tail max loss {aimd_loss.score:.4f}",
+            holds=aimd_fast.score > 0.5 and aimd_loss.score > 0.0,
+        )
+    )
+    return checks
+
+
+def check_theorem1(link: Link, steps: int = 4000,
+                   bs: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9)) -> list[TheoremCheck]:
+    """alpha-convergent + fast-utilizing => alpha/(2-alpha)-efficient."""
+    checks = []
+    for b in bs:
+        trace = _homogeneous_trace(AIMD(1.0, b), link, n=2, steps=steps)
+        conv = convergence_from_trace(trace).score
+        fast = fast_utilization_from_trace(trace).score
+        eff = efficiency_from_trace(trace).score
+        bound = theorems.theorem1_efficiency_bound(conv)
+        holds = theorems.theorem1_holds(conv, fast, eff, slack=0.02)
+        checks.append(
+            TheoremCheck(
+                statement="Theorem 1",
+                instance=f"AIMD(1,{b:g}), 2 senders",
+                expected=f"efficiency >= alpha/(2-alpha) = {bound:.3f}",
+                observed=f"convergence {conv:.3f}, efficiency {eff:.3f}, "
+                f"fast-utilization {fast:.3f}",
+                holds=holds,
+            )
+        )
+    return checks
+
+
+def check_theorem2(link: Link, steps: int = 4000,
+                   grid: tuple[tuple[float, float], ...] = (
+                       (0.5, 0.5), (1.0, 0.5), (2.0, 0.5), (1.0, 0.8),
+                   )) -> list[TheoremCheck]:
+    """Friendliness cap 3(1-b)/(a(1+b)), tight at AIMD(a, b)."""
+    checks = []
+    for a, b in grid:
+        trace = _mixed_trace(AIMD(a, b), AIMD(1.0, 0.5), link, steps)
+        friendliness = friendliness_from_trace(trace, [0], [1])
+        bound = theorems.theorem2_friendliness_bound(a, b)
+        within = friendliness <= bound * 1.15 + 0.02
+        tight = friendliness >= bound * 0.7 - 0.02
+        checks.append(
+            TheoremCheck(
+                statement="Theorem 2",
+                instance=f"AIMD({a:g},{b:g}) vs Reno",
+                expected=f"friendliness <= (and ~=) {bound:.3f}",
+                observed=f"measured {friendliness:.3f}",
+                holds=within and tight,
+            )
+        )
+    return checks
+
+
+def loss_quantum(link: Link, n: int, a: float) -> float:
+    """The smallest non-degenerate droptail loss rate on ``link``.
+
+    With ``n`` additive senders stepping by ``a``, the aggregate overshoots
+    the pipe by at most ``n * a`` per step, so synchronized loss events
+    carry rate about ``n a / (C + tau + n a)``. Robust-AIMD's threshold
+    ``epsilon`` only changes behaviour when ``epsilon`` is *below* typical
+    loss magnitudes — i.e. when it can actually ignore some losses.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if a <= 0:
+        raise ValueError(f"a must be positive, got {a}")
+    return n * a / (link.pipe_limit + n * a)
+
+
+def check_theorem3(link: Link | None = None, steps: int = 6000,
+                   epsilons: tuple[float, ...] = (0.005, 0.02, 0.05)) -> list[TheoremCheck]:
+    """Robustness shrinks the friendliness cap dramatically.
+
+    The regime matters: Robust-AIMD's threshold only *binds* when epsilon
+    exceeds the link's minimal loss quantum (see :func:`loss_quantum`);
+    below it the protocol behaves like plain ``AIMD(a, b)`` and only the
+    Theorem 2 cap applies. In the binding regime we verify the measured
+    friendliness collapses far below the Theorem 2 cap, toward the
+    Theorem 3 cap (which is of order 1e-4 at these links). The check uses
+    window floor 0 — both protocols recover additively from 0, matching
+    the paper's window space ``{0..M}``.
+    """
+    link = link or Link.from_mbps(100, 42, 100)
+    checks = []
+    quantum = loss_quantum(link, n=2, a=1.0)
+    for eps in epsilons:
+        protocol = RobustAIMD(1.0, 0.8, eps)
+        trace = _mixed_trace(protocol, AIMD(1.0, 0.5), link, steps, min_window=0.0)
+        friendliness = friendliness_from_trace(trace, [0], [1])
+        t3 = theorems.theorem3_friendliness_bound(
+            1.0, 0.8, eps, link.capacity, link.buffer_size
+        )
+        t2 = theorems.theorem2_friendliness_bound(1.0, 0.8)
+        if eps > quantum:
+            # Binding regime: friendliness must collapse toward the T3 cap.
+            expected = (
+                f"threshold binds (eps > quantum {quantum:.4f}): friendliness "
+                f"far below T2 cap {t2:.3f}, toward T3 cap {t3:.2e}"
+            )
+            holds = friendliness <= max(100.0 * t3, 0.2 * t2)
+        else:
+            # Non-binding: Robust-AIMD degenerates to AIMD(a, b); only the
+            # Theorem 2 cap is in force.
+            expected = (
+                f"threshold does not bind (eps <= quantum {quantum:.4f}): "
+                f"friendliness <= T2 cap {t2:.3f}"
+            )
+            holds = friendliness <= t2 * 1.15 + 0.02
+        checks.append(
+            TheoremCheck(
+                statement="Theorem 3",
+                instance=f"Robust-AIMD(1,0.8,{eps:g}) vs Reno (floor 0, "
+                f"{link.describe()})",
+                expected=expected,
+                observed=f"measured {friendliness:.4f}",
+                holds=holds,
+            )
+        )
+    return checks
+
+
+def check_theorem4(link: Link, steps: int = 4000) -> list[TheoremCheck]:
+    """Friendliness toward Reno transfers to more-aggressive protocols."""
+    friendly = BIN(1.0, 0.5, 0.5, 0.5)  # SQRT: k+l=1, TCP-compatible
+    aggressors: list[Protocol] = [AIMD(2.0, 0.5), AIMD(1.0, 0.7), MIMD(1.01, 0.875)]
+    reno = AIMD(1.0, 0.5)
+    base_trace = _mixed_trace(friendly, reno, link, steps)
+    alpha = friendliness_from_trace(base_trace, [0], [1])
+    checks = []
+    for aggressor in aggressors:
+        duel = _mixed_trace(aggressor, reno, link, steps)
+        verdict = theorems.AggressivenessVerdict(
+            p_name=aggressor.name,
+            q_name=reno.name,
+            p_goodput=float(duel.tail(0.5).mean_goodput()[0]),
+            q_goodput=float(duel.tail(0.5).mean_goodput()[1]),
+        )
+        if not verdict.p_more_aggressive:
+            checks.append(
+                TheoremCheck(
+                    statement="Theorem 4 (precondition)",
+                    instance=f"{aggressor.name} vs Reno",
+                    expected="aggressor outperforms Reno",
+                    observed=f"goodputs {verdict.p_goodput:.1f} vs {verdict.q_goodput:.1f}",
+                    holds=False,
+                )
+            )
+            continue
+        transfer = _mixed_trace(friendly, aggressor, link, steps)
+        alpha_q = friendliness_from_trace(transfer, [0], [1])
+        required = theorems.theorem4_transfer(alpha)
+        checks.append(
+            TheoremCheck(
+                statement="Theorem 4",
+                instance=f"{friendly.name} toward {aggressor.name}",
+                expected=f"friendliness >= TCP-friendliness {required:.3f}",
+                observed=f"measured {alpha_q:.3f}",
+                holds=alpha_q >= required * 0.9 - 0.02,
+            )
+        )
+    return checks
+
+
+def check_theorem5(base_link: Link, steps: int = 4000,
+                   buffer_ratios: tuple[float, ...] = (1.0, 2.0, 4.0)) -> list[TheoremCheck]:
+    """Reno starves the Vegas-like latency-avoider; worse with deeper buffers."""
+    checks = []
+    shares = []
+    for ratio in buffer_ratios:
+        link = Link(
+            bandwidth=base_link.bandwidth,
+            theta=base_link.theta,
+            buffer_size=ratio * base_link.capacity,
+        )
+        trace = _mixed_trace(AIMD(1.0, 0.5), VegasLike(gamma=0.2), link, steps)
+        share = friendliness_from_trace(trace, [0], [1])
+        shares.append(share)
+        checks.append(
+            TheoremCheck(
+                statement="Theorem 5",
+                instance=f"Reno vs Vegas-like, buffer {ratio:g}x C",
+                expected="latency-avoider's share ~ 0",
+                observed=f"share {share:.4f}",
+                holds=theorems.theorem5_holds(1.0, share, tolerance=0.1),
+            )
+        )
+    checks.append(
+        TheoremCheck(
+            statement="Theorem 5 (trend)",
+            instance="buffer sweep",
+            expected="share does not grow with buffer depth",
+            observed=f"shares {['%.4f' % s for s in shares]}",
+            holds=shares[-1] <= shares[0] + 0.02,
+        )
+    )
+    return checks
+
+
+def run_claims(link: Link | None = None, steps: int = 4000) -> ClaimsResult:
+    """Run every Section 4 demonstration."""
+    link = link or Link.from_mbps(20, 42, 100)
+    result = ClaimsResult()
+    result.checks.extend(check_claim1(link, steps))
+    result.checks.extend(check_theorem1(link, steps))
+    result.checks.extend(check_theorem2(link, steps))
+    result.checks.extend(check_theorem3(steps=max(steps, 6000)))
+    result.checks.extend(check_theorem4(link, steps))
+    result.checks.extend(check_theorem5(link, steps))
+    return result
+
+
+def render_claims(result: ClaimsResult, markdown: bool = False) -> str:
+    """Tabular rendering of all theorem demonstrations."""
+    table = Table(
+        title="Section 4 derivations, demonstrated in the fluid model",
+        headers=["Statement", "Instance", "Expected", "Observed", "Holds"],
+    )
+    for check in result.checks:
+        table.add_row(
+            check.statement, check.instance, check.expected, check.observed,
+            check.holds,
+        )
+    rendered = table.to_markdown() if markdown else table.to_text()
+    verdict = "ALL HOLD" if result.all_hold else (
+        f"{len(result.failures())} FAILED"
+    )
+    return f"{rendered}\n{verdict}"

@@ -1,0 +1,339 @@
+"""Experiment: the Section 5.1 testbed validation (Emulab substitute).
+
+The paper validates Table 1 on Emulab with Linux TCP Reno, Cubic and
+Scalable: 2-4 connections on one link, bandwidths 20/30/60/100 Mbps,
+buffers 10/100 MSS, RTT 42 ms — checking that, per metric, the measured
+*hierarchy* over the protocols matches the theory. We reproduce this on
+the packet-level simulator (see DESIGN.md for the substitution argument).
+
+Per configuration cell and protocol we run:
+
+- a homogeneous scenario (n flows of the protocol) measuring efficiency
+  (utilization), loss rate, fairness (min/max tail throughput) and
+  convergence (window-band alpha), and
+- a mixed scenario (n-1 protocol flows + 1 Reno flow) measuring
+  TCP-friendliness (Reno's tail throughput over the worst protocol
+  flow's).
+
+The verdict compares, for every metric and every protocol pair the theory
+strictly orders, the measured order against the theoretical one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.stats import convergence_alpha, min_over_max
+from repro.core.theory import table1
+from repro.experiments.report import Table
+from repro.model import units
+from repro.packetsim.scenario import PacketScenario, run_scenario
+from repro.protocols import presets
+from repro.protocols.base import Protocol
+
+PAPER_RTT_MS = 42.0
+
+#: Metrics validated at packet level, with orientation (True = larger better).
+EMULAB_METRICS: dict[str, bool] = {
+    "efficiency": True,
+    "loss_avoidance": False,
+    "fairness": True,
+    "convergence": True,
+    "tcp_friendliness": True,
+}
+
+
+def kernel_cubic_c_per_round(rtt_ms: float, c_kernel: float = 0.4) -> float:
+    """The per-RTT-round Cubic scaling factor matching the Linux kernel.
+
+    The kernel's window curve ``W(t) = C (t - K)^3 + W_max`` runs in
+    *seconds* with ``C = 0.4``; the paper's model counts RTT-sized steps.
+    Substituting ``t = T * rtt`` gives ``W(T) = (C * rtt^3) (T - K')^3 +
+    W_max``, i.e. a per-round scaling of ``C * rtt^3``. Using the raw 0.4
+    per round (as a naive reading of "CUBIC(0.4, 0.8)" would) makes the
+    sawtooth period a mere ~4 RTTs and the loss overshoot enormous — not
+    the protocol the paper's testbed ran.
+    """
+    if rtt_ms <= 0:
+        raise ValueError(f"rtt_ms must be positive, got {rtt_ms}")
+    return c_kernel * (rtt_ms / 1e3) ** 3
+
+
+def default_protocols(rtt_ms: float = PAPER_RTT_MS) -> dict[str, Protocol]:
+    """The paper's three kernel protocols (Cubic in kernel time-scaling)."""
+    from repro.protocols.cubic import CUBIC
+
+    return {
+        "reno": presets.reno(),
+        "cubic": CUBIC(kernel_cubic_c_per_round(rtt_ms), 0.8),
+        "scalable": presets.scalable_mimd(),
+    }
+
+
+def _theory_row(name: str, capacity: float, buffer_size: float, n: int,
+                rtt_ms: float = PAPER_RTT_MS) -> table1.Table1Row:
+    if name == "reno":
+        return table1.aimd_row(1.0, 0.5, capacity, buffer_size, n)
+    if name == "cubic":
+        return table1.cubic_row(
+            kernel_cubic_c_per_round(rtt_ms), 0.8, capacity, buffer_size, n
+        )
+    if name == "scalable":
+        return table1.mimd_row(1.01, 0.875, capacity, buffer_size, n)
+    raise ValueError(f"no Table 1 row for protocol {name!r}")
+
+
+@dataclass
+class CellMeasurement:
+    """Measured metric scores for one protocol in one configuration cell."""
+
+    protocol: str
+    efficiency: float
+    loss_avoidance: float
+    fairness: float
+    convergence: float
+    tcp_friendliness: float
+
+    def score(self, metric: str) -> float:
+        return float(getattr(self, metric))
+
+
+@dataclass(frozen=True)
+class HierarchyCheck:
+    """One theory-ordered (metric, pair, cell) comparison."""
+
+    cell: str
+    metric: str
+    better: str
+    worse: str
+    agrees: bool
+
+
+@dataclass
+class EmulabResult:
+    """All cells' measurements and the hierarchy verdicts."""
+
+    measurements: dict[str, list[CellMeasurement]] = field(default_factory=dict)
+    checks: list[HierarchyCheck] = field(default_factory=list)
+
+    @property
+    def agreement(self) -> float:
+        if not self.checks:
+            return 1.0
+        return sum(1 for c in self.checks if c.agrees) / len(self.checks)
+
+    def disagreements(self) -> list[HierarchyCheck]:
+        return [c for c in self.checks if not c.agrees]
+
+    def agreement_by_metric(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for metric in EMULAB_METRICS:
+            relevant = [c for c in self.checks if c.metric == metric]
+            if relevant:
+                out[metric] = sum(1 for c in relevant if c.agrees) / len(relevant)
+        return out
+
+    def to_jsonable(self) -> dict:
+        return {
+            "agreement": self.agreement,
+            "agreement_by_metric": self.agreement_by_metric(),
+            "cells": {
+                cell: [
+                    {
+                        "protocol": m.protocol,
+                        "efficiency": m.efficiency,
+                        "loss_avoidance": m.loss_avoidance,
+                        "fairness": m.fairness,
+                        "convergence": m.convergence,
+                        "tcp_friendliness": m.tcp_friendliness,
+                    }
+                    for m in cell_measurements
+                ]
+                for cell, cell_measurements in self.measurements.items()
+            },
+        }
+
+
+def measure_cell(
+    name: str,
+    protocol: Protocol,
+    n: int,
+    bandwidth_mbps: float,
+    buffer_mss: int,
+    duration: float,
+    rtt_ms: float = PAPER_RTT_MS,
+) -> CellMeasurement:
+    """Run the homogeneous and mixed scenarios for one protocol/cell.
+
+    Flows get a slow-start ramp (as the kernel stacks in the paper's
+    testbed do), so multiplicative-increase protocols reach the operating
+    point within the run.
+    """
+    from repro.protocols.slow_start import SlowStartWrapper
+
+    def ramped(p: Protocol) -> Protocol:
+        return SlowStartWrapper(p)
+
+    # Stagger flow starts by a second each: synchronized starts are a
+    # measure-zero artifact the paper's testbed never sees, and they mask
+    # MIMD's ratio-preserving unfairness (late MIMD joiners stay starved;
+    # AIMD/CUBIC converge toward equal shares).
+    stagger = [i * 1.0 for i in range(n)]
+    homogeneous = run_scenario(
+        PacketScenario.from_mbps(
+            bandwidth_mbps, rtt_ms, buffer_mss, [ramped(protocol)] * n,
+            duration=duration, start_times=stagger,
+        )
+    )
+    throughputs = homogeneous.throughputs()
+    start, stop = homogeneous.measurement_window()
+    convergence_scores = []
+    for flow in homogeneous.flows:
+        tail_windows = [w for t, w in flow.window_samples if start <= t < stop]
+        if tail_windows:
+            convergence_scores.append(convergence_alpha(np.asarray(tail_windows)))
+    mixed = run_scenario(
+        PacketScenario.from_mbps(
+            bandwidth_mbps,
+            rtt_ms,
+            buffer_mss,
+            [ramped(protocol)] * (n - 1) + [ramped(presets.reno())],
+            duration=duration,
+            start_times=stagger,
+        )
+    )
+    mixed_rates = mixed.throughputs()
+    reno_rate = mixed_rates[-1]
+    protocol_rate = max(mixed_rates[:-1])
+    friendliness = reno_rate / protocol_rate if protocol_rate > 0 else math.inf
+    return CellMeasurement(
+        protocol=name,
+        efficiency=float(
+            sum(throughputs)
+            / units.mbps_to_mss_per_second(bandwidth_mbps)
+        ),
+        loss_avoidance=float(np.mean(homogeneous.tail_loss_rates())),
+        fairness=min_over_max(np.asarray(throughputs)),
+        convergence=float(np.mean(convergence_scores)) if convergence_scores else math.nan,
+        tcp_friendliness=float(friendliness),
+    )
+
+
+def run_emulab(
+    ns: tuple[int, ...] = (2, 4),
+    bandwidths_mbps: tuple[float, ...] = (20, 60),
+    buffers_mss: tuple[int, ...] = (10, 100),
+    duration: float = 20.0,
+    protocols: dict[str, Protocol] | None = None,
+    empirical_tol: float = 0.05,
+) -> EmulabResult:
+    """Run the validation grid and compare hierarchies against theory.
+
+    The default grid is a representative subset of the paper's (which is
+    ``ns=(2, 3, 4)``, ``bandwidths=(20, 30, 60, 100)``); pass the full
+    tuple to reproduce every cell at higher runtime.
+    """
+    protocols = protocols or default_protocols()  # kernel-scaled Cubic
+    result = EmulabResult()
+    for n in ns:
+        for bw in bandwidths_mbps:
+            for buf in buffers_mss:
+                cell_name = f"n={n},bw={bw:g}Mbps,buf={buf}"
+                cell = [
+                    measure_cell(name, proto, n, bw, buf, duration)
+                    for name, proto in protocols.items()
+                ]
+                result.measurements[cell_name] = cell
+                capacity = units.bdp_mss(bw, PAPER_RTT_MS)
+                rows = {
+                    m.protocol: _theory_row(m.protocol, capacity, buf, n)
+                    for m in cell
+                }
+                result.checks.extend(
+                    _hierarchy_checks(cell_name, cell, rows, empirical_tol)
+                )
+    return result
+
+
+def _hierarchy_checks(
+    cell_name: str,
+    cell: list[CellMeasurement],
+    rows: dict[str, table1.Table1Row],
+    empirical_tol: float,
+) -> list[HierarchyCheck]:
+    checks = []
+    for metric, larger_better in EMULAB_METRICS.items():
+        sign = 1.0 if larger_better else -1.0
+        for i, first in enumerate(cell):
+            for second in cell[i + 1:]:
+                t1 = sign * rows[first.protocol].score(metric)
+                t2 = sign * rows[second.protocol].score(metric)
+                t1 = math.copysign(1e18, t1) if math.isinf(t1) else t1
+                t2 = math.copysign(1e18, t2) if math.isinf(t2) else t2
+                if math.isnan(t1) or math.isnan(t2):
+                    continue
+                # Theory near-ties carry no ordinal information at packet
+                # granularity: skip pairs the theory separates by less than
+                # 0.02 absolute or 20% relative.
+                if abs(t1 - t2) <= max(0.02, 0.2 * max(abs(t1), abs(t2))):
+                    continue
+                better, worse = (first, second) if t1 > t2 else (second, first)
+                e_better = sign * better.score(metric)
+                e_worse = sign * worse.score(metric)
+                if math.isnan(e_better) or math.isnan(e_worse):
+                    continue
+                # Agreement allows both an absolute and a relative slack —
+                # per-run noise scales with the measured magnitude.
+                slack = max(empirical_tol, 0.15 * abs(e_worse))
+                checks.append(
+                    HierarchyCheck(
+                        cell=cell_name,
+                        metric=metric,
+                        better=better.protocol,
+                        worse=worse.protocol,
+                        agrees=e_better >= e_worse - slack,
+                    )
+                )
+    return checks
+
+
+def render_emulab(result: EmulabResult, markdown: bool = False) -> str:
+    """Per-cell measurements plus the hierarchy-agreement summary."""
+    blocks = []
+    for cell_name, cell in result.measurements.items():
+        table = Table(
+            title=f"Packet-level measurements [{cell_name}]",
+            headers=[
+                "protocol",
+                "efficiency",
+                "loss",
+                "fairness",
+                "convergence",
+                "tcp-friendliness",
+            ],
+        )
+        for m in cell:
+            table.add_row(
+                m.protocol,
+                m.efficiency,
+                m.loss_avoidance,
+                m.fairness,
+                m.convergence,
+                m.tcp_friendliness,
+            )
+        blocks.append(table.to_markdown() if markdown else table.to_text())
+    summary = [
+        f"Hierarchy agreement: {result.agreement:.1%} over {len(result.checks)} "
+        "theory-ordered (metric, pair, cell) comparisons",
+    ]
+    for metric, value in result.agreement_by_metric().items():
+        summary.append(f"  {metric}: {value:.1%}")
+    for check in result.disagreements():
+        summary.append(
+            f"  DISAGREES [{check.cell}] {check.metric}: expected "
+            f"{check.better} >= {check.worse}"
+        )
+    return "\n\n".join(blocks) + "\n\n" + "\n".join(summary)

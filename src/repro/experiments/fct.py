@@ -1,0 +1,135 @@
+"""Experiment: flow-completion times under different background protocols.
+
+Connects the axioms to user-visible performance: a Poisson stream of
+short TCP transfers shares the link with one long-lived background flow,
+and the background protocol's TCP-friendliness (Metric VII) should
+predict how badly the short flows suffer. The measured FCT ordering —
+no background < Reno < Cubic < Robust-AIMD < PCC-like — mirrors the
+friendliness ordering exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.experiments.report import Table
+from repro.model.link import Link
+from repro.packetsim.workload import poisson_workload, run_workload
+from repro.protocols import presets
+from repro.protocols.base import Protocol
+
+
+def default_backgrounds() -> dict[str, Callable[[], Protocol] | None]:
+    """Background protocols ordered by decreasing TCP-friendliness."""
+    from repro.experiments.emulab import kernel_cubic_c_per_round
+    from repro.protocols.cubic import CUBIC
+
+    return {
+        "none": None,
+        "reno": presets.reno,
+        "cubic": lambda: CUBIC(kernel_cubic_c_per_round(42.0), 0.8),
+        "robust-aimd": presets.robust_aimd_paper,
+        "pcc-like": presets.pcc_like,
+    }
+
+
+@dataclass(frozen=True)
+class FctRow:
+    """Outcome for one background protocol."""
+
+    background: str
+    completed: int
+    offered: int
+    mean_fct: float
+    median_fct: float
+    p99_fct: float
+    retransmissions: int
+
+
+@dataclass
+class FctResult:
+    """The full study."""
+
+    rows: list[FctRow] = field(default_factory=list)
+
+    def ordering(self) -> list[str]:
+        """Background names sorted by mean FCT (least harmful first)."""
+        return [r.background for r in sorted(self.rows, key=lambda r: r.mean_fct)]
+
+    def row(self, background: str) -> FctRow:
+        for row in self.rows:
+            if row.background == background:
+                return row
+        raise KeyError(f"no row for background {background!r}")
+
+    def to_jsonable(self) -> dict:
+        return {
+            "rows": [
+                {
+                    "background": r.background,
+                    "completed": r.completed,
+                    "offered": r.offered,
+                    "mean_fct": r.mean_fct,
+                    "median_fct": r.median_fct,
+                    "p99_fct": r.p99_fct,
+                    "retransmissions": r.retransmissions,
+                }
+                for r in self.rows
+            ]
+        }
+
+
+def run_fct_study(
+    link: Link | None = None,
+    backgrounds: dict[str, Callable[[], Protocol] | None] | None = None,
+    rate_per_s: float = 1.5,
+    mean_size: int = 60,
+    arrival_window: float = 30.0,
+    duration: float = 40.0,
+    seed: int = 42,
+) -> FctResult:
+    """Run the study for each background protocol over the same workload."""
+    link = link or Link.from_mbps(20, 42, 100)
+    backgrounds = backgrounds or default_backgrounds()
+    result = FctResult()
+    for name, factory in backgrounds.items():
+        specs = poisson_workload(
+            rate_per_s=rate_per_s, mean_size=mean_size,
+            duration=arrival_window, protocol=presets.reno(), seed=seed,
+        )
+        background = [factory()] if factory is not None else []
+        outcome = run_workload(link, specs, duration=duration,
+                               background=background)
+        result.rows.append(
+            FctRow(
+                background=name,
+                completed=outcome.completed,
+                offered=len(specs),
+                mean_fct=outcome.mean_fct(),
+                median_fct=outcome.percentile_fct(0.5),
+                p99_fct=outcome.percentile_fct(0.99),
+                retransmissions=outcome.total_retransmissions(),
+            )
+        )
+    return result
+
+
+def render_fct(result: FctResult, markdown: bool = False) -> str:
+    table = Table(
+        title="Short-flow completion times vs background protocol "
+        "(Poisson Reno transfers)",
+        headers=["background", "completed", "mean FCT (s)", "median (s)",
+                 "p99 (s)", "retransmits"],
+    )
+    for row in result.rows:
+        table.add_row(
+            row.background,
+            f"{row.completed}/{row.offered}",
+            row.mean_fct,
+            row.median_fct,
+            row.p99_fct,
+            row.retransmissions,
+        )
+    rendered = table.to_markdown() if markdown else table.to_text()
+    return f"{rendered}\nleast harmful -> most harmful: {result.ordering()}"

@@ -1,0 +1,82 @@
+"""Plain-text and Markdown table rendering for experiment reports.
+
+The paper reports results as tables (Table 1, Table 2); these helpers
+render our regenerated versions the same way, for terminals and for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def format_cell(value: Any, precision: int = 3) -> str:
+    """Human-friendly rendering of one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value != 0 and abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled grid of cells with a header row."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    precision: int = 3
+
+    def add_row(self, *cells: Any) -> "Table":
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+        return self
+
+    def _rendered(self) -> tuple[list[str], list[list[str]]]:
+        headers = [str(h) for h in self.headers]
+        rows = [[format_cell(c, self.precision) for c in row] for row in self.rows]
+        return headers, rows
+
+    def to_text(self) -> str:
+        """Fixed-width ASCII rendering."""
+        headers, rows = self._rendered()
+        widths = [len(h) for h in headers]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+        separator = "-+-".join("-" * w for w in widths)
+        body = [line(headers), separator] + [line(row) for row in rows]
+        return f"{self.title}\n" + "\n".join(body)
+
+    def to_markdown(self) -> str:
+        """GitHub-flavoured Markdown rendering."""
+        headers, rows = self._rendered()
+        out = [f"**{self.title}**", ""]
+        out.append("| " + " | ".join(headers) + " |")
+        out.append("|" + "|".join("---" for _ in headers) + "|")
+        for row in rows:
+            out.append("| " + " | ".join(row) + " |")
+        return "\n".join(out)
+
+
+def render_table(table: Table, markdown: bool = False) -> str:
+    """Render a table in the requested flavour."""
+    return table.to_markdown() if markdown else table.to_text()

@@ -1,0 +1,71 @@
+"""JSON persistence for experiment results.
+
+Experiment drivers return dataclass results; these helpers serialize the
+structured content (plus free-form metadata) so runs can be archived and
+compared. Only JSON-representable content is stored — results expose a
+``to_jsonable`` or are plain dicts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+
+def _sanitize(value: Any) -> Any:
+    """Recursively convert a result payload to strict-JSON-safe values.
+
+    NaN/inf are not valid JSON; encode them as strings the loader can
+    recognize.
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize(v) for v in value]
+    if hasattr(value, "to_jsonable"):
+        return _sanitize(value.to_jsonable())
+    if hasattr(value, "as_dict"):
+        return _sanitize(value.as_dict())
+    raise TypeError(f"cannot serialize {type(value).__name__} to JSON")
+
+
+def _restore(value: Any) -> Any:
+    """Inverse of :func:`_sanitize` for the special float encodings."""
+    if value == "NaN":
+        return math.nan
+    if value == "Infinity":
+        return math.inf
+    if value == "-Infinity":
+        return -math.inf
+    if isinstance(value, dict):
+        return {k: _restore(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_restore(v) for v in value]
+    return value
+
+
+def save_result(payload: Any, path: str | Path) -> Path:
+    """Write a result payload as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(_sanitize(payload), handle, indent=2, allow_nan=False)
+        handle.write("\n")
+    return path
+
+
+def load_result(path: str | Path) -> Any:
+    """Load a payload previously written by :func:`save_result`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        return _restore(json.load(handle))

@@ -1,0 +1,118 @@
+"""Generic parameter-sweep infrastructure.
+
+Experiments in this reproduction are mostly grids: protocols x links x
+sender counts, reduced to per-cell scalars. :class:`Sweep` runs the cross
+product of named parameter axes through a measurement function, collects
+:class:`SweepRow` records, and offers group-by aggregation — enough to
+express Table 2-style grids, ablations, and user studies in a few lines::
+
+    sweep = Sweep(
+        axes={"bw": [20, 60], "n": [2, 4]},
+        measure=lambda bw, n: my_measurement(bw, n),
+    )
+    rows = sweep.run()
+    best = sweep.aggregate(rows, by=("bw",), reduce=max)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.experiments.report import Table
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One grid cell: the parameter assignment and its measured value."""
+
+    parameters: tuple[tuple[str, Any], ...]
+    value: Any
+
+    def parameter(self, name: str) -> Any:
+        for key, value in self.parameters:
+            if key == name:
+                return value
+        raise KeyError(f"no parameter {name!r} in this row")
+
+    def as_dict(self) -> dict[str, Any]:
+        out = dict(self.parameters)
+        out["value"] = self.value
+        return out
+
+
+@dataclass
+class Sweep:
+    """A cross-product sweep of named axes through a measurement function.
+
+    ``measure`` receives each axis as a keyword argument. Exceptions
+    propagate by default; pass ``skip_errors=True`` to record failed
+    cells as ``None`` values instead (the error message goes into
+    ``errors``).
+    """
+
+    axes: Mapping[str, Sequence[Any]]
+    measure: Callable[..., Any]
+    skip_errors: bool = False
+    errors: list[tuple[dict[str, Any], str]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("at least one axis is required")
+        for name, values in self.axes.items():
+            if len(values) == 0:
+                raise ValueError(f"axis {name!r} has no values")
+
+    def cells(self) -> Iterable[dict[str, Any]]:
+        """All parameter assignments, in deterministic axis order."""
+        names = list(self.axes)
+        for combo in itertools.product(*(self.axes[name] for name in names)):
+            yield dict(zip(names, combo))
+
+    def size(self) -> int:
+        """Number of grid cells."""
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def run(self) -> list[SweepRow]:
+        """Measure every cell."""
+        rows: list[SweepRow] = []
+        for cell in self.cells():
+            try:
+                value = self.measure(**cell)
+            except Exception as exc:  # noqa: BLE001 - reported, not hidden
+                if not self.skip_errors:
+                    raise
+                self.errors.append((cell, f"{type(exc).__name__}: {exc}"))
+                value = None
+            rows.append(SweepRow(parameters=tuple(cell.items()), value=value))
+        return rows
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def aggregate(
+        rows: Sequence[SweepRow],
+        by: Sequence[str],
+        reduce: Callable[[list[Any]], Any],
+    ) -> dict[tuple[Any, ...], Any]:
+        """Group rows by a subset of axes and reduce each group's values."""
+        groups: dict[tuple[Any, ...], list[Any]] = {}
+        for row in rows:
+            key = tuple(row.parameter(name) for name in by)
+            groups.setdefault(key, []).append(row.value)
+        return {key: reduce(values) for key, values in groups.items()}
+
+    @staticmethod
+    def to_table(rows: Sequence[SweepRow], title: str,
+                 value_label: str = "value") -> Table:
+        """Render rows as a report table (one column per axis, plus value)."""
+        if not rows:
+            raise ValueError("no rows to render")
+        axis_names = [name for name, _ in rows[0].parameters]
+        table = Table(title=title, headers=axis_names + [value_label])
+        for row in rows:
+            table.add_row(*(v for _, v in row.parameters), row.value)
+        return table

@@ -1,0 +1,477 @@
+"""Experiment: regenerate Table 1 (protocol characterization).
+
+For each of the paper's five protocol families (with the paper's canonical
+parameters) this driver evaluates the closed-form Table 1 scores at the
+experiment's link and estimates the same metrics empirically in the fluid
+model. Table 1 mixes two kinds of statement, which we validate
+differently:
+
+- **Predictions** — the nuanced, parameter-dependent expressions
+  (efficiency, loss-avoidance, convergence, fairness, robustness, and the
+  friendliness values where the paper derives actual characterizations).
+  For these we check *measured ~= predicted* within a tolerance, and also
+  validate the per-metric *hierarchy* over protocols — the paper's own
+  Emulab criterion.
+- **Guarantees** — the worst-case angle-bracket bounds, valid across all
+  links. A measurement at one link may legitimately exceed a lower-bound
+  guarantee (e.g. CUBIC's fast-utilization ``<c>`` is its guarantee in
+  degenerate small-window regimes; at any practical link Cubic probes much
+  faster). For these we check the *direction* of the bound.
+
+Fast-utilization is validated per growth class, matching what Table 1
+asserts per family: AIMD/Robust-AIMD witness exactly ``a``; MIMD's growth
+is superlinear (the ``<inf>`` entry); binomial protocols with ``k > 0``
+are sublinear (the ``<0>`` entry); CUBIC's measured value must respect its
+``<c>`` lower-bound guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.characterization import CharacterizationResult, characterize
+from repro.core.metrics import EstimatorConfig
+from repro.core.metrics.fast_utilization import estimate_unconstrained_growth
+from repro.core.metrics.vector import LOWER_IS_BETTER, METRIC_ORDER
+from repro.core.theory.theorems import theorem2_friendliness_bound
+from repro.experiments.report import Table
+from repro.model.link import Link
+from repro.protocols import presets
+from repro.protocols.aimd import AIMD
+from repro.protocols.base import Protocol
+from repro.protocols.binomial import BIN
+from repro.protocols.cubic import CUBIC
+from repro.protocols.mimd import MIMD
+from repro.protocols.robust_aimd import RobustAIMD
+
+#: Metrics whose nuanced Table 1 values are genuine predictions at a given
+#: link, and which therefore support the ordinal (hierarchy) validation.
+PREDICTION_METRICS = (
+    "efficiency",
+    "loss_avoidance",
+    "fairness",
+    "convergence",
+    "robustness",
+    "tcp_friendliness",
+)
+
+
+def paper_protocols() -> list[Protocol]:
+    """The five Table 1 protagonists with the paper's parameters."""
+    return [
+        presets.reno(),
+        presets.scalable_mimd(),
+        presets.iiad(),
+        presets.cubic(),
+        presets.robust_aimd_paper(),
+    ]
+
+
+@dataclass(frozen=True)
+class PredictionCheck:
+    """Measured vs predicted for one (protocol, metric)."""
+
+    protocol: str
+    metric: str
+    predicted: float
+    measured: float
+    kind: str  # "two-sided", "upper-bound", "lower-bound", "class"
+    holds: bool
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class PairCheck:
+    """One theory-ordered protocol pair checked against measurement."""
+
+    metric: str
+    better: str
+    worse: str
+    agrees: bool
+
+
+@dataclass
+class Table1Result:
+    """Everything needed to print and validate Table 1."""
+
+    link: Link
+    n_senders: int
+    characterizations: list[CharacterizationResult]
+    prediction_checks: list[PredictionCheck] = field(default_factory=list)
+    pair_checks: list[PairCheck] = field(default_factory=list)
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of theory-ordered pairs the measurements confirm."""
+        if not self.pair_checks:
+            return 1.0
+        return sum(1 for c in self.pair_checks if c.agrees) / len(self.pair_checks)
+
+    @property
+    def predictions_hold(self) -> float:
+        if not self.prediction_checks:
+            return 1.0
+        return sum(1 for c in self.prediction_checks if c.holds) / len(
+            self.prediction_checks
+        )
+
+    def failures(self) -> list[PredictionCheck]:
+        return [c for c in self.prediction_checks if not c.holds]
+
+    def disagreements(self) -> list[PairCheck]:
+        return [c for c in self.pair_checks if not c.agrees]
+
+    def to_jsonable(self) -> dict:
+        return {
+            "link": self.link.describe(),
+            "n_senders": self.n_senders,
+            "hierarchy_agreement": self.agreement,
+            "predictions_hold": self.predictions_hold,
+            "protocols": {
+                c.protocol: {
+                    "empirical": c.empirical.as_dict(),
+                    "theory_worst": c.theoretical.worst_case.as_dict()
+                    if c.theoretical
+                    else None,
+                    "theory_nuanced": c.theoretical.nuanced if c.theoretical else None,
+                }
+                for c in self.characterizations
+            },
+            "prediction_checks": [
+                {
+                    "protocol": c.protocol,
+                    "metric": c.metric,
+                    "predicted": c.predicted,
+                    "measured": c.measured,
+                    "kind": c.kind,
+                    "holds": c.holds,
+                }
+                for c in self.prediction_checks
+            ],
+            "pair_checks": [
+                {
+                    "metric": c.metric,
+                    "better": c.better,
+                    "worse": c.worse,
+                    "agrees": c.agrees,
+                }
+                for c in self.pair_checks
+            ],
+        }
+
+
+# ----------------------------------------------------------------------
+# Per-protocol prediction / guarantee checks
+# ----------------------------------------------------------------------
+def _close(measured: float, predicted: float, abs_tol: float,
+           rel_tol: float) -> bool:
+    return abs(measured - predicted) <= max(abs_tol, rel_tol * abs(predicted))
+
+
+def _prediction_checks_for(
+    result: CharacterizationResult, protocol: Protocol, link: Link, n: int
+) -> list[PredictionCheck]:
+    row = result.theoretical
+    if row is None:
+        return []
+    checks: list[PredictionCheck] = []
+    name = result.protocol
+    emp = result.empirical
+
+    # Efficiency: capped utilization vs the nuanced min(1, ...) expression.
+    measured_eff = min(1.0, emp.efficiency)
+    predicted_eff = row.score("efficiency")
+    checks.append(
+        PredictionCheck(
+            protocol=name, metric="efficiency", predicted=predicted_eff,
+            measured=measured_eff, kind="two-sided",
+            holds=_close(measured_eff, predicted_eff, 0.1, 0.15),
+        )
+    )
+
+    # Loss-avoidance: nuanced overshoot formula.
+    predicted_loss = row.score("loss_avoidance")
+    checks.append(
+        PredictionCheck(
+            protocol=name, metric="loss_avoidance", predicted=predicted_loss,
+            measured=emp.loss_avoidance, kind="two-sided",
+            holds=_close(emp.loss_avoidance, predicted_loss, 0.01, 0.6),
+        )
+    )
+
+    # Convergence: the sawtooth band alpha.
+    predicted_conv = row.score("convergence")
+    checks.append(
+        PredictionCheck(
+            protocol=name, metric="convergence", predicted=predicted_conv,
+            measured=emp.convergence, kind="two-sided",
+            holds=_close(emp.convergence, predicted_conv, 0.1, 0.15),
+        )
+    )
+
+    # Fairness: 1 for the equalizing families, 0 (ratio-preserving) for MIMD.
+    predicted_fair = row.worst_case.fairness
+    if predicted_fair >= 1.0:
+        fair_holds = emp.fairness >= 0.85
+    else:
+        fair_holds = emp.fairness <= 0.25
+    checks.append(
+        PredictionCheck(
+            protocol=name, metric="fairness", predicted=predicted_fair,
+            measured=emp.fairness, kind="two-sided", holds=fair_holds,
+        )
+    )
+
+    # Robustness: epsilon for Robust-AIMD, 0 for everyone else.
+    predicted_rob = row.worst_case.robustness
+    checks.append(
+        PredictionCheck(
+            protocol=name, metric="robustness", predicted=predicted_rob,
+            measured=emp.robustness, kind="two-sided",
+            holds=_close(emp.robustness, predicted_rob, 0.005, 0.25),
+        )
+    )
+
+    # TCP-friendliness: family-specific statement type.
+    checks.append(_friendliness_check(name, protocol, row, emp, link, n))
+
+    # Fast-utilization: growth class.
+    checks.append(_fast_utilization_check(name, protocol, emp))
+    return checks
+
+
+def _friendliness_check(name, protocol, row, emp, link: Link, n: int) -> PredictionCheck:
+    predicted = row.score("tcp_friendliness")
+    if isinstance(protocol, RobustAIMD):
+        # Theorem 3's cap binds only when epsilon exceeds the link's loss
+        # quantum; otherwise Robust-AIMD degenerates to AIMD(a, b) and the
+        # Theorem 2 cap applies (see experiments.claims.loss_quantum).
+        quantum = n * protocol.a / (link.pipe_limit + n * protocol.a)
+        t2 = theorem2_friendliness_bound(protocol.a, protocol.b)
+        if protocol.epsilon > quantum:
+            bound, note = max(100.0 * predicted, 0.2 * t2), "T3 regime"
+        else:
+            bound, note = t2 * 1.15 + 0.02, "T2 regime (threshold below quantum)"
+        return PredictionCheck(
+            protocol=name, metric="tcp_friendliness", predicted=bound,
+            measured=emp.tcp_friendliness, kind="upper-bound",
+            holds=emp.tcp_friendliness <= bound, note=note,
+        )
+    if isinstance(protocol, AIMD):
+        return PredictionCheck(
+            protocol=name, metric="tcp_friendliness", predicted=predicted,
+            measured=emp.tcp_friendliness, kind="two-sided",
+            holds=_close(emp.tcp_friendliness, predicted, 0.05, 0.15),
+            note="Theorem 2 tightness",
+        )
+    if isinstance(protocol, CUBIC):
+        return PredictionCheck(
+            protocol=name, metric="tcp_friendliness", predicted=predicted,
+            measured=emp.tcp_friendliness, kind="upper-bound",
+            holds=emp.tcp_friendliness <= predicted * 1.15 + 0.02,
+            note="synchronized fluid losses depress Reno below the nuanced value",
+        )
+    # MIMD and BIN: loose two-sided agreement with the derived values.
+    return PredictionCheck(
+        protocol=name, metric="tcp_friendliness", predicted=predicted,
+        measured=emp.tcp_friendliness, kind="two-sided",
+        holds=_close(emp.tcp_friendliness, predicted, 0.1, 0.6),
+    )
+
+
+def _fast_utilization_check(name, protocol, emp) -> PredictionCheck:
+    """Validate the fast-utilization entry per growth class."""
+    if isinstance(protocol, (RobustAIMD, AIMD)) or (
+        isinstance(protocol, BIN) and protocol.k == 0
+    ):
+        a = protocol.a
+        return PredictionCheck(
+            protocol=name, metric="fast_utilization", predicted=a,
+            measured=emp.fast_utilization, kind="two-sided",
+            holds=_close(emp.fast_utilization, a, 0.05, 0.1),
+            note="additive families witness exactly a",
+        )
+    growth = estimate_unconstrained_growth(protocol, horizon=800)
+    trend = growth.detail["trend"]
+    if isinstance(protocol, MIMD):
+        return PredictionCheck(
+            protocol=name, metric="fast_utilization", predicted=math.inf,
+            measured=growth.score, kind="class",
+            holds=trend == "superlinear",
+            note=f"growth trend: {trend}",
+        )
+    if isinstance(protocol, BIN):  # k > 0
+        return PredictionCheck(
+            protocol=name, metric="fast_utilization", predicted=0.0,
+            measured=growth.score, kind="class",
+            holds=trend == "sublinear" or growth.score < 0.25,
+            note=f"growth trend: {trend}",
+        )
+    if isinstance(protocol, CUBIC):
+        return PredictionCheck(
+            protocol=name, metric="fast_utilization", predicted=protocol.c,
+            measured=growth.score, kind="lower-bound",
+            holds=growth.score >= protocol.c * 0.9,
+            note="<c> is a worst-case guarantee; practical links exceed it",
+        )
+    return PredictionCheck(
+        protocol=name, metric="fast_utilization", predicted=math.nan,
+        measured=growth.score, kind="class", holds=True, note="unclassified",
+    )
+
+
+# ----------------------------------------------------------------------
+# Hierarchy (ordinal) validation over prediction metrics
+# ----------------------------------------------------------------------
+def _oriented(metric: str, value: float) -> float:
+    return -value if metric in LOWER_IS_BETTER else value
+
+
+def _pairwise_checks(
+    results: list[CharacterizationResult],
+    prediction_checks: list[PredictionCheck],
+    metrics: tuple[str, ...] = PREDICTION_METRICS,
+    theory_tol: float = 0.01,
+    empirical_tol: float = 0.05,
+) -> list[PairCheck]:
+    """Check every strictly theory-ordered pair against the measurements.
+
+    Only (protocol, metric) entries validated as two-sided *predictions*
+    participate: upper-bound entries (e.g. CUBIC's and Robust-AIMD's
+    friendliness caps) do not predict the measured value, so they cannot
+    anchor an ordinal comparison.
+    """
+    predictive = {
+        (c.protocol, c.metric)
+        for c in prediction_checks
+        if c.kind == "two-sided"
+    }
+    checks: list[PairCheck] = []
+    for metric in metrics:
+        for i, first in enumerate(results):
+            for second in results[i + 1:]:
+                if first.theoretical is None or second.theoretical is None:
+                    continue
+                if (first.protocol, metric) not in predictive:
+                    continue
+                if (second.protocol, metric) not in predictive:
+                    continue
+                t1 = _oriented(metric, _capped(metric, first.theoretical.score(metric)))
+                t2 = _oriented(metric, _capped(metric, second.theoretical.score(metric)))
+                if math.isnan(t1) or math.isnan(t2) or abs(t1 - t2) <= theory_tol:
+                    continue
+                better, worse = (first, second) if t1 > t2 else (second, first)
+                e_better = _oriented(
+                    metric, _capped(metric, float(getattr(better.empirical, metric)))
+                )
+                e_worse = _oriented(
+                    metric, _capped(metric, float(getattr(worse.empirical, metric)))
+                )
+                if math.isnan(e_better) or math.isnan(e_worse):
+                    continue
+                checks.append(
+                    PairCheck(
+                        metric=metric,
+                        better=better.protocol,
+                        worse=worse.protocol,
+                        agrees=e_better >= e_worse - empirical_tol,
+                    )
+                )
+    return checks
+
+
+def _capped(metric: str, value: float) -> float:
+    """Efficiency saturates at 1 for ordinal purposes (buffer headroom aside)."""
+    if metric == "efficiency":
+        return min(1.0, value)
+    return value
+
+
+# ----------------------------------------------------------------------
+def run_table1(
+    link: Link | None = None,
+    config: EstimatorConfig | None = None,
+    protocols: list[Protocol] | None = None,
+) -> Table1Result:
+    """Characterize the Table 1 protocols and validate predictions + hierarchy."""
+    link = link or Link.from_mbps(20, 42, 100)
+    config = config or EstimatorConfig(steps=4000, n_senders=2)
+    protocols = protocols or paper_protocols()
+    characterizations = []
+    prediction_checks: list[PredictionCheck] = []
+    for protocol in protocols:
+        proto_config = config
+        slow_transient = 1
+        if isinstance(protocol, BIN) and protocol.k > 0:
+            # Sub-linear probing (e.g. IIAD's a/x increments) needs an order
+            # of magnitude more steps to pass its transient.
+            slow_transient = 10
+        elif isinstance(protocol, CUBIC):
+            # Cubic equalizes shares noticeably slower than AIMD.
+            slow_transient = 3
+        if slow_transient > 1:
+            proto_config = EstimatorConfig(
+                steps=config.steps * slow_transient,
+                tail_fraction=config.tail_fraction,
+                n_senders=config.n_senders,
+                spread_initial_windows=config.spread_initial_windows,
+            )
+        result = characterize(protocol, link, proto_config)
+        characterizations.append(result)
+        prediction_checks.extend(
+            _prediction_checks_for(result, protocol, link, proto_config.n_senders)
+        )
+    pair_checks = _pairwise_checks(characterizations, prediction_checks)
+    return Table1Result(
+        link=link,
+        n_senders=config.n_senders,
+        characterizations=characterizations,
+        prediction_checks=prediction_checks,
+        pair_checks=pair_checks,
+    )
+
+
+def render_table1(result: Table1Result, markdown: bool = False) -> str:
+    """The regenerated Table 1 plus validation summaries."""
+    headers = ["Protocol"] + [m.replace("_", "-") for m in METRIC_ORDER]
+    empirical = Table(
+        title=f"Table 1 (empirical) on {result.link.describe()}, "
+        f"n={result.n_senders}",
+        headers=headers,
+    )
+    theory = Table(title="Table 1 (theory: nuanced where given, else worst-case)",
+                   headers=headers)
+    for c in result.characterizations:
+        scores = c.empirical.as_dict()
+        empirical.add_row(c.protocol, *[scores[m] for m in METRIC_ORDER])
+        if c.theoretical is not None:
+            theory.add_row(
+                c.protocol, *[c.theoretical.score(m) for m in METRIC_ORDER]
+            )
+    validation = Table(
+        title="Prediction / guarantee checks",
+        headers=["Protocol", "Metric", "Kind", "Predicted", "Measured", "Holds"],
+    )
+    for check in result.prediction_checks:
+        validation.add_row(
+            check.protocol, check.metric, check.kind, check.predicted,
+            check.measured, check.holds,
+        )
+    render = (lambda t: t.to_markdown()) if markdown else (lambda t: t.to_text())
+    lines = [
+        render(empirical),
+        "",
+        render(theory),
+        "",
+        render(validation),
+        "",
+        f"Predictions hold: {result.predictions_hold:.1%}; hierarchy agreement: "
+        f"{result.agreement:.1%} of {len(result.pair_checks)} theory-ordered pairs",
+    ]
+    for check in result.disagreements():
+        lines.append(
+            f"  HIERARCHY DISAGREES [{check.metric}] expected "
+            f"{check.better} >= {check.worse}"
+        )
+    return "\n".join(lines)

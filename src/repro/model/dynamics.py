@@ -1,0 +1,239 @@
+"""The fluid-model simulation engine.
+
+Implements the dynamics of Section 2: at each RTT-sized step ``t``, every
+active sender transmits its window ``x_i(t)``; the link computes the loss
+rate ``L(t)`` (droptail) and the step RTT (Eq. (1)) from the aggregate
+``X(t)``; each sender then consults its protocol with its own observation
+to pick ``x_i(t+1)``. The induced dynamic is deterministic given the
+protocols, initial windows and (seeded) loss process, exactly as the paper
+requires.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.model.events import EventSchedule
+from repro.model.link import Link
+from repro.model.random_loss import LossProcess, NoLoss, combine_loss
+from repro.model.sender import Observation, SenderState
+from repro.model.trace import SimulationTrace
+from repro.protocols.base import Protocol
+
+DEFAULT_MAX_WINDOW = 1e9
+"""Default ``M``: effectively unbounded, consistent with the paper's 1 << M."""
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs controlling a fluid simulation.
+
+    Attributes
+    ----------
+    initial_windows:
+        ``x_i(0)`` per sender; defaults to 1 MSS each. The paper reasons
+        about late-joining flows via unequal initial windows — set them
+        here, or use an :class:`EventSchedule` for genuinely delayed starts.
+    min_window / max_window:
+        Window clamp. The paper's windows live in ``{0, ..., M}``; a floor
+        of 1 MSS (the default) keeps multiplicative-decrease protocols
+        live, mirroring real stacks that never shrink below one segment.
+    integer_windows:
+        Round windows to whole MSS after each protocol decision, matching
+        the paper's integral window space. Off by default: the fluid
+        analyses in the paper treat windows as reals.
+    loss_process:
+        Non-congestion loss (Metric VI and robustness experiments).
+    schedule:
+        Staggered sender starts and mid-run link changes.
+    enforce_loss_based:
+        When true (default), protocols whose ``loss_based`` flag is set see
+        a constant placeholder RTT, making it impossible for them to react
+        to latency even by accident — the paper's definition of loss-based
+        ("choice of window-sizes is invariant to the RTT values").
+    unsynchronized_loss:
+        The paper's model gives every sender the same ``L(t)`` each step
+        ("senders experience synchronized feedback"); it names relaxing
+        this as future work. With this flag, a lossy step notifies each
+        sender only with probability ``1 - (1 - L)**x_i`` — the chance at
+        least one of its packets was among the drops — so small flows
+        often sail through a loss event unscathed, as they do in real
+        droptail queues. Seeded and deterministic via ``seed``.
+    """
+
+    initial_windows: Sequence[float] | None = None
+    min_window: float = 1.0
+    max_window: float = DEFAULT_MAX_WINDOW
+    integer_windows: bool = False
+    loss_process: LossProcess = field(default_factory=NoLoss)
+    schedule: EventSchedule = field(default_factory=EventSchedule)
+    enforce_loss_based: bool = True
+    unsynchronized_loss: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_window < 0:
+            raise ValueError(f"min_window must be non-negative, got {self.min_window}")
+        if self.max_window < self.min_window:
+            raise ValueError(
+                f"max_window ({self.max_window}) must be >= min_window ({self.min_window})"
+            )
+
+
+_PLACEHOLDER_RTT = 1.0
+"""RTT shown to loss-based protocols when enforcement is on (arbitrary constant)."""
+
+
+class FluidSimulator:
+    """Runs the discrete-time dynamics of protocols sharing one link.
+
+    Protocol instances are deep-copied at construction, so the same object
+    may safely be passed for several senders::
+
+        sim = FluidSimulator(link, [AIMD(1, 0.5)] * 4)
+    """
+
+    def __init__(
+        self,
+        link: Link,
+        protocols: Sequence[Protocol],
+        config: SimulationConfig | None = None,
+    ) -> None:
+        if not protocols:
+            raise ValueError("at least one sender is required")
+        self.link = link
+        self.protocols: list[Protocol] = [copy.deepcopy(p) for p in protocols]
+        self.config = config or SimulationConfig()
+        n = len(self.protocols)
+        initial = self.config.initial_windows
+        if initial is None:
+            initial = [1.0] * n
+        if len(initial) != n:
+            raise ValueError(
+                f"got {len(initial)} initial windows for {n} senders"
+            )
+        for w in initial:
+            if w < 0 or not math.isfinite(w):
+                raise ValueError(f"initial windows must be finite and non-negative, got {w}")
+        self._initial = [float(w) for w in initial]
+        for event in self.config.schedule.sender_starts:
+            if event.sender >= n:
+                raise ValueError(
+                    f"schedule references sender {event.sender} but only {n} exist"
+                )
+
+    # ------------------------------------------------------------------
+    def run(self, steps: int) -> SimulationTrace:
+        """Simulate ``steps`` RTT-sized time steps and return the trace."""
+        if steps <= 0:
+            raise ValueError(f"steps must be positive, got {steps}")
+        cfg = self.config
+        n = len(self.protocols)
+        rng = np.random.default_rng(cfg.seed) if cfg.unsynchronized_loss else None
+        cfg.loss_process.reset()
+        for protocol in self.protocols:
+            protocol.reset()
+
+        senders = []
+        for i in range(n):
+            start = cfg.schedule.start_for(i)
+            if start is None:
+                senders.append(SenderState(index=i, window=self._clamp(self._initial[i])))
+            else:
+                senders.append(
+                    SenderState(
+                        index=i,
+                        window=self._clamp(start.window),
+                        start_step=start.step,
+                    )
+                )
+
+        windows = np.full((steps, n), np.nan)
+        observed_loss = np.full((steps, n), np.nan)
+        congestion_loss = np.zeros(steps)
+        rtts = np.zeros(steps)
+        capacities = np.zeros(steps)
+        pipe_limits = np.zeros(steps)
+        base_rtts = np.zeros(steps)
+
+        for t in range(steps):
+            link = cfg.schedule.link_at(t, self.link)
+            active = [s for s in senders if s.active(t)]
+            total = sum(s.window for s in active)
+            loss = link.loss_rate(total)
+            rtt = link.rtt(total)
+            ecn = link.mark_fraction(total)
+
+            congestion_loss[t] = loss
+            rtts[t] = rtt
+            capacities[t] = link.capacity
+            pipe_limits[t] = link.pipe_limit
+            base_rtts[t] = link.base_rtt
+
+            for state in active:
+                i = state.index
+                congestion_seen = loss
+                if rng is not None and loss > 0.0:
+                    notice_probability = 1.0 - (1.0 - loss) ** state.window
+                    if rng.random() >= notice_probability:
+                        congestion_seen = 0.0
+                random_loss = cfg.loss_process.rate(t, i)
+                seen = combine_loss(congestion_seen, random_loss)
+                windows[t, i] = state.window
+                observed_loss[t, i] = seen
+                state.record(state.window, seen, rtt)
+
+                protocol = self.protocols[i]
+                obs = state.observation(t)
+                if ecn > 0.0:
+                    obs = replace(obs, ecn_fraction=ecn)
+                if cfg.enforce_loss_based and protocol.loss_based:
+                    obs = replace(
+                        obs, rtt=_PLACEHOLDER_RTT, min_rtt=_PLACEHOLDER_RTT
+                    )
+                state.window = self._clamp(protocol.next_window(obs))
+
+        return SimulationTrace(
+            windows=windows,
+            observed_loss=observed_loss,
+            congestion_loss=congestion_loss,
+            rtts=rtts,
+            capacities=capacities,
+            pipe_limits=pipe_limits,
+            base_rtts=base_rtts,
+        )
+
+    # ------------------------------------------------------------------
+    def _clamp(self, window: float) -> float:
+        """Apply the window clamp (and optional integrality) of the config."""
+        if not math.isfinite(window):
+            raise ValueError(f"protocol produced a non-finite window: {window}")
+        cfg = self.config
+        value = min(max(window, cfg.min_window), cfg.max_window)
+        if cfg.integer_windows:
+            value = float(round(value))
+            value = min(max(value, math.ceil(cfg.min_window)), math.floor(cfg.max_window))
+        return value
+
+
+def run_homogeneous(
+    link: Link,
+    protocol: Protocol,
+    n_senders: int,
+    steps: int,
+    config: SimulationConfig | None = None,
+) -> SimulationTrace:
+    """Convenience wrapper: ``n_senders`` copies of one protocol on a link.
+
+    This is the setting of Metrics I, III, IV, V and VIII ("when all
+    senders employ P").
+    """
+    if n_senders <= 0:
+        raise ValueError(f"n_senders must be positive, got {n_senders}")
+    sim = FluidSimulator(link, [protocol] * n_senders, config)
+    return sim.run(steps)

@@ -1,0 +1,58 @@
+"""Unit conversions between real-world quantities and model units.
+
+The paper's fluid model measures bandwidth in MSS per second, buffers and
+windows in MSS, and time in RTT-sized steps. The experimental sections,
+however, quote real-world parameters (Mbps, milliseconds). This module is
+the single place where those conversions live, so that every experiment
+states its parameters the way the paper does.
+
+The paper's Emulab experiments use a fixed RTT of 42 ms and bandwidths of
+20/30/60/100 Mbps; with the conventional MSS of 1500 bytes, a 20 Mbps link
+with a 42 ms RTT has a bandwidth-delay product ("capacity" ``C`` in the
+paper, i.e. ``B * 2 * Theta``) of 70 MSS.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+DEFAULT_MSS_BYTES = 1500
+"""Maximum segment size assumed throughout, in bytes (standard Ethernet MSS)."""
+
+
+def mbps_to_mss_per_second(mbps: float, mss_bytes: int = DEFAULT_MSS_BYTES) -> float:
+    """Convert a link bandwidth in Mbps to MSS/s (the model's ``B``).
+
+    >>> round(mbps_to_mss_per_second(20))
+    1667
+    """
+    if mbps < 0:
+        raise ValueError(f"bandwidth must be non-negative, got {mbps}")
+    return mbps * 1e6 / (BITS_PER_BYTE * mss_bytes)
+
+
+def mss_per_second_to_mbps(mss_per_s: float, mss_bytes: int = DEFAULT_MSS_BYTES) -> float:
+    """Inverse of :func:`mbps_to_mss_per_second`."""
+    if mss_per_s < 0:
+        raise ValueError(f"rate must be non-negative, got {mss_per_s}")
+    return mss_per_s * BITS_PER_BYTE * mss_bytes / 1e6
+
+
+def bdp_mss(bandwidth_mbps: float, rtt_ms: float, mss_bytes: int = DEFAULT_MSS_BYTES) -> float:
+    """Bandwidth-delay product in MSS — the paper's capacity ``C = B * 2Theta``.
+
+    ``rtt_ms`` is the *round-trip* propagation time, i.e. ``2 * Theta`` in
+    the paper's notation.
+
+    >>> round(bdp_mss(20, 42), 1)
+    70.0
+    """
+    if rtt_ms <= 0:
+        raise ValueError(f"RTT must be positive, got {rtt_ms}")
+    return mbps_to_mss_per_second(bandwidth_mbps, mss_bytes) * (rtt_ms / 1e3)
+
+
+def rtt_ms_to_theta_seconds(rtt_ms: float) -> float:
+    """One-way propagation delay ``Theta`` (seconds) from a round-trip time in ms."""
+    if rtt_ms <= 0:
+        raise ValueError(f"RTT must be positive, got {rtt_ms}")
+    return rtt_ms / 2e3

@@ -1,0 +1,38 @@
+"""Network-wide fluid model: multi-link extension of Section 2.
+
+The paper defers "generalizing our model to capture network-wide protocol
+interaction" to future research; this package implements that extension.
+Flows follow fixed multi-link paths; each link applies the same droptail
+loss-rate and queueing-delay rules as the single-link model, a flow's
+loss combines the per-link losses along its path, and its RTT sums the
+per-link delays. The single-link model is recovered exactly when every
+flow crosses the same one link (tested).
+
+Current limitation: the multi-link engine propagates loss and delay but
+not ECN marks (the single-link extension in ``Link.ecn_threshold``); wire
+that through ``NetworkFluidSimulator`` if you need multi-hop DCTCP.
+
+Pieces:
+
+- :class:`repro.netmodel.topology.Topology` — named links plus flow paths,
+  with builders for the classic shapes (single link, dumbbell,
+  parking lot).
+- :class:`repro.netmodel.dynamics.NetworkFluidSimulator` — the multi-link
+  simulation engine, driving the *same* protocol objects as the
+  single-link simulator.
+- :class:`repro.netmodel.trace.NetworkTrace` — per-flow and per-link time
+  series.
+"""
+
+from repro.netmodel.topology import Topology, dumbbell, parking_lot, single_link
+from repro.netmodel.dynamics import NetworkFluidSimulator
+from repro.netmodel.trace import NetworkTrace
+
+__all__ = [
+    "NetworkFluidSimulator",
+    "NetworkTrace",
+    "Topology",
+    "dumbbell",
+    "parking_lot",
+    "single_link",
+]

@@ -1,0 +1,85 @@
+"""Recorded time series of a network-wide fluid simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class NetworkTrace:
+    """Per-flow and per-link series of a multi-link run.
+
+    Shapes: per-flow arrays are ``(steps, n_flows)``; per-link arrays are
+    ``(steps, n_links)`` with columns ordered by ``link_names``.
+    """
+
+    windows: np.ndarray
+    flow_loss: np.ndarray
+    flow_rtts: np.ndarray
+    link_load: np.ndarray
+    link_loss: np.ndarray
+    link_names: list[str]
+    base_rtts: np.ndarray  # per-flow propagation RTTs (n_flows,)
+
+    def __post_init__(self) -> None:
+        self.windows = np.asarray(self.windows, dtype=float)
+        self.flow_loss = np.asarray(self.flow_loss, dtype=float)
+        self.flow_rtts = np.asarray(self.flow_rtts, dtype=float)
+        self.link_load = np.asarray(self.link_load, dtype=float)
+        self.link_loss = np.asarray(self.link_loss, dtype=float)
+        self.base_rtts = np.asarray(self.base_rtts, dtype=float)
+        steps, n_flows = self.windows.shape
+        if self.flow_loss.shape != (steps, n_flows):
+            raise ValueError("flow_loss shape mismatch")
+        if self.flow_rtts.shape != (steps, n_flows):
+            raise ValueError("flow_rtts shape mismatch")
+        if self.link_load.shape != (steps, len(self.link_names)):
+            raise ValueError("link_load shape mismatch")
+        if self.link_loss.shape != self.link_load.shape:
+            raise ValueError("link_loss shape mismatch")
+        if self.base_rtts.shape != (n_flows,):
+            raise ValueError("base_rtts shape mismatch")
+
+    @property
+    def steps(self) -> int:
+        return self.windows.shape[0]
+
+    @property
+    def n_flows(self) -> int:
+        return self.windows.shape[1]
+
+    def tail(self, fraction: float = 0.5) -> "NetworkTrace":
+        """The final ``fraction`` of the trace."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        start = self.steps - max(1, int(round(self.steps * fraction)))
+        return NetworkTrace(
+            windows=self.windows[start:],
+            flow_loss=self.flow_loss[start:],
+            flow_rtts=self.flow_rtts[start:],
+            link_load=self.link_load[start:],
+            link_loss=self.link_loss[start:],
+            link_names=self.link_names,
+            base_rtts=self.base_rtts,
+        )
+
+    def mean_windows(self) -> np.ndarray:
+        """Per-flow time-average windows."""
+        return self.windows.mean(axis=0)
+
+    def mean_goodput(self) -> np.ndarray:
+        """Per-flow average delivered rate ``x (1 - loss) / rtt`` (MSS/s)."""
+        return (self.windows * (1.0 - self.flow_loss) / self.flow_rtts).mean(axis=0)
+
+    def link_utilization(self, capacities: np.ndarray) -> np.ndarray:
+        """Per-link mean load over capacity."""
+        capacities = np.asarray(capacities, dtype=float)
+        if capacities.shape != (len(self.link_names),):
+            raise ValueError("one capacity per link required")
+        return self.link_load.mean(axis=0) / capacities
+
+    def flow_rtt_inflation(self) -> np.ndarray:
+        """Per-flow mean RTT over its propagation floor."""
+        return self.flow_rtts.mean(axis=0) / self.base_rtts

@@ -1,0 +1,70 @@
+"""Discrete-event core: a clock and a priority queue of callbacks.
+
+Deliberately minimal — the simulator's behaviour lives in the queue and
+host modules; the engine only guarantees deterministic, time-ordered
+execution. Ties in time are broken by insertion order (a monotonically
+increasing sequence number), which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Callable
+
+
+class EventScheduler:
+    """A deterministic discrete-event loop."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at ``now + delay`` (delay >= 0)."""
+        if delay < 0 or not math.isfinite(delay):
+            raise ValueError(f"delay must be finite and non-negative, got {delay}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute time ``when`` (>= now)."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        heapq.heappush(self._heap, (when, next(self._sequence), callback))
+
+    def run_until(self, end_time: float, max_events: int | None = None) -> None:
+        """Process events in time order until ``end_time`` (or the heap drains).
+
+        ``max_events`` is a safety valve against runaway event storms;
+        exceeding it raises rather than silently truncating the run.
+        """
+        if end_time < self._now:
+            raise ValueError(f"end_time {end_time} is before now {self._now}")
+        budget = math.inf if max_events is None else max_events
+        while self._heap and self._heap[0][0] <= end_time:
+            if self._processed >= budget:
+                raise RuntimeError(
+                    f"exceeded max_events={max_events}; possible event storm"
+                )
+            when, _, callback = heapq.heappop(self._heap)
+            self._now = when
+            self._processed += 1
+            callback()
+        self._now = end_time
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)

@@ -1,0 +1,42 @@
+"""Packets exchanged in the packet-level simulator.
+
+Every data packet is one MSS (the model's unit); ACKs are modelled as
+zero-size control messages that only carry timing, so they never queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One MSS-sized data packet.
+
+    Attributes
+    ----------
+    flow_id:
+        Index of the sending flow.
+    sequence:
+        Per-flow sequence number (0-based).
+    sent_at:
+        Simulation time the sender emitted it (seconds).
+    round_index:
+        The sender's RTT-round the packet belongs to; used to aggregate
+        per-round loss rates for the protocol's decision.
+    """
+
+    flow_id: int
+    sequence: int
+    sent_at: float
+    round_index: int
+
+    def __post_init__(self) -> None:
+        if self.flow_id < 0:
+            raise ValueError(f"flow_id must be non-negative, got {self.flow_id}")
+        if self.sequence < 0:
+            raise ValueError(f"sequence must be non-negative, got {self.sequence}")
+        if self.sent_at < 0:
+            raise ValueError(f"sent_at must be non-negative, got {self.sent_at}")
+        if self.round_index < 0:
+            raise ValueError(f"round_index must be non-negative, got {self.round_index}")

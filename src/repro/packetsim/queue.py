@@ -1,0 +1,122 @@
+"""The bottleneck's FIFO droptail queue with serialization.
+
+Packets arriving while the buffer holds ``capacity`` packets are dropped
+(droptail). Queued packets are serialized at the link rate (one MSS takes
+``1 / bandwidth`` seconds) and then handed to a sink callback after the
+one-way propagation delay, which the scenario wires to the receiver.
+Dropped packets are reported to a drop callback so the sender can learn
+of the loss (the scenario delays that notification by one RTT, standing
+in for duplicate-ACK detection).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.packetsim.engine import EventScheduler
+from repro.packetsim.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters and occupancy extremes for one run."""
+
+    enqueued: int = 0
+    dropped: int = 0
+    departed: int = 0
+    max_occupancy: int = 0
+    occupancy_samples: list[tuple[float, int]] = field(default_factory=list)
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of arrivals dropped."""
+        arrivals = self.enqueued + self.dropped
+        return self.dropped / arrivals if arrivals else 0.0
+
+
+class BottleneckQueue:
+    """Droptail FIFO with rate-limited service.
+
+    Parameters
+    ----------
+    scheduler:
+        The shared event loop.
+    bandwidth:
+        Service rate in MSS per second.
+    capacity:
+        Buffer size in packets (the model's ``tau``). The packet currently
+        being serialized does not occupy a buffer slot.
+    on_departure:
+        Called with each packet when its serialization finishes.
+    on_drop:
+        Called with each packet the droptail policy rejects.
+    sample_occupancy:
+        Record (time, occupancy) on every change — useful for latency
+        analyses, off by default to save memory.
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler,
+        bandwidth: float,
+        capacity: int,
+        on_departure: Callable[[Packet], None],
+        on_drop: Callable[[Packet], None],
+        sample_occupancy: bool = False,
+    ) -> None:
+        if bandwidth <= 0 or not math.isfinite(bandwidth):
+            raise ValueError(f"bandwidth must be positive and finite, got {bandwidth}")
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self._scheduler = scheduler
+        self._service_time = 1.0 / bandwidth
+        self.capacity = capacity
+        self._on_departure = on_departure
+        self._on_drop = on_drop
+        self._buffer: deque[Packet] = deque()
+        self._busy = False
+        self._sample = sample_occupancy
+        self.stats = QueueStats()
+
+    @property
+    def occupancy(self) -> int:
+        """Packets currently waiting (excluding the one in service)."""
+        return len(self._buffer)
+
+    def arrive(self, packet: Packet) -> None:
+        """A packet reaches the queue: enqueue or drop."""
+        if len(self._buffer) >= self.capacity and self._busy:
+            self.stats.dropped += 1
+            self._record_occupancy()
+            self._on_drop(packet)
+            return
+        self.stats.enqueued += 1
+        self._buffer.append(packet)
+        self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._buffer))
+        self._record_occupancy()
+        if not self._busy:
+            self._start_service()
+
+    def _start_service(self) -> None:
+        if not self._buffer:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._buffer.popleft()
+        self._record_occupancy()
+
+        def finish() -> None:
+            self.stats.departed += 1
+            self._on_departure(packet)
+            self._start_service()
+
+        self._scheduler.schedule(self._service_time, finish)
+
+    def _record_occupancy(self) -> None:
+        if self._sample:
+            self.stats.occupancy_samples.append(
+                (self._scheduler.now, len(self._buffer))
+            )

@@ -1,0 +1,68 @@
+"""Congestion control protocols formalized in the paper's model.
+
+Each protocol is a deterministic, stateful map from a sender's observation
+history to its next congestion window (Section 2 of the paper):
+
+- :class:`AIMD` — additive-increase / multiplicative-decrease, ``AIMD(a, b)``.
+  ``AIMD(1, 0.5)`` is TCP Reno; ``AIMD(1, 0.875)`` is one of the kernels'
+  renderings of TCP Scalable.
+- :class:`MIMD` — multiplicative-increase / multiplicative-decrease,
+  ``MIMD(a, b)``; ``MIMD(1.01, 0.875)`` is the other rendering of Scalable.
+- :class:`BIN` — the binomial family ``BIN(a, b, k, l)`` of Bansal &
+  Balakrishnan, with the classic IIAD (``k=1, l=0``) and SQRT
+  (``k=l=0.5``) members as presets.
+- :class:`CUBIC` — TCP Cubic's window curve, ``CUBIC(c, b)``.
+- :class:`RobustAIMD` — the paper's new protocol: AIMD stepping driven by a
+  loss-rate *threshold* epsilon (a PCC-style tolerance of non-congestion
+  loss).
+- :class:`PccLike` — a monitor-interval, utility-gradient rate protocol in
+  the spirit of PCC Allegro; the paper's Table 2 comparator.
+- :class:`MimdPccBound` — the paper's stated lower bound on PCC's
+  aggressiveness, ``MIMD(1.01, 0.99)``.
+- :class:`VegasLike` — a latency-avoiding protocol used to exhibit
+  Theorem 5.
+- :class:`ProbeAndHold` — the Claim 1 counterexample: 0-loss but not
+  fast-utilizing.
+- :class:`SlowStartWrapper` — optional slow-start ramp in front of any
+  congestion-avoidance protocol.
+
+Use :func:`make_protocol` to build instances from string specs like
+``"AIMD(1,0.5)"`` (handy for CLIs and sweep configs).
+"""
+
+from repro.protocols.base import Protocol
+from repro.protocols.aimd import AIMD
+from repro.protocols.mimd import MIMD, MimdPccBound
+from repro.protocols.binomial import BIN
+from repro.protocols.cubic import CUBIC
+from repro.protocols.dctcp import DCTCP
+from repro.protocols.highspeed import HighSpeedTcp
+from repro.protocols.ledbat import Ledbat
+from repro.protocols.robust_aimd import RobustAIMD
+from repro.protocols.pcc import PccLike
+from repro.protocols.vegas import VegasLike
+from repro.protocols.probe import ProbeAndHold
+from repro.protocols.slow_start import SlowStartWrapper
+from repro.protocols.registry import available_protocols, make_protocol, register_protocol
+from repro.protocols import presets
+
+__all__ = [
+    "AIMD",
+    "BIN",
+    "CUBIC",
+    "DCTCP",
+    "HighSpeedTcp",
+    "Ledbat",
+    "MIMD",
+    "MimdPccBound",
+    "PccLike",
+    "ProbeAndHold",
+    "Protocol",
+    "RobustAIMD",
+    "SlowStartWrapper",
+    "VegasLike",
+    "available_protocols",
+    "make_protocol",
+    "presets",
+    "register_protocol",
+]

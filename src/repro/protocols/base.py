@@ -1,0 +1,87 @@
+"""The protocol interface of the paper's model.
+
+A congestion control protocol deterministically maps the history of a
+sender's own congestion windows, RTTs and loss rates to the sender's next
+window (Section 2). We realize the history dependence with stateful
+objects: a protocol instance carries whatever summary of its history it
+needs (e.g. CUBIC's window-at-last-loss), and :meth:`Protocol.reset`
+returns it to the initial state so the same instance can be reused across
+runs.
+
+A protocol is *loss-based* if its window choices are invariant to the RTT
+values it observes. The :attr:`Protocol.loss_based` flag declares this, and
+the simulator can enforce it by feeding loss-based protocols a constant
+placeholder RTT.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.model.sender import Observation
+
+
+class Protocol(ABC):
+    """Base class for congestion control protocols in the fluid model."""
+
+    #: Whether the protocol ignores RTT (the paper's "loss-based" property).
+    loss_based: bool = True
+
+    @abstractmethod
+    def next_window(self, obs: Observation) -> float:
+        """The window to use next step, given this step's observation.
+
+        Implementations may update internal state; they must be
+        deterministic functions of the observation history since the last
+        :meth:`reset`.
+        """
+
+    def reset(self) -> None:
+        """Return to the initial state. Default: stateless, nothing to do."""
+        return None
+
+    def clone(self):
+        """A fresh, reset copy of this protocol (parameters preserved)."""
+        import copy
+
+        fresh = copy.deepcopy(self)
+        fresh.reset()
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Display helpers shared by the concrete families
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Short display name, e.g. ``AIMD(1,0.5)``. Defaults to the class name."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def validate_in_range(name: str, value: float, low: float, high: float,
+                      low_open: bool = False, high_open: bool = False) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in the given interval.
+
+    Shared parameter validation for the protocol families; returns the
+    value so constructors can assign directly.
+    """
+    below = value <= low if low_open else value < low
+    above = value >= high if high_open else value > high
+    if below or above:
+        lo = "(" if low_open else "["
+        hi = ")" if high_open else "]"
+        raise ValueError(f"{name} must be in {lo}{low}, {high}{hi}, got {value}")
+    return value
+
+
+def format_params(*values: float) -> str:
+    """Render protocol parameters compactly: ``1`` not ``1.0``, ``0.5`` as is."""
+    parts = []
+    for v in values:
+        if float(v).is_integer():
+            parts.append(str(int(v)))
+        else:
+            parts.append(f"{v:g}")
+    return ",".join(parts)

@@ -1,0 +1,72 @@
+"""The binomial family of Bansal & Balakrishnan — ``BIN(a, b, k, l)``.
+
+Generalizes AIMD with nonlinear window dependence::
+
+    no loss:  x <- x + a / x**k
+    loss:     x <- x - b * x**l
+
+Parameter ranges from the paper: ``a > 0``, ``0 < b <= 1``, ``k >= 0``,
+``l in [0, 1]``. Notable members:
+
+- ``BIN(a, b, 0, 1)`` is exactly ``AIMD(a, 1 - b)``;
+- IIAD (inverse-increase / additive-decrease): ``k = 1, l = 0``;
+- SQRT: ``k = l = 0.5``.
+
+Table 1: ``a``-fast-utilizing iff ``k = 0`` (for ``k > 0`` the increase
+slows as the window grows, so it is 0-fast-utilizing in the worst case);
+TCP-friendliness ``sqrt(3/2) (b/a)^(1/(1+l+k))`` when ``k + l >= 1``
+(the Bansal-Balakrishnan TCP-compatibility condition) and 0 otherwise.
+
+The decrease rule can take the window negative for large ``b`` and small
+windows; the simulator's window floor handles that, but we also clamp to
+zero here so the protocol is well-defined standalone.
+"""
+
+from __future__ import annotations
+
+from repro.model.sender import Observation
+from repro.protocols.base import Protocol, format_params, validate_in_range
+
+
+class BIN(Protocol):
+    """``BIN(a, b, k, l)``: binomial increase/decrease rules."""
+
+    loss_based = True
+
+    def __init__(self, a: float = 1.0, b: float = 0.5, k: float = 1.0, l: float = 0.0) -> None:
+        if a <= 0:
+            raise ValueError(f"increase parameter a must be positive, got {a}")
+        self.a = a
+        self.b = validate_in_range("decrease parameter b", b, 0.0, 1.0, low_open=True)
+        if k < 0:
+            raise ValueError(f"increase exponent k must be non-negative, got {k}")
+        self.k = k
+        self.l = validate_in_range("decrease exponent l", l, 0.0, 1.0)
+
+    def next_window(self, obs: Observation) -> float:
+        x = obs.window
+        if obs.loss_rate > 0.0:
+            return max(0.0, x - self.b * x**self.l)
+        if x <= 0.0:
+            # a/x**k diverges at zero for k > 0; restart from the additive term.
+            return self.a
+        return x + self.a / x**self.k
+
+    @property
+    def name(self) -> str:
+        return f"BIN({format_params(self.a, self.b, self.k, self.l)})"
+
+    def is_tcp_compatible(self) -> bool:
+        """The Bansal-Balakrishnan condition ``k + l >= 1`` for non-zero
+        worst-case TCP-friendliness (see Table 1)."""
+        return self.k + self.l >= 1.0
+
+
+def iiad(a: float = 1.0, b: float = 1.0) -> BIN:
+    """Inverse-increase / additive-decrease: ``BIN(a, b, 1, 0)``."""
+    return BIN(a=a, b=b, k=1.0, l=0.0)
+
+
+def sqrt_protocol(a: float = 1.0, b: float = 0.5) -> BIN:
+    """The SQRT binomial protocol: ``BIN(a, b, 0.5, 0.5)``."""
+    return BIN(a=a, b=b, k=0.5, l=0.5)

@@ -1,0 +1,77 @@
+"""TCP Cubic's window curve — ``CUBIC(c, b)``.
+
+The paper models Cubic in congestion-avoidance mode as::
+
+    no loss:  x(t+1) = x_max + c * (T - K)**3,   K = (x_max (1 - b) / c)**(1/3)
+    loss:     x(t+1) = x_max * b
+
+where ``x_max`` is the window at the last loss, ``T`` counts steps since
+that loss, ``b in (0, 1)`` is the decrease factor and ``c > 0`` the scaling
+factor. The cubic curve passes through ``x_max * b`` at ``T = 0``, plateaus
+at ``x_max`` around ``T = K`` and then accelerates — the familiar concave /
+convex probing shape.
+
+The Linux kernel's Cubic corresponds to ``CUBIC(0.4, 0.8)`` (as used in
+the paper's Emulab experiments), after the paper's normalization of time
+to RTT-sized steps.
+
+State: ``x_max`` and ``T``. Before the first loss we anchor ``x_max`` at
+the first observed window, so the curve provides the initial ramp as well.
+"""
+
+from __future__ import annotations
+
+from repro.model.sender import Observation
+from repro.protocols.base import Protocol, format_params, validate_in_range
+
+
+class CUBIC(Protocol):
+    """``CUBIC(c, b)``: cubic window growth anchored at the last-loss window."""
+
+    loss_based = True
+
+    def __init__(self, c: float = 0.4, b: float = 0.8) -> None:
+        if c <= 0:
+            raise ValueError(f"scaling factor c must be positive, got {c}")
+        self.c = c
+        self.b = validate_in_range("decrease factor b", b, 0.0, 1.0, low_open=True, high_open=True)
+        self._x_max: float | None = None
+        self._steps_since_loss = 0
+
+    def reset(self) -> None:
+        self._x_max = None
+        self._steps_since_loss = 0
+
+    def next_window(self, obs: Observation) -> float:
+        if obs.loss_rate > 0.0:
+            self._x_max = obs.window
+            self._steps_since_loss = 0
+            return self._x_max * self.b
+        if self._x_max is None:
+            # No loss observed yet: anchor the curve at the starting window
+            # so growth begins immediately rather than waiting for a loss.
+            self._x_max = obs.window
+        self._steps_since_loss += 1
+        return self._window_at(self._steps_since_loss)
+
+    def _window_at(self, t: int) -> float:
+        """The cubic curve ``x_max + c (t - K)^3`` evaluated at step ``t``."""
+        assert self._x_max is not None
+        k = (self._x_max * (1.0 - self.b) / self.c) ** (1.0 / 3.0)
+        return self._x_max + self.c * (t - k) ** 3
+
+    @property
+    def inflection_delay(self) -> float:
+        """``K``: steps from a loss until the curve returns to ``x_max``."""
+        if self._x_max is None:
+            return 0.0
+        return (self._x_max * (1.0 - self.b) / self.c) ** (1.0 / 3.0)
+
+    @property
+    def name(self) -> str:
+        return f"CUBIC({format_params(self.c, self.b)})"
+
+
+def cubic_kernel() -> CUBIC:
+    """Linux-kernel Cubic as the paper's Emulab section uses it: ``CUBIC(0.4, 0.8)``."""
+    return CUBIC(0.4, 0.8)

@@ -1,0 +1,60 @@
+"""DCTCP (Alizadeh et al., SIGCOMM 2010): ECN-proportional backoff.
+
+A datacenter-era protocol the axiomatic framework can classify once the
+model is extended with ECN marking (see ``Link(ecn_threshold=K)``): the
+switch marks packets queued beyond the threshold ``K``, and the sender
+maintains an EWMA ``alpha`` of the marked fraction, cutting its window by
+``alpha/2`` per round instead of TCP's blunt halving::
+
+    alpha <- (1 - g) * alpha + g * F        (F = marked fraction this RTT)
+    marked round:  x <- x * (1 - alpha/2)
+    clean round:   x <- x + a
+    loss:          x <- x / 2               (ECN failed; fall back to TCP)
+
+Where it lands in the axiom space (and why it is interesting here): on an
+ECN link it is simultaneously **high-efficiency**, **0-loss** in steady
+state (the queue never reaches the droptail point) *and*
+**latency-avoiding** — a combination Claim 1 forbids for pure loss-based
+protocols and Theorem 5 makes costly. DCTCP escapes because the ECN mark
+is an *early* congestion signal decoupled from both loss and measured
+RTT; it remains ``loss_based`` in the paper's sense (RTT-invariant).
+"""
+
+from __future__ import annotations
+
+from repro.model.sender import Observation
+from repro.protocols.base import Protocol, format_params, validate_in_range
+
+
+class DCTCP(Protocol):
+    """ECN-fraction-proportional window control."""
+
+    loss_based = True  # reads loss and ECN marks, never the RTT
+
+    def __init__(self, a: float = 1.0, g: float = 1.0 / 16.0) -> None:
+        if a <= 0:
+            raise ValueError(f"additive increase a must be positive, got {a}")
+        self.a = a
+        self.g = validate_in_range("EWMA gain g", g, 0.0, 1.0, low_open=True)
+        self._alpha = 0.0
+
+    def reset(self) -> None:
+        self._alpha = 0.0
+
+    @property
+    def alpha(self) -> float:
+        """The current EWMA estimate of the congestion extent."""
+        return self._alpha
+
+    def next_window(self, obs: Observation) -> float:
+        self._alpha = (1.0 - self.g) * self._alpha + self.g * obs.ecn_fraction
+        if obs.loss_rate > 0.0:
+            # ECN failed to prevent overflow: classic TCP response.
+            return obs.window / 2.0
+        if obs.ecn_fraction > 0.0:
+            return obs.window * (1.0 - self._alpha / 2.0)
+        return obs.window + self.a
+
+    @property
+    def name(self) -> str:
+        return f"DCTCP({format_params(self.a, self.g)})"

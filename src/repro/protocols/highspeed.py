@@ -1,0 +1,90 @@
+"""HighSpeed TCP (RFC 3649): window-adaptive AIMD.
+
+HighSpeed TCP generalizes AIMD by making both the increase ``a(w)`` and
+the decrease fraction ``b(w)`` functions of the current window: standard
+TCP behaviour below ``low_window`` (38 MSS in the RFC), growing more
+aggressive log-linearly up to ``high_window`` (83,000 MSS), where it
+decreases by only 10% and increases by ~70 MSS per RTT.
+
+This family is interesting for the axiomatic framework precisely because
+its *scores are window-regime dependent*: on a small-BDP link it is
+1-TCP-friendly by construction (it IS Reno there), while on large-BDP
+links its effective ``a`` grows and Theorem 2 forces its friendliness
+down — a built-in traversal of the Figure 1 frontier.
+
+Implementation follows RFC 3649's response-function construction:
+
+- ``p(w)``: log-log linear between ``(W_L, 1.5e-3)`` and ``(W_H, 1e-7)``
+  (the RFC's Table), giving the loss rate at which the protocol should
+  sustain window ``w``;
+- ``b(w)``: log-linear from 0.5 at ``W_L`` to ``b_high`` (0.1) at ``W_H``;
+- ``a(w) = w^2 p(w) 2 b(w) / (2 - b(w))``, the increase that balances the
+  decrease at the target loss rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.sender import Observation
+from repro.protocols.base import Protocol
+
+
+class HighSpeedTcp(Protocol):
+    """RFC 3649 HighSpeed TCP in the fluid model."""
+
+    loss_based = True
+
+    LOW_WINDOW = 38.0
+    HIGH_WINDOW = 83000.0
+    LOW_P = 1.5e-3
+    HIGH_P = 1.0e-7
+
+    def __init__(self, b_high: float = 0.1) -> None:
+        if not 0.0 < b_high < 0.5:
+            raise ValueError(f"b_high must be in (0, 0.5), got {b_high}")
+        self.b_high = b_high
+
+    # ------------------------------------------------------------------
+    def decrease_fraction(self, window: float) -> float:
+        """``b(w)``: fraction removed on loss (0.5 for standard TCP)."""
+        if window <= self.LOW_WINDOW:
+            return 0.5
+        if window >= self.HIGH_WINDOW:
+            return self.b_high
+        position = (math.log(window) - math.log(self.LOW_WINDOW)) / (
+            math.log(self.HIGH_WINDOW) - math.log(self.LOW_WINDOW)
+        )
+        return 0.5 + (self.b_high - 0.5) * position
+
+    def response_p(self, window: float) -> float:
+        """``p(w)``: the RFC's response-function loss rate at window ``w``."""
+        if window <= self.LOW_WINDOW:
+            return self.LOW_P
+        if window >= self.HIGH_WINDOW:
+            return self.HIGH_P
+        position = (math.log(window) - math.log(self.LOW_WINDOW)) / (
+            math.log(self.HIGH_WINDOW) - math.log(self.LOW_WINDOW)
+        )
+        log_p = math.log(self.LOW_P) + position * (
+            math.log(self.HIGH_P) - math.log(self.LOW_P)
+        )
+        return math.exp(log_p)
+
+    def increase(self, window: float) -> float:
+        """``a(w)``: MSS added per loss-free RTT (1.0 for standard TCP)."""
+        if window <= self.LOW_WINDOW:
+            return 1.0
+        b = self.decrease_fraction(window)
+        a = window**2 * self.response_p(window) * 2.0 * b / (2.0 - b)
+        return max(1.0, a)
+
+    # ------------------------------------------------------------------
+    def next_window(self, obs: Observation) -> float:
+        if obs.loss_rate > 0.0:
+            return obs.window * (1.0 - self.decrease_fraction(obs.window))
+        return obs.window + self.increase(obs.window)
+
+    @property
+    def name(self) -> str:
+        return f"HSTCP(b_high={self.b_high:g})"

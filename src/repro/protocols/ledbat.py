@@ -1,0 +1,51 @@
+"""LEDBAT (RFC 6817): a "scavenger" delay-based protocol.
+
+LEDBAT targets a fixed queuing-delay budget: it estimates the queuing
+delay as ``RTT - minRTT`` and steers the window proportionally to the gap
+from its ``target`` — ramping while the queue is below target, yielding
+(down to the floor) when above, and halving on loss. Designed to cede the
+link to any loss-based traffic, it is the extreme point of the paper's
+latency-avoidance axis and a second witness (besides the Vegas-like
+protocol) for Theorem 5's incompatibility result.
+
+In the fluid model the step RTT plays the role of LEDBAT's one-way-delay
+samples; ``target`` is expressed in seconds (RFC default 100 ms; tighter
+targets yield lower latency scores and even less competitiveness).
+"""
+
+from __future__ import annotations
+
+from repro.model.sender import Observation
+from repro.protocols.base import Protocol
+
+
+class Ledbat(Protocol):
+    """RFC 6817-style delay-target window control."""
+
+    loss_based = False
+
+    def __init__(self, target: float = 0.1, gain: float = 1.0,
+                 max_ramp: float = 1.0) -> None:
+        if target <= 0:
+            raise ValueError(f"target queuing delay must be positive, got {target}")
+        if gain <= 0:
+            raise ValueError(f"gain must be positive, got {gain}")
+        if max_ramp <= 0:
+            raise ValueError(f"max_ramp must be positive, got {max_ramp}")
+        self.target = target
+        self.gain = gain
+        self.max_ramp = max_ramp
+
+    def next_window(self, obs: Observation) -> float:
+        if obs.loss_rate > 0.0:
+            return obs.window / 2.0
+        queuing_delay = max(0.0, obs.rtt - obs.min_rtt)
+        off_target = (self.target - queuing_delay) / self.target
+        # RFC 6817: per-RTT window change GAIN * off_target, capped at the
+        # slow-start-like ramp of max_ramp MSS per RTT.
+        delta = min(self.max_ramp, self.gain * off_target)
+        return max(0.0, obs.window + delta)
+
+    @property
+    def name(self) -> str:
+        return f"LEDBAT(target={self.target:g}s)"

@@ -1,0 +1,132 @@
+"""A PCC-like utility-gradient protocol (the Table 2 comparator).
+
+PCC (Dong et al., NSDI 2015) divides time into monitor intervals, observes
+the loss rate achieved at a tested sending rate, computes a *utility*, and
+moves its rate in the direction of higher utility. Its default
+("Allegro") utility is loss-based::
+
+    u(x, L) = x * (1 - L) * S(L) - x * L
+    S(L)    = 1 / (1 + exp(alpha * (L - tolerance)))
+
+with ``tolerance ~ 0.05`` and a steep sigmoid: utility collapses once loss
+exceeds ~5%, so PCC pushes until the loss rate approaches the tolerance —
+far past the point where TCP has already backed off. That is why PCC is
+strictly more aggressive than ``MIMD(1.01, 0.99)`` (the paper's phrasing)
+and why the paper builds Robust-AIMD as the friendlier alternative.
+
+Our rendering maps PCC's rate control onto the fluid model's windows: each
+time step is one monitor interval; the sender alternates a probe-up and a
+probe-down interval around its base window, compares the two utilities and
+moves the base window multiplicatively toward the winner (amplitude
+growing with consecutive same-direction moves, like PCC's confidence
+amplification). Deterministic, per the paper's model requirements.
+"""
+
+from __future__ import annotations
+
+import math
+from enum import Enum
+
+from repro.model.sender import Observation
+from repro.protocols.base import Protocol, validate_in_range
+
+
+class _Phase(Enum):
+    PROBE_UP = "probe_up"
+    PROBE_DOWN = "probe_down"
+
+
+def allegro_utility(rate: float, loss: float, tolerance: float = 0.05,
+                    sigmoid_alpha: float = 100.0) -> float:
+    """PCC Allegro's loss-based utility for a monitor interval.
+
+    ``rate`` is the sending rate (here: the window, since step length is
+    one RTT), ``loss`` the observed loss rate.
+    """
+    if rate < 0:
+        raise ValueError(f"rate must be non-negative, got {rate}")
+    if not 0.0 <= loss <= 1.0:
+        raise ValueError(f"loss must be in [0, 1], got {loss}")
+    # Clamp the exponent so extreme loss values cannot overflow exp().
+    exponent = min(700.0, max(-700.0, sigmoid_alpha * (loss - tolerance)))
+    sigmoid = 1.0 / (1.0 + math.exp(exponent))
+    return rate * (1.0 - loss) * sigmoid - rate * loss
+
+
+class PccLike(Protocol):
+    """Monitor-interval utility-gradient congestion control, PCC style.
+
+    Parameters
+    ----------
+    probe:
+        Relative probe amplitude (PCC uses 5%).
+    step:
+        Base multiplicative move per decision (amplified by consecutive
+        same-direction wins, capped at ``max_amplifier``).
+    tolerance, sigmoid_alpha:
+        The Allegro utility's loss tolerance and sigmoid steepness.
+    """
+
+    loss_based = True
+
+    def __init__(
+        self,
+        probe: float = 0.05,
+        step: float = 0.01,
+        tolerance: float = 0.05,
+        sigmoid_alpha: float = 100.0,
+        max_amplifier: int = 3,
+    ) -> None:
+        self.probe = validate_in_range("probe", probe, 0.0, 0.5, low_open=True)
+        self.step = validate_in_range("step", step, 0.0, 0.5, low_open=True)
+        self.tolerance = validate_in_range("tolerance", tolerance, 0.0, 1.0, low_open=True, high_open=True)
+        if sigmoid_alpha <= 0:
+            raise ValueError(f"sigmoid_alpha must be positive, got {sigmoid_alpha}")
+        self.sigmoid_alpha = sigmoid_alpha
+        if max_amplifier < 1:
+            raise ValueError(f"max_amplifier must be >= 1, got {max_amplifier}")
+        self.max_amplifier = max_amplifier
+        self.reset()
+
+    def reset(self) -> None:
+        self._phase = _Phase.PROBE_UP
+        self._base: float | None = None
+        self._utility_up = 0.0
+        self._last_direction = 0
+        self._amplifier = 1
+
+    def _utility(self, obs: Observation) -> float:
+        return allegro_utility(
+            obs.window, obs.loss_rate, self.tolerance, self.sigmoid_alpha
+        )
+
+    def next_window(self, obs: Observation) -> float:
+        if self._base is None:
+            # First observation: adopt the current window as the base and
+            # begin the probe cycle with the up-probe.
+            self._base = obs.window
+            self._phase = _Phase.PROBE_UP
+            return self._base * (1.0 + self.probe)
+
+        if self._phase is _Phase.PROBE_UP:
+            # The step just observed carried the up-probe.
+            self._utility_up = self._utility(obs)
+            self._phase = _Phase.PROBE_DOWN
+            return self._base * (1.0 - self.probe)
+
+        # The step just observed carried the down-probe: decide and move.
+        utility_down = self._utility(obs)
+        direction = 1 if self._utility_up > utility_down else -1
+        if direction == self._last_direction:
+            self._amplifier = min(self.max_amplifier, self._amplifier + 1)
+        else:
+            self._amplifier = 1
+        self._last_direction = direction
+        move = self.step * self._amplifier
+        self._base *= (1.0 + move) if direction > 0 else (1.0 - move)
+        self._phase = _Phase.PROBE_UP
+        return self._base * (1.0 + self.probe)
+
+    @property
+    def name(self) -> str:
+        return f"PCC-like(tol={self.tolerance:g})"

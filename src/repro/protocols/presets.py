@@ -1,0 +1,83 @@
+"""Named protocol presets used throughout the paper's evaluation.
+
+The paper's Emulab section experiments with the Linux-kernel protocols
+TCP Reno (``AIMD(1, 0.5)``), TCP Cubic (``CUBIC(0.4, 0.8)``) and TCP
+Scalable (``MIMD(1.01, 0.875)`` in some environments, ``AIMD(1, 0.875)``
+in others); Table 2 uses ``Robust-AIMD(1, 0.8, 0.01)`` against PCC.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.protocols.aimd import AIMD
+from repro.protocols.base import Protocol
+from repro.protocols.binomial import BIN
+from repro.protocols.cubic import CUBIC
+from repro.protocols.mimd import MIMD, MimdPccBound
+from repro.protocols.pcc import PccLike
+from repro.protocols.robust_aimd import RobustAIMD
+from repro.protocols.vegas import VegasLike
+
+
+def reno() -> AIMD:
+    """TCP Reno: ``AIMD(1, 0.5)`` — the TCP-friendliness reference (Metric VII)."""
+    return AIMD(1.0, 0.5)
+
+
+def cubic() -> CUBIC:
+    """Linux-kernel TCP Cubic: ``CUBIC(0.4, 0.8)``."""
+    return CUBIC(0.4, 0.8)
+
+
+def scalable_mimd() -> MIMD:
+    """TCP Scalable rendered as ``MIMD(1.01, 0.875)``."""
+    return MIMD(1.01, 0.875)
+
+
+def scalable_aimd() -> AIMD:
+    """TCP Scalable rendered as ``AIMD(1, 0.875)`` (the other kernel variant)."""
+    return AIMD(1.0, 0.875)
+
+
+def robust_aimd_paper() -> RobustAIMD:
+    """The Table 2 protocol: ``Robust-AIMD(1, 0.8, 0.01)``."""
+    return RobustAIMD(1.0, 0.8, 0.01)
+
+
+def pcc_like() -> PccLike:
+    """The utility-gradient PCC stand-in with Allegro defaults."""
+    return PccLike()
+
+
+def pcc_bound() -> MimdPccBound:
+    """The paper's aggressiveness lower bound for PCC: ``MIMD(1.01, 0.99)``."""
+    return MimdPccBound()
+
+
+def iiad() -> BIN:
+    """Inverse-increase / additive-decrease: ``BIN(1, 1, 1, 0)``."""
+    return BIN(1.0, 1.0, 1.0, 0.0)
+
+
+def sqrt_binomial() -> BIN:
+    """The SQRT binomial protocol: ``BIN(1, 0.5, 0.5, 0.5)``."""
+    return BIN(1.0, 0.5, 0.5, 0.5)
+
+
+def vegas() -> VegasLike:
+    """The latency-avoiding comparator for Theorem 5."""
+    return VegasLike()
+
+
+EMULAB_PROTOCOLS: dict[str, Callable[[], Protocol]] = {
+    "reno": reno,
+    "cubic": cubic,
+    "scalable": scalable_mimd,
+}
+"""The three kernel protocols of the paper's Section 5.1 validation."""
+
+
+def emulab_suite() -> list[Protocol]:
+    """Fresh instances of the Section 5.1 validation protocols."""
+    return [factory() for factory in EMULAB_PROTOCOLS.values()]

@@ -1,0 +1,50 @@
+"""Probe-and-hold — the Claim 1 counterexample protocol.
+
+Claim 1 states that any loss-based protocol that is 0-loss (eventually
+incurs no loss at all) cannot be alpha-fast-utilizing for any alpha > 0.
+The paper motivates the claim with exactly this protocol: slowly increase
+the rate until encountering loss for the first time, then back off
+slightly and *hold forever*. From that point on it never loses a packet
+(0-loss) and nearly fills the link, yet after arbitrarily long loss-free
+periods it no longer increases — violating fast-utilization, which demands
+renewed probing (and hence eventual loss) after every sufficiently long
+quiet period.
+"""
+
+from __future__ import annotations
+
+from repro.model.sender import Observation
+from repro.protocols.base import Protocol, format_params, validate_in_range
+
+
+class ProbeAndHold(Protocol):
+    """Increase by ``a`` until the first loss; then hold at ``b *`` (window at loss)."""
+
+    loss_based = True
+
+    def __init__(self, a: float = 1.0, b: float = 0.9) -> None:
+        if a <= 0:
+            raise ValueError(f"probe increment a must be positive, got {a}")
+        self.a = a
+        self.b = validate_in_range("hold fraction b", b, 0.0, 1.0, low_open=True, high_open=True)
+        self._hold_at: float | None = None
+
+    def reset(self) -> None:
+        self._hold_at = None
+
+    @property
+    def holding(self) -> bool:
+        """Whether the protocol has seen its first loss and frozen its window."""
+        return self._hold_at is not None
+
+    def next_window(self, obs: Observation) -> float:
+        if self._hold_at is not None:
+            return self._hold_at
+        if obs.loss_rate > 0.0:
+            self._hold_at = obs.window * self.b
+            return self._hold_at
+        return obs.window + self.a
+
+    @property
+    def name(self) -> str:
+        return f"Probe&Hold({format_params(self.a, self.b)})"

@@ -1,0 +1,116 @@
+"""String-spec protocol construction for CLIs and sweep configurations.
+
+Specs look like the paper's own notation::
+
+    AIMD(1, 0.5)
+    MIMD(1.01, 0.875)
+    BIN(1, 0.5, 1, 0)
+    CUBIC(0.4, 0.8)
+    Robust-AIMD(1, 0.8, 0.01)
+
+Bare preset names (``reno``, ``cubic``, ``scalable``, ``pcc``, ...) are
+also accepted. Third-party protocols can join via
+:func:`register_protocol`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+from repro.protocols import presets
+from repro.protocols.aimd import AIMD
+from repro.protocols.base import Protocol
+from repro.protocols.binomial import BIN
+from repro.protocols.cubic import CUBIC
+from repro.protocols.dctcp import DCTCP
+from repro.protocols.highspeed import HighSpeedTcp
+from repro.protocols.ledbat import Ledbat
+from repro.protocols.mimd import MIMD, MimdPccBound
+from repro.protocols.pcc import PccLike
+from repro.protocols.probe import ProbeAndHold
+from repro.protocols.robust_aimd import RobustAIMD
+from repro.protocols.vegas import VegasLike
+
+_FAMILIES: dict[str, Callable[..., Protocol]] = {
+    "aimd": AIMD,
+    "mimd": MIMD,
+    "bin": BIN,
+    "cubic": CUBIC,
+    "robust-aimd": RobustAIMD,
+    "robustaimd": RobustAIMD,
+    "pcc-like": PccLike,
+    "vegas-like": VegasLike,
+    "probe-and-hold": ProbeAndHold,
+    "hstcp": HighSpeedTcp,
+    "ledbat": Ledbat,
+    "dctcp": DCTCP,
+}
+
+_PRESETS: dict[str, Callable[[], Protocol]] = {
+    "reno": presets.reno,
+    "cubic": presets.cubic,
+    "scalable": presets.scalable_mimd,
+    "scalable-aimd": presets.scalable_aimd,
+    "robust-aimd": presets.robust_aimd_paper,
+    "pcc": presets.pcc_like,
+    "pcc-bound": MimdPccBound,
+    "iiad": presets.iiad,
+    "sqrt": presets.sqrt_binomial,
+    "vegas": presets.vegas,
+    "hstcp": HighSpeedTcp,
+    "ledbat": Ledbat,
+    "dctcp": DCTCP,
+}
+
+_SPEC_RE = re.compile(r"^\s*(?P<family>[A-Za-z&\-]+)\s*\(\s*(?P<args>[^)]*)\)\s*$")
+
+
+def register_protocol(name: str, factory: Callable[..., Protocol]) -> None:
+    """Register an additional protocol family under ``name`` (case-insensitive)."""
+    key = name.strip().lower()
+    if not key:
+        raise ValueError("protocol name must be non-empty")
+    _FAMILIES[key] = factory
+
+
+def available_protocols() -> dict[str, list[str]]:
+    """The currently-known family and preset names (for ``--help`` text)."""
+    return {
+        "families": sorted(_FAMILIES),
+        "presets": sorted(_PRESETS),
+    }
+
+
+def make_protocol(spec: str) -> Protocol:
+    """Build a protocol from a spec string or preset name.
+
+    >>> make_protocol("AIMD(1, 0.5)").name
+    'AIMD(1,0.5)'
+    >>> make_protocol("reno").name
+    'AIMD(1,0.5)'
+    """
+    match = _SPEC_RE.match(spec)
+    if match is None:
+        key = spec.strip().lower()
+        if key in _PRESETS:
+            return _PRESETS[key]()
+        raise ValueError(
+            f"unrecognized protocol spec {spec!r}; expected e.g. 'AIMD(1,0.5)' "
+            f"or one of the presets {sorted(_PRESETS)}"
+        )
+    family = match.group("family").strip().lower()
+    if family not in _FAMILIES:
+        raise ValueError(
+            f"unknown protocol family {match.group('family')!r}; "
+            f"known families: {sorted(_FAMILIES)}"
+        )
+    args_text = match.group("args").strip()
+    args: list[float] = []
+    if args_text:
+        for piece in args_text.split(","):
+            try:
+                args.append(float(piece))
+            except ValueError as exc:
+                raise ValueError(f"non-numeric parameter {piece!r} in spec {spec!r}") from exc
+    return _FAMILIES[family](*args)

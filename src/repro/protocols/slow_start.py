@@ -1,0 +1,55 @@
+"""Optional slow-start ramp in front of any congestion-avoidance protocol.
+
+The paper analyzes protocols in congestion-avoidance mode only; real
+stacks precede that with slow start (double the window each RTT until the
+first loss or until a threshold). :class:`SlowStartWrapper` adds that ramp
+to any :class:`~repro.protocols.base.Protocol`, which the packet-level
+validation experiments use to shorten warm-up, and which lets users study
+how the paper's asymptotic metrics are (un)affected by start-up behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.model.sender import Observation
+from repro.protocols.base import Protocol
+
+
+class SlowStartWrapper(Protocol):
+    """Double the window each step until loss or ``ssthresh``, then delegate.
+
+    The wrapped protocol's ``loss_based`` flag is inherited, since slow
+    start itself reads only the loss signal.
+    """
+
+    def __init__(self, inner: Protocol, ssthresh: float = float("inf")) -> None:
+        if ssthresh <= 0:
+            raise ValueError(f"ssthresh must be positive, got {ssthresh}")
+        self.inner = inner
+        self.ssthresh = ssthresh
+        self.loss_based = inner.loss_based
+        self._in_slow_start = True
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._in_slow_start = True
+
+    @property
+    def in_slow_start(self) -> bool:
+        """Whether the ramp is still active."""
+        return self._in_slow_start
+
+    def next_window(self, obs: Observation) -> float:
+        if self._in_slow_start:
+            if obs.loss_rate > 0.0 or obs.window >= self.ssthresh:
+                self._in_slow_start = False
+            else:
+                doubled = obs.window * 2.0
+                if doubled >= self.ssthresh:
+                    self._in_slow_start = False
+                    return self.ssthresh
+                return doubled
+        return self.inner.next_window(obs)
+
+    @property
+    def name(self) -> str:
+        return f"SlowStart+{self.inner.name}"

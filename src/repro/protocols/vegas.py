@@ -1,0 +1,42 @@
+"""A Vegas-style latency-avoiding protocol (the Theorem 5 foil).
+
+Theorem 5 shows that any efficient loss-based protocol is arbitrarily
+unfriendly to *any* latency-avoiding protocol: the loss-based sender keeps
+filling the buffer until loss, while the latency-avoiding sender backs off
+as soon as the RTT inflates, so its share collapses. TCP Vegas vs. Reno
+(Mo et al.) is the classic instance.
+
+Our :class:`VegasLike` mirrors Vegas's mechanism in the fluid model: it
+estimates the propagation delay as the minimum RTT seen and steers the
+window so the RTT stays below ``(1 + gamma) * minRTT`` — additively
+increasing while below the bound, multiplicatively decreasing above it
+(or on loss). It is *not* loss-based: it reads ``obs.rtt``.
+"""
+
+from __future__ import annotations
+
+from repro.model.sender import Observation
+from repro.protocols.base import Protocol, format_params, validate_in_range
+
+
+class VegasLike(Protocol):
+    """Latency-avoiding window control with RTT target ``(1 + gamma) * minRTT``."""
+
+    loss_based = False
+
+    def __init__(self, gamma: float = 0.1, a: float = 1.0, b: float = 0.875) -> None:
+        self.gamma = validate_in_range("latency slack gamma", gamma, 0.0, 10.0, low_open=True)
+        if a <= 0:
+            raise ValueError(f"additive increase a must be positive, got {a}")
+        self.a = a
+        self.b = validate_in_range("decrease factor b", b, 0.0, 1.0, low_open=True, high_open=True)
+
+    def next_window(self, obs: Observation) -> float:
+        latency_bound = (1.0 + self.gamma) * obs.min_rtt
+        if obs.loss_rate > 0.0 or obs.rtt > latency_bound:
+            return obs.window * self.b
+        return obs.window + self.a
+
+    @property
+    def name(self) -> str:
+        return f"Vegas-like({format_params(self.gamma, self.a, self.b)})"

@@ -1,0 +1,88 @@
+"""Trace persistence: save and reload simulation traces.
+
+Long sweeps are expensive; these helpers archive
+:class:`~repro.model.trace.SimulationTrace` objects losslessly as ``.npz``
+(numpy's compressed container) and export human-readable CSV for external
+tooling. Experiment *results* (scalar tables) go through
+:mod:`repro.experiments.results` instead.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.model.trace import SimulationTrace
+
+_TRACE_FIELDS = (
+    "windows",
+    "observed_loss",
+    "congestion_loss",
+    "rtts",
+    "capacities",
+    "pipe_limits",
+    "base_rtts",
+)
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: SimulationTrace, path: str | Path) -> Path:
+    """Write a trace to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: getattr(trace, name) for name in _TRACE_FIELDS}
+    arrays["format_version"] = np.array(_FORMAT_VERSION)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_trace(path: str | Path) -> SimulationTrace:
+    """Reload a trace written by :func:`save_trace`."""
+    path = Path(path)
+    with np.load(path) as data:
+        version = int(data["format_version"]) if "format_version" in data else 0
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version} in {path}"
+            )
+        missing = [name for name in _TRACE_FIELDS if name not in data]
+        if missing:
+            raise ValueError(f"{path} is missing trace fields {missing}")
+        return SimulationTrace(**{name: data[name] for name in _TRACE_FIELDS})
+
+
+def trace_to_csv(trace: SimulationTrace, path: str | Path) -> Path:
+    """Export a trace as CSV: one row per step, one window column per sender.
+
+    Columns: ``step, congestion_loss, rtt, capacity, pipe_limit,
+    window_0..window_{n-1}, loss_0..loss_{n-1}``.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    n = trace.n_senders
+    header = (
+        ["step", "congestion_loss", "rtt", "capacity", "pipe_limit"]
+        + [f"window_{i}" for i in range(n)]
+        + [f"loss_{i}" for i in range(n)]
+    )
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for t in range(trace.steps):
+            writer.writerow(
+                [
+                    t,
+                    repr(float(trace.congestion_loss[t])),
+                    repr(float(trace.rtts[t])),
+                    repr(float(trace.capacities[t])),
+                    repr(float(trace.pipe_limits[t])),
+                ]
+                + [repr(float(w)) for w in trace.windows[t]]
+                + [repr(float(l)) for l in trace.observed_loss[t]]
+            )
+    return path

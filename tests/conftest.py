@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics.base import EstimatorConfig
+from repro.model.link import Link
+
+
+@pytest.fixture
+def emulab_link() -> Link:
+    """The paper's 20 Mbps / 42 ms / 100 MSS reference link (C = 70 MSS)."""
+    return Link.from_mbps(20, 42, 100)
+
+
+@pytest.fixture
+def shallow_link() -> Link:
+    """A shallow-buffered link (10 MSS), the paper's other buffer setting."""
+    return Link.from_mbps(20, 42, 10)
+
+
+@pytest.fixture
+def big_link() -> Link:
+    """The 100 Mbps variant (C = 350 MSS)."""
+    return Link.from_mbps(100, 42, 100)
+
+
+@pytest.fixture
+def fast_config() -> EstimatorConfig:
+    """A reduced-horizon estimator config that keeps unit tests quick."""
+    return EstimatorConfig(steps=1500, n_senders=2)

@@ -1,0 +1,145 @@
+"""Integration tests: every experiment driver regenerates its paper artifact.
+
+These run the real drivers at reduced horizons — large enough for the
+qualitative claims (who wins, which bounds hold) to be stable, small
+enough to keep the suite fast.
+"""
+
+import pytest
+
+from repro.core.metrics import EstimatorConfig
+from repro.experiments.claims import run_claims
+from repro.experiments.emulab import run_emulab
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.model.link import Link
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(config=EstimatorConfig(steps=2500, n_senders=2))
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return run_table2(senders=(2, 3), bandwidths_mbps=(20, 60), steps=2500)
+
+
+@pytest.fixture(scope="module")
+def claims_result():
+    return run_claims(steps=2500)
+
+
+class TestTable1:
+    def test_all_predictions_hold(self, table1_result):
+        failures = table1_result.failures()
+        assert not failures, [
+            (f.protocol, f.metric, f.predicted, f.measured) for f in failures
+        ]
+
+    def test_hierarchy_agreement_high(self, table1_result):
+        # The paper's Emulab criterion, in the fluid model: the measured
+        # per-metric hierarchy matches the theoretical one.
+        assert table1_result.agreement >= 0.95, table1_result.disagreements()
+
+    def test_five_protocols_characterized(self, table1_result):
+        assert len(table1_result.characterizations) == 5
+
+    def test_only_robust_aimd_measures_robust(self, table1_result):
+        robust = [
+            c for c in table1_result.characterizations
+            if c.empirical.robustness > 1e-3
+        ]
+        assert [c.protocol for c in robust] == ["Robust-AIMD(1,0.8,0.01)"]
+
+    def test_reno_attains_theorem2_tightness(self, table1_result):
+        reno = table1_result.characterizations[0]
+        assert reno.protocol == "AIMD(1,0.5)"
+        assert reno.empirical.tcp_friendliness == pytest.approx(1.0, abs=0.05)
+
+    def test_json_payload_complete(self, table1_result):
+        payload = table1_result.to_jsonable()
+        assert set(payload["protocols"]) == {
+            c.protocol for c in table1_result.characterizations
+        }
+        assert payload["predictions_hold"] == 1.0
+
+
+class TestTable2:
+    def test_robust_aimd_friendlier_in_every_cell(self, table2_result):
+        # The paper's headline: Robust-AIMD consistently beats PCC's
+        # TCP-friendliness — by at least the paper's 1.5x threshold.
+        assert table2_result.all_friendlier
+        assert table2_result.min_improvement > 1.5
+
+    def test_cells_cover_grid(self, table2_result):
+        pairs = {(c.n_senders, c.bandwidth_mbps) for c in table2_result.cells}
+        assert pairs == {(2, 20), (2, 60), (3, 20), (3, 60)}
+
+    def test_friendliness_values_positive(self, table2_result):
+        for cell in table2_result.cells:
+            assert cell.friendliness_robust_aimd > 0
+            assert cell.friendliness_pcc >= 0
+
+    def test_jsonable(self, table2_result):
+        payload = table2_result.to_jsonable()
+        assert payload["mean_improvement"] > 1.5
+        assert len(payload["cells"]) == 4
+
+
+class TestFigure1:
+    def test_surface_and_attainment(self):
+        result = run_figure1(
+            alphas=[0.5, 1.0, 2.0],
+            betas=[0.3, 0.5, 0.8],
+            empirical_alphas=[1.0],
+            empirical_betas=[0.5, 0.8],
+            config=EstimatorConfig(steps=2500, n_senders=2),
+        )
+        assert result.mutually_non_dominated
+        # AIMD attains the frontier: measured friendliness within 10%.
+        assert result.max_friendliness_error < 0.1
+
+    def test_series_layout(self):
+        result = run_figure1(
+            alphas=[1.0], betas=[0.5], empirical_alphas=[], empirical_betas=[]
+        )
+        series = result.series()
+        assert series["tcp_friendliness"] == [pytest.approx(1.0)]
+
+
+class TestClaims:
+    def test_all_section4_statements_hold(self, claims_result):
+        failures = claims_result.failures()
+        assert claims_result.all_hold, [
+            (f.statement, f.instance, f.observed) for f in failures
+        ]
+
+    def test_every_statement_covered(self, claims_result):
+        statements = {c.statement.split(" ")[0] + " " + c.statement.split(" ")[1]
+                      if c.statement.startswith("Theorem")
+                      else c.statement for c in claims_result.checks}
+        for required in ("Claim 1", "Theorem 1", "Theorem 2", "Theorem 3",
+                         "Theorem 4", "Theorem 5"):
+            assert any(required in s for s in statements)
+
+
+class TestEmulab:
+    def test_hierarchy_agreement(self):
+        # One representative cell pair keeps runtime modest; the full grid
+        # runs in the benchmark suite.
+        result = run_emulab(
+            ns=(2,), bandwidths_mbps=(20,), buffers_mss=(100,), duration=15.0
+        )
+        assert result.agreement >= 0.8, result.disagreements()
+
+    def test_measurements_physical(self):
+        result = run_emulab(
+            ns=(2,), bandwidths_mbps=(20,), buffers_mss=(10,), duration=10.0
+        )
+        for cell in result.measurements.values():
+            for m in cell:
+                assert 0 <= m.efficiency <= 1.1
+                assert 0 <= m.loss_avoidance < 0.5
+                assert 0 <= m.fairness <= 1.0

@@ -1,0 +1,77 @@
+"""FCT study driver and the extended CLI commands."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.fct import default_backgrounds, render_fct, run_fct_study
+from repro.model.link import Link
+from repro.protocols import presets
+
+
+class TestFctStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        # Reduced: two backgrounds, shorter horizon.
+        return run_fct_study(
+            link=Link.from_mbps(20, 42, 100),
+            backgrounds={"none": None, "pcc-like": presets.pcc_like},
+            rate_per_s=1.0,
+            arrival_window=10.0,
+            duration=20.0,
+        )
+
+    def test_pcc_background_hurts_short_flows(self, study):
+        assert study.row("pcc-like").mean_fct > 2 * study.row("none").mean_fct
+
+    def test_ordering(self, study):
+        assert study.ordering() == ["none", "pcc-like"]
+
+    def test_row_lookup(self, study):
+        with pytest.raises(KeyError):
+            study.row("bbr")
+
+    def test_render(self, study):
+        text = render_fct(study)
+        assert "pcc-like" in text
+        assert "least harmful" in text
+
+    def test_jsonable(self, study, tmp_path):
+        from repro.experiments.results import load_result, save_result
+
+        loaded = load_result(save_result(study, tmp_path / "fct.json"))
+        assert len(loaded["rows"]) == 2
+
+    def test_default_backgrounds_cover_the_comparators(self):
+        names = set(default_backgrounds())
+        assert {"none", "reno", "cubic", "robust-aimd", "pcc-like"} <= names
+
+
+class TestCliExtendedCommands:
+    def test_characterize_prints_scores_and_theory(self, capsys):
+        exit_code = main(
+            ["characterize", "--protocol", "AIMD(1,0.5)", "--steps", "800"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "efficiency" in out
+        assert "theory:" in out
+
+    def test_characterize_unknown_protocol(self):
+        with pytest.raises(ValueError):
+            main(["characterize", "--protocol", "BBR(1)"])
+
+    def test_characterize_extensions_flag(self, capsys):
+        exit_code = main(
+            ["characterize", "--protocol", "reno", "--steps", "800",
+             "--extensions"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "responsiveness" in out
+        assert "churn_resilience" in out
+
+    def test_emulab_subcommand_quick(self, capsys):
+        exit_code = main(["emulab", "--duration", "4"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Hierarchy agreement" in out

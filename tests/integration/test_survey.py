@@ -1,0 +1,85 @@
+"""The protocol survey driver (repro.experiments.survey)."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import EstimatorConfig
+from repro.experiments.survey import (
+    default_regimes,
+    default_roster,
+    render_survey,
+    run_survey,
+)
+from repro.model.link import Link
+from repro.protocols import presets
+
+
+@pytest.fixture(scope="module")
+def survey():
+    # One regime, reduced roster/horizon: fast but still end-to-end.
+    roster = {
+        "reno": presets.reno,
+        "scalable": presets.scalable_mimd,
+        "robust-aimd": presets.robust_aimd_paper,
+        "vegas-like": presets.vegas,
+    }
+    regimes = {"wan-20M": Link.from_mbps(20, 42, 100)}
+    return run_survey(
+        roster=roster,
+        regimes=regimes,
+        config=EstimatorConfig(steps=1500, n_senders=2),
+    )
+
+
+class TestSurveyResults:
+    def test_entry_count(self, survey):
+        assert len(survey.entries) == 4
+
+    def test_lookup_by_regime_and_protocol(self, survey):
+        assert len(survey.for_regime("wan-20M")) == 4
+        assert len(survey.for_protocol("reno")) == 1
+        with pytest.raises(KeyError):
+            survey.for_regime("datacenter")
+        with pytest.raises(KeyError):
+            survey.for_protocol("bbr")
+
+    def test_classification_story_holds(self, survey):
+        # The survey reproduces the paper's classification: Robust-AIMD is
+        # the only robust protocol; Vegas-like owns latency; MIMD fails
+        # fairness.
+        assert survey.best_in("wan-20M", "robustness") == "robust-aimd"
+        assert survey.best_in("wan-20M", "latency_avoidance") == "vegas-like"
+        scalable = survey.for_protocol("scalable")[0]
+        assert scalable.vector.fairness < 0.1
+
+    def test_mimd_starves_joiners(self, survey):
+        scalable = survey.for_protocol("scalable")[0]
+        assert math.isinf(scalable.churn_resilience)
+
+    def test_reno_extensions_finite(self, survey):
+        reno = survey.for_protocol("reno")[0]
+        assert math.isfinite(reno.responsiveness)
+        assert math.isfinite(reno.churn_resilience)
+
+    def test_render_contains_all_protocols(self, survey):
+        text = render_survey(survey)
+        for name in ("reno", "scalable", "robust-aimd", "vegas-like"):
+            assert name in text
+
+    def test_jsonable_roundtrips(self, survey, tmp_path):
+        from repro.experiments.results import load_result, save_result
+
+        loaded = load_result(save_result(survey, tmp_path / "survey.json"))
+        assert len(loaded["entries"]) == 4
+
+
+class TestDefaults:
+    def test_default_roster_builds(self):
+        for name, factory in default_roster().items():
+            protocol = factory()
+            assert protocol.name, name
+
+    def test_default_regimes_are_links(self):
+        for name, link in default_regimes().items():
+            assert link.capacity > 0, name

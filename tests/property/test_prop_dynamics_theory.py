@@ -1,0 +1,117 @@
+"""Property-based tests for the simulator invariants and theory bounds."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory.pareto import frontier_friendliness, is_feasible_point
+from repro.core.theory.theorems import (
+    theorem1_efficiency_bound,
+    theorem2_friendliness_bound,
+    theorem3_friendliness_bound,
+)
+from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.link import Link
+from repro.protocols.aimd import AIMD
+from repro.protocols.mimd import MIMD
+
+
+# ----------------------------------------------------------------------
+# Simulator invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    a=st.floats(min_value=0.1, max_value=5.0),
+    b=st.floats(min_value=0.1, max_value=0.9),
+    n=st.integers(min_value=1, max_value=4),
+    bw=st.floats(min_value=5.0, max_value=200.0),
+    buffer_mss=st.floats(min_value=1.0, max_value=500.0),
+)
+def test_aimd_dynamics_invariants(a, b, n, bw, buffer_mss):
+    link = Link.from_mbps(bw, 42, buffer_mss)
+    sim = FluidSimulator(link, [AIMD(a, b)] * n)
+    trace = sim.run(300)
+    # Windows stay within the configured clamp.
+    assert np.nanmin(trace.windows) >= 1.0 - 1e-9
+    assert np.nanmax(trace.windows) < 1e9
+    # Loss rates and RTTs stay physical.
+    assert (trace.congestion_loss >= 0).all()
+    assert (trace.congestion_loss < 1).all()
+    assert (trace.rtts >= link.base_rtt - 1e-12).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    a=st.floats(min_value=1.001, max_value=1.2),
+    b=st.floats(min_value=0.5, max_value=0.99),
+    ratio=st.floats(min_value=1.5, max_value=20.0),
+)
+def test_mimd_never_equalizes(a, b, ratio):
+    # Fluid-model MIMD preserves initial window ratios (0-fairness).
+    link = Link.from_mbps(20, 42, 100)
+    config = SimulationConfig(initial_windows=[ratio, 1.0], min_window=0.0)
+    sim = FluidSimulator(link, [MIMD(a, b)] * 2, config)
+    trace = sim.run(400)
+    w = trace.windows[-1]
+    if w[1] > 0:
+        assert w[0] / w[1] >= ratio * 0.99
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    steps=st.integers(min_value=1, max_value=200),
+    n=st.integers(min_value=1, max_value=3),
+)
+def test_trace_shapes_always_consistent(steps, n):
+    link = Link.from_mbps(20, 42, 100)
+    trace = FluidSimulator(link, [AIMD(1, 0.5)] * n).run(steps)
+    assert trace.windows.shape == (steps, n)
+    assert trace.total_window().shape == (steps,)
+    assert trace.goodput().shape == (steps, n)
+
+
+# ----------------------------------------------------------------------
+# Theory-bound properties
+# ----------------------------------------------------------------------
+@given(alpha=st.floats(min_value=0.0, max_value=1.0))
+def test_theorem1_bound_within_unit_interval(alpha):
+    bound = theorem1_efficiency_bound(alpha)
+    assert 0.0 <= bound <= 1.0
+    assert bound <= alpha + 1e-12  # alpha/(2-alpha) <= alpha on [0, 1]
+
+
+@given(
+    alpha=st.floats(min_value=0.01, max_value=100.0),
+    beta=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_theorem2_bound_nonnegative_and_antitone(alpha, beta):
+    bound = theorem2_friendliness_bound(alpha, beta)
+    assert bound >= 0.0
+    assert theorem2_friendliness_bound(alpha * 2, beta) <= bound + 1e-12
+    assert theorem2_friendliness_bound(alpha, min(1.0, beta + 0.1)) <= bound + 1e-12
+
+
+@given(
+    alpha=st.floats(min_value=0.01, max_value=10.0),
+    beta=st.floats(min_value=0.0, max_value=1.0),
+    eps=st.floats(min_value=1e-4, max_value=0.9),
+)
+def test_theorem3_always_tighter_than_theorem2(alpha, beta, eps):
+    capacity, buffer_size = 70.0, 100.0
+    t2 = theorem2_friendliness_bound(alpha, beta)
+    t3 = theorem3_friendliness_bound(alpha, beta, eps, capacity, buffer_size)
+    # Theorem 3's denominator adds 4(C+tau)/(1-eps) >> alpha, so the cap
+    # can only shrink.
+    assert t3 <= t2 + 1e-12
+
+
+@given(
+    alpha=st.floats(min_value=0.05, max_value=10.0),
+    beta=st.floats(min_value=0.01, max_value=0.99),
+)
+def test_frontier_points_are_feasible_and_extremal(alpha, beta):
+    friendliness = frontier_friendliness(alpha, beta)
+    assert is_feasible_point(alpha, beta, friendliness)
+    assert not is_feasible_point(alpha, beta, friendliness * 1.01 + 1e-9)

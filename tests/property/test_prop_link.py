@@ -1,0 +1,100 @@
+"""Property-based tests for the link model (Eq. (1) and droptail loss)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.link import Link
+
+links = st.builds(
+    Link,
+    bandwidth=st.floats(min_value=1.0, max_value=1e6),
+    theta=st.floats(min_value=1e-4, max_value=1.0),
+    buffer_size=st.floats(min_value=0.0, max_value=1e4),
+)
+windows = st.floats(min_value=0.0, max_value=1e9)
+
+
+@given(link=links, x=windows)
+def test_loss_rate_in_unit_interval(link, x):
+    assert 0.0 <= link.loss_rate(x) < 1.0
+
+
+@given(link=links, x=windows)
+def test_rtt_at_least_base(link, x):
+    assert link.rtt(x) >= link.base_rtt - 1e-12
+
+
+@given(link=links, x1=windows, x2=windows)
+def test_loss_monotone_in_aggregate(link, x1, x2):
+    low, high = sorted((x1, x2))
+    assert link.loss_rate(low) <= link.loss_rate(high) + 1e-12
+
+
+@given(link=links, x1=windows, x2=windows)
+def test_rtt_monotone_below_pipe(link, x1, x2):
+    # Within the no-loss regime Eq. (1) is non-decreasing in X.
+    low, high = sorted((x1, x2))
+    if high < link.pipe_limit:
+        assert link.rtt(low) <= link.rtt(high) + 1e-12
+
+
+@given(link=links, x=windows)
+def test_no_loss_iff_within_pipe(link, x):
+    if x <= link.pipe_limit:
+        assert link.loss_rate(x) == 0.0
+    else:
+        assert link.loss_rate(x) > 0.0
+
+
+@given(link=links, x=windows)
+def test_delivered_traffic_never_exceeds_pipe(link, x):
+    # X * (1 - L(X)) <= C + tau: the link never carries more than pipe.
+    delivered = x * (1.0 - link.loss_rate(x))
+    # Relative slack: 1 - pipe/X rounds in double precision for X >> pipe.
+    assert delivered <= link.pipe_limit + 1e-7 * max(1.0, x)
+
+
+@given(link=links, x=windows)
+def test_queue_occupancy_bounded(link, x):
+    occupancy = link.queue_occupancy(x)
+    assert 0.0 <= occupancy <= link.buffer_size
+
+
+@given(link=links)
+def test_capacity_consistency(link):
+    assert link.capacity == link.bandwidth * link.base_rtt
+    assert link.pipe_limit == link.capacity + link.buffer_size
+
+
+ecn_links = st.builds(
+    lambda bandwidth, theta, buffer_size, k_fraction: Link(
+        bandwidth=bandwidth,
+        theta=theta,
+        buffer_size=buffer_size,
+        ecn_threshold=k_fraction * buffer_size,
+    ),
+    bandwidth=st.floats(min_value=1.0, max_value=1e6),
+    theta=st.floats(min_value=1e-4, max_value=1.0),
+    buffer_size=st.floats(min_value=1.0, max_value=1e4),
+    k_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@given(link=ecn_links, x=windows)
+def test_mark_fraction_in_unit_interval(link, x):
+    assert 0.0 <= link.mark_fraction(x) <= 1.0
+
+
+@given(link=ecn_links, x1=windows, x2=windows)
+def test_mark_fraction_monotone_up_to_pipe(link, x1, x2):
+    # Below the pipe, more load can only mean more marked traffic.
+    low, high = sorted((x1, x2))
+    if high <= link.pipe_limit:
+        assert link.mark_fraction(low) <= link.mark_fraction(high) + 1e-12
+
+
+@given(link=ecn_links, x=windows)
+def test_marks_start_strictly_before_loss(link, x):
+    # Whenever the link drops, it is also marking (K <= tau).
+    if link.loss_rate(x) > 0.0 and link.ecn_threshold < link.buffer_size:
+        assert link.mark_fraction(x) > 0.0

@@ -1,0 +1,79 @@
+"""Property-based tests for the multi-link network model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.link import Link
+from repro.netmodel import NetworkFluidSimulator, parking_lot, single_link
+from repro.protocols.aimd import AIMD
+
+link_params = st.fixed_dictionaries(
+    {
+        "bw": st.floats(min_value=5.0, max_value=100.0),
+        "buffer_mss": st.floats(min_value=1.0, max_value=200.0),
+        "a": st.floats(min_value=0.25, max_value=3.0),
+        "b": st.floats(min_value=0.2, max_value=0.9),
+        "n": st.integers(min_value=1, max_value=3),
+    }
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(params=link_params)
+def test_single_link_reduction_is_exact(params):
+    """The network model on one link IS the paper's base model."""
+    link = Link.from_mbps(params["bw"], 42, params["buffer_mss"])
+    protocols = [AIMD(params["a"], params["b"])] * params["n"]
+    reference = FluidSimulator(
+        link, protocols, SimulationConfig(initial_windows=[1.0] * params["n"])
+    ).run(200)
+    network = NetworkFluidSimulator(
+        single_link(link, params["n"]), protocols,
+        initial_windows=[1.0] * params["n"],
+    ).run(200)
+    np.testing.assert_allclose(network.windows, reference.windows)
+    np.testing.assert_allclose(network.flow_loss, reference.observed_loss)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    params=link_params,
+    hops=st.integers(min_value=2, max_value=4),
+)
+def test_parking_lot_invariants(params, hops):
+    link = Link.from_mbps(params["bw"], 42, params["buffer_mss"])
+    topo = parking_lot(link, hops)
+    sim = NetworkFluidSimulator(
+        topo, [AIMD(params["a"], params["b"])] * topo.n_flows
+    )
+    trace = sim.run(250)
+    # Physicality: loss in [0, 1), RTT at least the propagation floor,
+    # per-link load equals the sum of the windows crossing it.
+    assert (trace.flow_loss >= 0).all() and (trace.flow_loss < 1).all()
+    assert (trace.flow_rtts >= trace.base_rtts[None, :] - 1e-12).all()
+    long_flow_load = trace.windows[:, 0]
+    for hop in range(hops):
+        short_flow = trace.windows[:, 1 + hop]
+        np.testing.assert_allclose(
+            trace.link_load[:, hop], long_flow_load + short_flow
+        )
+    # The long flow's loss is never below any of its hops' losses.
+    per_hop_max = trace.link_loss.max(axis=1)
+    assert (trace.flow_loss[:, 0] >= per_hop_max - 1e-12).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(params=link_params)
+def test_network_model_deterministic(params):
+    link = Link.from_mbps(params["bw"], 42, params["buffer_mss"])
+    topo = parking_lot(link, 2)
+
+    def run():
+        sim = NetworkFluidSimulator(
+            topo, [AIMD(params["a"], params["b"])] * topo.n_flows
+        )
+        return sim.run(100).windows
+
+    np.testing.assert_array_equal(run(), run())

@@ -1,0 +1,94 @@
+"""Property-based tests for the packet-level simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packetsim.scenario import PacketScenario, run_scenario
+from repro.packetsim.workload import FlowSpec, run_workload
+from repro.model.link import Link
+from repro.protocols.aimd import AIMD
+
+scenario_params = st.fixed_dictionaries(
+    {
+        "bandwidth_mbps": st.sampled_from([5, 10, 20]),
+        "buffer_mss": st.integers(min_value=2, max_value=60),
+        "n_flows": st.integers(min_value=1, max_value=3),
+        "a": st.floats(min_value=0.5, max_value=2.0),
+        "b": st.floats(min_value=0.3, max_value=0.9),
+        "seed": st.integers(min_value=0, max_value=10),
+    }
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=scenario_params)
+def test_packet_conservation(params):
+    """sent == acked + lost + in-flight, per flow, in every scenario."""
+    scenario = PacketScenario.from_mbps(
+        params["bandwidth_mbps"], 42, params["buffer_mss"],
+        [AIMD(params["a"], params["b"])] * params["n_flows"],
+        duration=4.0, seed=params["seed"],
+    )
+    result = run_scenario(scenario)
+    for flow in result.flows:
+        in_flight = flow.packets_sent - flow.packets_acked - flow.packets_lost
+        assert in_flight >= 0
+        # In-flight is bounded by the pipe plus loss-notification slack.
+        assert in_flight <= scenario.link.pipe_limit + 64
+
+    # Link-level conservation: queue counters match flow counters.
+    total_sent = sum(f.packets_sent for f in result.flows)
+    assert result.queue.enqueued + result.queue.dropped == total_sent
+
+
+@settings(max_examples=12, deadline=None)
+@given(params=scenario_params)
+def test_loss_rates_and_rtts_physical(params):
+    scenario = PacketScenario.from_mbps(
+        params["bandwidth_mbps"], 42, params["buffer_mss"],
+        [AIMD(params["a"], params["b"])] * params["n_flows"],
+        duration=4.0, seed=params["seed"],
+    )
+    result = run_scenario(scenario)
+    base = scenario.link.base_rtt
+    max_rtt = base + (params["buffer_mss"] + 1) / scenario.link.bandwidth
+    for flow in result.flows:
+        assert 0.0 <= flow.loss_rate <= 1.0
+        for rtt in flow.rtt_samples:
+            assert base - 1e-9 <= rtt <= max_rtt + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    size=st.integers(min_value=5, max_value=300),
+    buffer_mss=st.integers(min_value=3, max_value=50),
+)
+def test_finite_flows_deliver_exactly_their_payload(size, buffer_mss):
+    """A finite flow ACKs at least `size` packets and then stops sending."""
+    link = Link.from_mbps(10, 42, buffer_mss)
+    result = run_workload(
+        link, [FlowSpec(0.0, size, AIMD(1, 0.5))], duration=90.0
+    )
+    stats = result.flows[0]
+    assert stats.completed_at is not None
+    assert stats.packets_acked >= size
+    # Everything sent is payload or a retransmission of lost payload.
+    assert stats.packets_sent <= size + stats.retransmissions + 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=100))
+def test_determinism_across_seeds(seed):
+    """The same seed yields the same outcome (and is used only for loss)."""
+
+    def run():
+        scenario = PacketScenario.from_mbps(
+            10, 42, 20, [AIMD(1, 0.5)] * 2, duration=3.0,
+            random_loss_rate=0.01, seed=seed,
+        )
+        result = run_scenario(scenario)
+        return [(f.packets_sent, f.packets_acked, f.packets_lost)
+                for f in result.flows]
+
+    assert run() == run()

@@ -1,0 +1,128 @@
+"""Property-based tests over the protocol families."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.sender import Observation
+from repro.protocols.aimd import AIMD
+from repro.protocols.binomial import BIN
+from repro.protocols.cubic import CUBIC
+from repro.protocols.mimd import MIMD
+from repro.protocols.pcc import PccLike
+from repro.protocols.robust_aimd import RobustAIMD
+
+window_values = st.floats(min_value=0.0, max_value=1e6)
+loss_values = st.floats(min_value=0.0, max_value=1.0)
+
+aimds = st.builds(
+    AIMD,
+    a=st.floats(min_value=0.01, max_value=100.0),
+    b=st.floats(min_value=0.01, max_value=0.99),
+)
+mimds = st.builds(
+    MIMD,
+    a=st.floats(min_value=1.001, max_value=2.0),
+    b=st.floats(min_value=0.01, max_value=0.99),
+)
+bins = st.builds(
+    BIN,
+    a=st.floats(min_value=0.01, max_value=10.0),
+    b=st.floats(min_value=0.01, max_value=1.0),
+    k=st.floats(min_value=0.0, max_value=3.0),
+    l=st.floats(min_value=0.0, max_value=1.0),
+)
+robusts = st.builds(
+    RobustAIMD,
+    a=st.floats(min_value=0.01, max_value=10.0),
+    b=st.floats(min_value=0.01, max_value=0.99),
+    epsilon=st.floats(min_value=1e-4, max_value=0.5),
+)
+
+
+def obs(window: float, loss: float) -> Observation:
+    return Observation(step=0, window=window, loss_rate=loss, rtt=0.042,
+                       min_rtt=0.042)
+
+
+@given(protocol=st.one_of(aimds, mimds, bins, robusts), w=window_values,
+       loss=loss_values)
+def test_next_window_finite_and_nonnegative(protocol, w, loss):
+    new = protocol.next_window(obs(w, loss))
+    assert math.isfinite(new)
+    assert new >= 0.0
+
+
+@given(protocol=st.one_of(aimds, mimds), w=st.floats(min_value=0.1, max_value=1e6))
+def test_growth_without_loss_decrease_with_loss(protocol, w):
+    assert protocol.next_window(obs(w, 0.0)) > w
+    assert protocol.next_window(obs(w, 0.5)) < w
+
+
+@given(protocol=aimds, w1=window_values, w2=window_values, loss=loss_values)
+def test_aimd_preserves_window_ordering(protocol, w1, w2, loss):
+    # AIMD's update is monotone in the current window.
+    low, high = sorted((w1, w2))
+    assert protocol.next_window(obs(low, loss)) <= protocol.next_window(
+        obs(high, loss)
+    ) + 1e-9
+
+
+@given(protocol=robusts, w=st.floats(min_value=0.1, max_value=1e6),
+       loss=loss_values)
+def test_robust_aimd_threshold_dichotomy(protocol, w, loss):
+    new = protocol.next_window(obs(w, loss))
+    if loss >= protocol.epsilon:
+        assert new == w * protocol.b
+    else:
+        assert new == w + protocol.a
+
+
+@given(protocol=mimds, w=st.floats(min_value=0.1, max_value=1e3),
+       losses=st.lists(loss_values, min_size=1, max_size=30))
+def test_mimd_ratio_preservation_along_any_feedback(protocol, w, losses):
+    w1, w2 = w, 3.0 * w
+    for loss in losses:
+        w1 = protocol.next_window(obs(w1, loss))
+        w2 = protocol.next_window(obs(w2, loss))
+    assert w2 == pytest_approx(3.0 * w1)
+
+
+def pytest_approx(value: float, rel: float = 1e-6):
+    import pytest
+
+    return pytest.approx(value, rel=rel)
+
+
+@given(
+    c=st.floats(min_value=0.01, max_value=2.0),
+    b=st.floats(min_value=0.1, max_value=0.9),
+    x_max=st.floats(min_value=1.0, max_value=1e4),
+)
+def test_cubic_backoff_exact(c, b, x_max):
+    protocol = CUBIC(c, b)
+    assert protocol.next_window(obs(x_max, 0.5)) == pytest_approx(x_max * b)
+
+
+@given(
+    w=st.floats(min_value=1.0, max_value=1e4),
+    loss_sequence=st.lists(loss_values, min_size=2, max_size=40),
+)
+def test_pcc_windows_stay_positive(w, loss_sequence):
+    protocol = PccLike()
+    current = w
+    for loss in loss_sequence:
+        current = protocol.next_window(obs(current, loss))
+        assert math.isfinite(current)
+        assert current > 0.0
+
+
+@given(protocol=st.one_of(aimds, mimds, bins, robusts),
+       history=st.lists(st.tuples(window_values, loss_values), min_size=1,
+                        max_size=20))
+def test_determinism_across_clone(protocol, history):
+    # A clone fed the same history produces the same decisions.
+    clone = protocol.clone()
+    for w, loss in history:
+        assert protocol.next_window(obs(w, loss)) == clone.next_window(obs(w, loss))

@@ -1,0 +1,96 @@
+"""Property-based tests for statistics and Pareto machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.dominance import dominates, pareto_front
+from repro.analysis.stats import convergence_alpha, jain_index, min_over_max
+
+positive_series = arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=40),
+    elements=st.floats(min_value=0.0, max_value=1e6),
+)
+
+
+@given(values=positive_series)
+def test_jain_index_bounds(values):
+    n = values.size
+    assert 1.0 / n - 1e-12 <= jain_index(values) <= 1.0 + 1e-12
+
+
+@given(values=positive_series, scale=st.floats(min_value=1e-3, max_value=1e3))
+def test_jain_scale_invariance(values, scale):
+    assert jain_index(values * scale) == pytest.approx(jain_index(values), abs=1e-9)
+
+
+@given(values=positive_series)
+def test_min_over_max_bounds(values):
+    assert 0.0 <= min_over_max(values) <= 1.0
+
+
+@given(values=positive_series)
+def test_convergence_alpha_bounds(values):
+    alpha = convergence_alpha(values)
+    assert 0.0 <= alpha <= 1.0
+
+
+@given(values=positive_series)
+def test_convergence_alpha_band_is_valid_witness(values):
+    # The witness x* = (min+max)/2 satisfies the Metric V band inequality.
+    alpha = convergence_alpha(values)
+    x_star = (values.min() + values.max()) / 2.0
+    if x_star > 0:
+        assert values.min() >= alpha * x_star - 1e-9
+        assert values.max() <= (2.0 - alpha) * x_star + 1e-9
+
+
+points_strategy = st.lists(
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=3, max_size=3),
+    min_size=1,
+    max_size=25,
+)
+
+
+@given(points=points_strategy)
+def test_front_members_are_mutually_non_dominated(points):
+    front = pareto_front(points)
+    for i in front:
+        for j in front:
+            if i != j:
+                assert not dominates(points[i], points[j])
+
+
+@given(points=points_strategy)
+def test_non_members_are_dominated_by_someone(points):
+    front = set(pareto_front(points))
+    for index, point in enumerate(points):
+        if index not in front:
+            assert any(dominates(points[j], point) for j in range(len(points)))
+
+
+@given(points=points_strategy)
+def test_front_is_never_empty(points):
+    assert pareto_front(points)
+
+
+@given(
+    p=st.lists(st.floats(min_value=-10, max_value=10), min_size=2, max_size=6),
+)
+def test_dominance_irreflexive(p):
+    assert not dominates(p, p)
+
+
+@given(
+    pair=st.lists(
+        st.lists(st.floats(min_value=-10, max_value=10), min_size=4, max_size=4),
+        min_size=2, max_size=2,
+    )
+)
+def test_dominance_asymmetric(pair):
+    p, q = pair
+    if dominates(p, q):
+        assert not dominates(q, p)

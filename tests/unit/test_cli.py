@@ -1,0 +1,74 @@
+"""The command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.bw == 20.0
+        assert args.rtt == 42.0
+        assert args.buffer == 100.0
+        assert args.steps == 4000
+
+    def test_table2_flags(self):
+        args = build_parser().parse_args(["table2", "--packet", "--pcc-bound"])
+        assert args.packet and args.pcc_bound
+
+    def test_simulate_requires_protocols(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate"])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table9"])
+
+
+class TestMain:
+    def test_simulate_prints_summary(self, capsys):
+        exit_code = main(
+            ["simulate", "--protocols", "AIMD(1,0.5)", "reno", "--steps", "300"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "mean_utilization" in captured.out
+        assert "AIMD(1,0.5)" in captured.out
+
+    def test_figure1_runs_and_writes_json(self, capsys, tmp_path):
+        out = tmp_path / "figure1.json"
+        exit_code = main(["--json", str(out), "figure1"])
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert payload["mutually_non_dominated"] is True
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_table1_fast_run(self, capsys):
+        exit_code = main(["table1", "--steps", "800"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Robust-AIMD" in out
+
+    def test_table2_fast_run_markdown(self, capsys):
+        exit_code = main(["--markdown", "table2", "--steps", "800"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+        assert "|" in out  # markdown table
+
+    def test_claims_fast_run(self, capsys):
+        exit_code = main(["claims", "--steps", "1200"])
+        assert exit_code == 0
+        assert "Claim 1" in capsys.readouterr().out
+
+    def test_bad_protocol_spec_raises(self):
+        with pytest.raises(ValueError):
+            main(["simulate", "--protocols", "NOPE(1)"])

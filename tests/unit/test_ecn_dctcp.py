@@ -1,0 +1,141 @@
+"""The ECN extension and DCTCP (repro.model.link ECN, repro.protocols.dctcp)."""
+
+import pytest
+
+from repro.model.dynamics import FluidSimulator
+from repro.model.link import Link
+from repro.model.sender import Observation
+from repro.protocols.aimd import AIMD
+from repro.protocols.dctcp import DCTCP
+
+
+def obs(window: float, loss: float = 0.0, ecn: float = 0.0) -> Observation:
+    return Observation(step=0, window=window, loss_rate=loss, rtt=0.042,
+                       min_rtt=0.042, ecn_fraction=ecn)
+
+
+@pytest.fixture
+def ecn_link(emulab_link) -> Link:
+    return Link(
+        bandwidth=emulab_link.bandwidth,
+        theta=emulab_link.theta,
+        buffer_size=emulab_link.buffer_size,
+        ecn_threshold=20.0,
+    )
+
+
+class TestMarkFraction:
+    def test_disabled_by_default(self, emulab_link):
+        assert emulab_link.mark_fraction(1e6) == 0.0
+
+    def test_zero_below_threshold(self, ecn_link):
+        # Queue below K = 20: C + K = 90 MSS.
+        assert ecn_link.mark_fraction(85.0) == 0.0
+        assert ecn_link.mark_fraction(90.0) == 0.0
+
+    def test_fraction_above_threshold(self, ecn_link):
+        # X = 100: 10 MSS sit beyond the K-th slot out of 100 sent.
+        assert ecn_link.mark_fraction(100.0) == pytest.approx(0.1)
+
+    def test_capped_by_pipe(self, ecn_link):
+        # Beyond the pipe, only delivered traffic can be marked.
+        fraction = ecn_link.mark_fraction(400.0)
+        assert fraction == pytest.approx((170.0 - 90.0) / 400.0)
+
+    def test_monotone_in_load(self, ecn_link):
+        values = [ecn_link.mark_fraction(x) for x in (95, 110, 140, 170)]
+        assert values == sorted(values)
+
+    def test_threshold_validation(self, emulab_link):
+        with pytest.raises(ValueError):
+            Link(bandwidth=1000, theta=0.021, buffer_size=10, ecn_threshold=11)
+        with pytest.raises(ValueError):
+            Link(bandwidth=1000, theta=0.021, buffer_size=10, ecn_threshold=-1)
+
+    def test_negative_window_rejected(self, ecn_link):
+        with pytest.raises(ValueError):
+            ecn_link.mark_fraction(-1.0)
+
+
+class TestDctcpRules:
+    def test_additive_increase_without_signal(self):
+        assert DCTCP(a=1).next_window(obs(10.0)) == pytest.approx(11.0)
+
+    def test_proportional_backoff(self):
+        protocol = DCTCP(g=1.0)  # alpha tracks F exactly
+        # F = 0.5 -> alpha = 0.5 -> multiply by (1 - 0.25).
+        assert protocol.next_window(obs(100.0, ecn=0.5)) == pytest.approx(75.0)
+
+    def test_small_marks_mean_gentle_backoff(self):
+        protocol = DCTCP(g=1.0)
+        assert protocol.next_window(obs(100.0, ecn=0.05)) == pytest.approx(97.5)
+
+    def test_ewma_smooths_alpha(self):
+        protocol = DCTCP(g=0.5)
+        protocol.next_window(obs(10.0, ecn=1.0))
+        assert protocol.alpha == pytest.approx(0.5)
+        protocol.next_window(obs(10.0, ecn=0.0))
+        assert protocol.alpha == pytest.approx(0.25)
+
+    def test_loss_falls_back_to_halving(self):
+        assert DCTCP().next_window(obs(100.0, loss=0.01)) == pytest.approx(50.0)
+
+    def test_reset_clears_alpha(self):
+        protocol = DCTCP(g=1.0)
+        protocol.next_window(obs(10.0, ecn=1.0))
+        protocol.reset()
+        assert protocol.alpha == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DCTCP(a=0)
+        with pytest.raises(ValueError):
+            DCTCP(g=0.0)
+        with pytest.raises(ValueError):
+            DCTCP(g=1.5)
+
+    def test_registry_spec(self):
+        from repro.protocols.registry import make_protocol
+
+        assert isinstance(make_protocol("dctcp"), DCTCP)
+        assert make_protocol("DCTCP(1, 0.125)").g == pytest.approx(0.125)
+
+
+class TestDctcpDynamics:
+    def test_zero_loss_full_utilization_low_latency(self, ecn_link):
+        # The DCTCP trifecta on an ECN link.
+        trace = FluidSimulator(ecn_link, [DCTCP()] * 2).run(2000)
+        tail = trace.tail(0.5)
+        assert tail.congestion_loss.max() == 0.0
+        assert tail.utilization().mean() > 0.95
+        assert tail.rtt_inflation().mean() < 0.5
+
+    def test_lower_latency_than_reno_on_same_link(self, ecn_link):
+        dctcp = FluidSimulator(ecn_link, [DCTCP()] * 2).run(2000)
+        reno = FluidSimulator(ecn_link, [AIMD(1, 0.5)] * 2).run(2000)
+        assert (
+            dctcp.tail(0.5).rtt_inflation().mean()
+            < 0.5 * reno.tail(0.5).rtt_inflation().mean()
+        )
+
+    def test_reno_ignores_marks_and_still_drops(self, ecn_link):
+        reno = FluidSimulator(ecn_link, [AIMD(1, 0.5)] * 2).run(2000)
+        assert reno.tail(0.5).congestion_loss.max() > 0.0
+
+    def test_without_ecn_dctcp_degrades_to_loss_based(self, emulab_link):
+        # No marks: increase to loss, halve — classic-TCP-like behaviour.
+        trace = FluidSimulator(emulab_link, [DCTCP()] * 2).run(2000)
+        tail = trace.tail(0.5)
+        assert tail.congestion_loss.max() > 0.0
+        assert tail.utilization().mean() > 0.7
+
+    def test_dctcp_converges_to_fairness(self, ecn_link):
+        from repro.model.dynamics import SimulationConfig
+
+        sim = FluidSimulator(
+            ecn_link, [DCTCP()] * 2,
+            SimulationConfig(initial_windows=[120.0, 1.0]),
+        )
+        trace = sim.run(4000)
+        means = trace.tail(0.25).mean_windows()
+        assert min(means) / max(means) > 0.8

@@ -1,0 +1,120 @@
+"""Analytic limit cycles vs the simulator (repro.core.theory.equilibrium)."""
+
+import numpy as np
+import pytest
+
+from repro.core.theory.equilibrium import (
+    LimitCycle,
+    aimd_limit_cycle,
+    mimd_limit_cycle,
+    robust_aimd_operating_point,
+)
+from repro.model.dynamics import run_homogeneous
+from repro.protocols.aimd import AIMD
+from repro.protocols.robust_aimd import RobustAIMD
+
+
+class TestLimitCycleDataclass:
+    def test_derived_rates(self):
+        cycle = LimitCycle(peak_window=100, trough_window=50, period_steps=50,
+                           loss_per_event=0.01, average_window=75)
+        assert cycle.loss_event_rate == pytest.approx(0.02)
+        assert cycle.average_loss == pytest.approx(0.0002)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LimitCycle(10, 20, 5, 0.0, 15)  # peak below trough
+        with pytest.raises(ValueError):
+            LimitCycle(20, 10, 0, 0.0, 15)
+        with pytest.raises(ValueError):
+            LimitCycle(20, 10, 5, 1.0, 15)
+
+
+class TestAimdCycleVsSimulator:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    @pytest.mark.parametrize("b", [0.5, 0.8])
+    def test_peak_matches_simulation(self, emulab_link, n, b):
+        cycle = aimd_limit_cycle(1.0, b, emulab_link, n)
+        trace = run_homogeneous(emulab_link, AIMD(1.0, b), n, 3000)
+        measured_peak = float(np.nanmax(trace.tail(0.3).windows))
+        # The analytic peak is exact up to the integer-step phase (one
+        # increment of slack).
+        assert measured_peak == pytest.approx(cycle.peak_window, abs=1.5)
+
+    def test_trough_matches_simulation(self, emulab_link):
+        cycle = aimd_limit_cycle(1.0, 0.5, emulab_link, 2)
+        trace = run_homogeneous(emulab_link, AIMD(1.0, 0.5), 2, 3000)
+        measured_trough = float(np.nanmin(trace.tail(0.3).windows))
+        assert measured_trough == pytest.approx(cycle.trough_window, abs=1.5)
+
+    def test_loss_per_event_matches_simulation(self, emulab_link):
+        cycle = aimd_limit_cycle(1.0, 0.5, emulab_link, 2)
+        trace = run_homogeneous(emulab_link, AIMD(1.0, 0.5), 2, 3000)
+        tail_loss = trace.tail(0.3).congestion_loss
+        measured = float(tail_loss[tail_loss > 0].max())
+        assert measured == pytest.approx(cycle.loss_per_event, rel=0.05)
+
+    def test_period_matches_simulation(self, emulab_link):
+        cycle = aimd_limit_cycle(1.0, 0.5, emulab_link, 2)
+        trace = run_homogeneous(emulab_link, AIMD(1.0, 0.5), 2, 3000)
+        lossy = np.nonzero(trace.tail(0.3).congestion_loss > 0)[0]
+        measured_period = float(np.diff(lossy).mean())
+        assert measured_period == pytest.approx(cycle.period_steps, rel=0.1)
+
+    def test_average_window_between_extremes(self, emulab_link):
+        cycle = aimd_limit_cycle(1.0, 0.5, emulab_link, 2)
+        assert cycle.trough_window < cycle.average_window < cycle.peak_window
+
+    def test_utilization_formula(self, emulab_link):
+        cycle = aimd_limit_cycle(1.0, 0.5, emulab_link, 2)
+        util = cycle.average_utilization(emulab_link, 2)
+        trace = run_homogeneous(emulab_link, AIMD(1.0, 0.5), 2, 3000)
+        measured = float(trace.tail(0.3).total_window().mean()) / emulab_link.capacity
+        assert util == pytest.approx(measured, rel=0.05)
+
+
+class TestMimdCycle:
+    def test_period_is_recovery_length(self, emulab_link):
+        cycle = mimd_limit_cycle(1.01, 0.875, emulab_link, 1)
+        import math
+
+        expected = math.ceil(math.log(1 / 0.875) / math.log(1.01)) + 1
+        assert cycle.period_steps == expected
+
+    def test_loss_per_event(self, emulab_link):
+        cycle = mimd_limit_cycle(1.01, 0.875, emulab_link, 1)
+        assert cycle.loss_per_event == pytest.approx(0.01 / 1.01)
+
+    def test_validation(self, emulab_link):
+        with pytest.raises(ValueError):
+            mimd_limit_cycle(1.0, 0.875, emulab_link, 1)
+        with pytest.raises(ValueError):
+            mimd_limit_cycle(1.01, 1.0, emulab_link, 1)
+
+
+class TestRobustAimdOperatingPoint:
+    def test_degenerates_to_aimd_when_threshold_below_quantum(self, emulab_link):
+        # At 20 Mbps the n=2 quantum (0.0116) exceeds eps=0.01.
+        robust = robust_aimd_operating_point(1.0, 0.8, 0.01, emulab_link, 2)
+        plain = aimd_limit_cycle(1.0, 0.8, emulab_link, 2)
+        assert robust == plain
+
+    def test_binding_regime_caps_loss_at_epsilon(self, big_link):
+        # At 100 Mbps the quantum is ~0.0044 < eps: the threshold binds.
+        cycle = robust_aimd_operating_point(1.0, 0.8, 0.01, big_link, 2)
+        assert cycle.loss_per_event == pytest.approx(0.01)
+        assert cycle.peak_window == pytest.approx(
+            big_link.pipe_limit / 0.99 / 2
+        )
+
+    def test_binding_regime_matches_simulation(self, big_link):
+        cycle = robust_aimd_operating_point(1.0, 0.8, 0.01, big_link, 2)
+        trace = run_homogeneous(
+            big_link, RobustAIMD(1.0, 0.8, 0.01), 2, 4000
+        )
+        measured_peak = float(np.nanmax(trace.tail(0.3).windows))
+        assert measured_peak == pytest.approx(cycle.peak_window, rel=0.02)
+
+    def test_validation(self, emulab_link):
+        with pytest.raises(ValueError):
+            robust_aimd_operating_point(1.0, 0.8, 0.0, emulab_link, 2)

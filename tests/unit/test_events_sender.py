@@ -1,0 +1,105 @@
+"""Event schedules and sender state (repro.model.events, repro.model.sender)."""
+
+import math
+
+import pytest
+
+from repro.model.events import EventSchedule, LinkChange, SenderStart
+from repro.model.link import Link
+from repro.model.sender import Observation, SenderState
+
+
+class TestSenderStart:
+    def test_fields(self):
+        event = SenderStart(sender=1, step=10, window=5.0)
+        assert (event.sender, event.step, event.window) == (1, 10, 5.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"sender": -1, "step": 0},
+        {"sender": 0, "step": -1},
+        {"sender": 0, "step": 0, "window": -1.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SenderStart(**kwargs)
+
+
+class TestLinkChange:
+    def test_negative_step_rejected(self, emulab_link):
+        with pytest.raises(ValueError):
+            LinkChange(step=-1, link=emulab_link)
+
+
+class TestSchedule:
+    def test_start_for_returns_last_registration(self):
+        schedule = EventSchedule()
+        schedule.add_sender_start(0, 10)
+        schedule.add_sender_start(0, 20)
+        assert schedule.start_for(0).step == 20
+
+    def test_start_for_missing_sender(self):
+        assert EventSchedule().start_for(3) is None
+
+    def test_link_at_without_changes_returns_default(self, emulab_link):
+        assert EventSchedule().link_at(5, emulab_link) is emulab_link
+
+    def test_link_at_applies_latest_change(self, emulab_link):
+        half = emulab_link.with_bandwidth(emulab_link.bandwidth / 2)
+        quarter = emulab_link.with_bandwidth(emulab_link.bandwidth / 4)
+        schedule = (
+            EventSchedule()
+            .add_link_change(10, half)
+            .add_link_change(20, quarter)
+        )
+        assert schedule.link_at(5, emulab_link) is emulab_link
+        assert schedule.link_at(15, emulab_link) is half
+        assert schedule.link_at(25, emulab_link) is quarter
+
+    def test_max_step(self, emulab_link):
+        schedule = EventSchedule().add_sender_start(0, 7).add_link_change(
+            12, emulab_link
+        )
+        assert schedule.max_step() == 12
+
+    def test_max_step_empty(self):
+        assert EventSchedule().max_step() == 0
+
+    def test_chaining_returns_self(self):
+        schedule = EventSchedule()
+        assert schedule.add_sender_start(0, 1) is schedule
+
+
+class TestSenderState:
+    def test_active_respects_start_step(self):
+        state = SenderState(index=0, window=1.0, start_step=5)
+        assert not state.active(4)
+        assert state.active(5)
+
+    def test_record_appends_history(self):
+        state = SenderState(index=0, window=1.0)
+        state.record(1.0, 0.0, 0.042)
+        state.record(2.0, 0.1, 0.05)
+        assert state.windows == [1.0, 2.0]
+        assert state.loss_rates == [0.0, 0.1]
+        assert state.rtts == [0.042, 0.05]
+
+    def test_min_rtt_tracks_minimum(self):
+        state = SenderState(index=0, window=1.0)
+        state.record(1.0, 0.0, 0.05)
+        state.record(1.0, 0.0, 0.042)
+        state.record(1.0, 0.0, 0.06)
+        assert state.min_rtt == pytest.approx(0.042)
+
+    def test_observation_reflects_last_step(self):
+        state = SenderState(index=0, window=1.0)
+        state.record(3.0, 0.2, 0.05)
+        obs = state.observation(step=7)
+        assert obs == Observation(step=7, window=3.0, loss_rate=0.2, rtt=0.05,
+                                  min_rtt=0.05)
+
+    def test_observation_without_history_raises(self):
+        with pytest.raises(ValueError):
+            SenderState(index=0, window=1.0).observation(0)
+
+    def test_initial_min_rtt_is_inf(self):
+        assert math.isinf(SenderState(index=0, window=1.0).min_rtt)

@@ -1,0 +1,133 @@
+"""Unit tests for experiment-driver internals.
+
+The integration suite runs the drivers end-to-end; these tests pin the
+helper functions — theory-row lookup, loss quantum, kernel Cubic time
+scaling, cell measurement plumbing — at unit granularity.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.claims import loss_quantum
+from repro.experiments.emulab import (
+    _theory_row,
+    default_protocols,
+    kernel_cubic_c_per_round,
+)
+from repro.experiments.figure1 import measure_aimd_point
+from repro.experiments.table1 import paper_protocols
+from repro.experiments.table2 import Table2Cell, Table2Result, measure_friendliness
+from repro.core.metrics import EstimatorConfig
+from repro.model.link import Link
+from repro.protocols import presets
+
+
+class TestLossQuantum:
+    def test_formula(self, emulab_link):
+        # n = 2, a = 1, pipe = 170: quantum = 2/172.
+        assert loss_quantum(emulab_link, 2, 1.0) == pytest.approx(2 / 172)
+
+    def test_shrinks_with_pipe(self, emulab_link, big_link):
+        assert loss_quantum(big_link, 2, 1.0) < loss_quantum(emulab_link, 2, 1.0)
+
+    def test_grows_with_senders(self, emulab_link):
+        assert loss_quantum(emulab_link, 4, 1.0) > loss_quantum(emulab_link, 2, 1.0)
+
+    def test_validation(self, emulab_link):
+        with pytest.raises(ValueError):
+            loss_quantum(emulab_link, 0, 1.0)
+        with pytest.raises(ValueError):
+            loss_quantum(emulab_link, 2, 0.0)
+
+
+class TestKernelCubicScaling:
+    def test_42ms_value(self):
+        # 0.4 * 0.042^3 ~ 2.96e-5 segments per round^3.
+        assert kernel_cubic_c_per_round(42.0) == pytest.approx(2.96e-5, rel=0.01)
+
+    def test_cubic_time_scaling(self):
+        # Slower RTTs mean fewer rounds per second: c_round grows as rtt^3.
+        assert kernel_cubic_c_per_round(84.0) == pytest.approx(
+            8 * kernel_cubic_c_per_round(42.0)
+        )
+
+    def test_recovery_time_is_seconds_scale(self):
+        # K (rounds) * rtt should be ~ (W_max * 0.2 / 0.4)^(1/3) seconds.
+        c_round = kernel_cubic_c_per_round(42.0)
+        w_max = 80.0
+        k_rounds = (w_max * 0.2 / c_round) ** (1 / 3)
+        k_seconds = k_rounds * 0.042
+        assert k_seconds == pytest.approx((w_max * 0.2 / 0.4) ** (1 / 3), rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kernel_cubic_c_per_round(0.0)
+
+
+class TestEmulabTheoryRows:
+    def test_rows_resolve_for_all_defaults(self):
+        for name in default_protocols():
+            row = _theory_row(name, 70.0, 100.0, 2)
+            assert row.protocol
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            _theory_row("bbr", 70.0, 100.0, 2)
+
+    def test_cubic_row_uses_kernel_scaling(self):
+        row = _theory_row("cubic", 70.0, 100.0, 2)
+        assert row.worst_case.fast_utilization == pytest.approx(
+            kernel_cubic_c_per_round(42.0)
+        )
+
+
+class TestTable1Protocols:
+    def test_paper_roster(self):
+        names = [p.name for p in paper_protocols()]
+        assert names == [
+            "AIMD(1,0.5)",
+            "MIMD(1.01,0.875)",
+            "BIN(1,1,1,0)",
+            "CUBIC(0.4,0.8)",
+            "Robust-AIMD(1,0.8,0.01)",
+        ]
+
+
+class TestTable2Pieces:
+    def test_cell_improvement(self):
+        cell = Table2Cell(2, 20, friendliness_robust_aimd=0.06,
+                          friendliness_pcc=0.02)
+        assert cell.improvement == pytest.approx(3.0)
+
+    def test_cell_improvement_with_zero_pcc(self):
+        cell = Table2Cell(2, 20, friendliness_robust_aimd=0.06,
+                          friendliness_pcc=0.0)
+        assert math.isinf(cell.improvement)
+
+    def test_result_aggregates(self):
+        result = Table2Result(cells=[
+            Table2Cell(2, 20, 0.06, 0.02),
+            Table2Cell(2, 30, 0.08, 0.02),
+        ])
+        assert result.mean_improvement == pytest.approx(3.5)
+        assert result.min_improvement == pytest.approx(3.0)
+        assert result.all_friendlier
+
+    def test_measure_friendliness_validation(self):
+        with pytest.raises(ValueError):
+            measure_friendliness(presets.robust_aimd_paper(), 1, 20)
+
+    def test_reno_against_itself_is_parity(self):
+        alpha = measure_friendliness(presets.reno(), 2, 20, steps=1200)
+        assert alpha == pytest.approx(1.0, abs=0.05)
+
+
+class TestFigure1Helpers:
+    def test_measure_aimd_point_fields(self, emulab_link):
+        point = measure_aimd_point(
+            1.0, 0.5, emulab_link, EstimatorConfig(steps=1200)
+        )
+        assert point.predicted_friendliness == pytest.approx(1.0)
+        assert point.measured_friendliness == pytest.approx(1.0, abs=0.05)
+        assert point.friendliness_error() < 0.05

@@ -1,0 +1,128 @@
+"""The bottleneck link: Eq. (1) RTT and droptail loss (repro.model.link)."""
+
+import math
+
+import pytest
+
+from repro.model.link import Link
+
+
+class TestConstruction:
+    def test_from_mbps_matches_paper_capacity(self, emulab_link):
+        assert emulab_link.capacity == pytest.approx(70.0)
+        assert emulab_link.base_rtt == pytest.approx(0.042)
+        assert emulab_link.pipe_limit == pytest.approx(170.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -5.0])
+    def test_bad_bandwidth_rejected(self, bad):
+        with pytest.raises(ValueError):
+            Link(bandwidth=bad, theta=0.021, buffer_size=100)
+
+    def test_bad_theta_rejected(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth=1000, theta=0.0, buffer_size=100)
+
+    def test_negative_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth=1000, theta=0.021, buffer_size=-1)
+
+    def test_timeout_below_base_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth=1000, theta=0.021, buffer_size=100, timeout_rtt=0.01)
+
+    def test_default_timeout_exceeds_full_buffer_rtt(self, emulab_link):
+        assert emulab_link.timeout_rtt > emulab_link.full_buffer_rtt()
+
+    def test_infinite_link_has_huge_capacity(self):
+        link = Link.infinite()
+        assert link.capacity > 1e10
+        assert link.loss_rate(1e6) == 0.0
+
+
+class TestRtt:
+    """The paper's Eq. (1)."""
+
+    def test_below_capacity_gives_base_rtt(self, emulab_link):
+        assert emulab_link.rtt(0.0) == pytest.approx(emulab_link.base_rtt)
+        assert emulab_link.rtt(69.9) == pytest.approx(emulab_link.base_rtt)
+
+    def test_exact_capacity_gives_base_rtt(self, emulab_link):
+        assert emulab_link.rtt(70.0) == pytest.approx(emulab_link.base_rtt)
+
+    def test_queueing_delay_grows_linearly(self, emulab_link):
+        # X = C + q queues q MSS, adding q / B seconds.
+        q = 50.0
+        expected = emulab_link.base_rtt + q / emulab_link.bandwidth
+        assert emulab_link.rtt(70.0 + q) == pytest.approx(expected)
+
+    def test_at_pipe_limit_returns_timeout(self, emulab_link):
+        # X = C + tau is the boundary: Eq. (1) switches to Delta.
+        assert emulab_link.rtt(emulab_link.pipe_limit) == pytest.approx(
+            emulab_link.timeout_rtt
+        )
+
+    def test_beyond_pipe_limit_returns_timeout(self, emulab_link):
+        assert emulab_link.rtt(1e6) == pytest.approx(emulab_link.timeout_rtt)
+
+    def test_negative_window_rejected(self, emulab_link):
+        with pytest.raises(ValueError):
+            emulab_link.rtt(-1.0)
+
+
+class TestLoss:
+    def test_no_loss_within_pipe(self, emulab_link):
+        assert emulab_link.loss_rate(0.0) == 0.0
+        assert emulab_link.loss_rate(170.0) == 0.0
+
+    def test_loss_is_excess_fraction(self, emulab_link):
+        # X = 2 * (C + tau) drops half the traffic.
+        assert emulab_link.loss_rate(340.0) == pytest.approx(0.5)
+
+    def test_loss_monotone_in_window(self, emulab_link):
+        losses = [emulab_link.loss_rate(x) for x in (171, 200, 300, 1000)]
+        assert losses == sorted(losses)
+        assert all(0 < loss < 1 for loss in losses)
+
+    def test_loss_never_reaches_one(self, emulab_link):
+        assert emulab_link.loss_rate(1e12) < 1.0
+
+    def test_negative_window_rejected(self, emulab_link):
+        with pytest.raises(ValueError):
+            emulab_link.loss_rate(-0.1)
+
+
+class TestQueueOccupancy:
+    def test_empty_below_capacity(self, emulab_link):
+        assert emulab_link.queue_occupancy(50.0) == 0.0
+
+    def test_partial(self, emulab_link):
+        assert emulab_link.queue_occupancy(120.0) == pytest.approx(50.0)
+
+    def test_clamped_at_buffer(self, emulab_link):
+        assert emulab_link.queue_occupancy(1e6) == pytest.approx(100.0)
+
+
+class TestMisc:
+    def test_with_bandwidth_changes_capacity(self, emulab_link):
+        doubled = emulab_link.with_bandwidth(2 * emulab_link.bandwidth)
+        assert doubled.capacity == pytest.approx(2 * emulab_link.capacity)
+        assert doubled.buffer_size == emulab_link.buffer_size
+
+    def test_describe_mentions_parameters(self, emulab_link):
+        text = emulab_link.describe()
+        assert "20.0 Mbps" in text
+        assert "42.0 ms" in text
+
+    def test_frozen(self, emulab_link):
+        with pytest.raises(Exception):
+            emulab_link.bandwidth = 1.0
+
+    def test_full_buffer_rtt(self, emulab_link):
+        expected = emulab_link.base_rtt + 100 / emulab_link.bandwidth
+        assert emulab_link.full_buffer_rtt() == pytest.approx(expected)
+
+    def test_describe_infinite(self):
+        assert "infinite" in Link.infinite().describe()
+
+    def test_timeout_is_finite(self, emulab_link):
+        assert math.isfinite(emulab_link.timeout_rtt)

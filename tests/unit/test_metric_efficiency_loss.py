@@ -1,0 +1,80 @@
+"""Metrics I and III: efficiency and loss-avoidance estimators."""
+
+import pytest
+
+from repro.core.metrics.base import EstimatorConfig
+from repro.core.metrics.efficiency import efficiency_from_trace, estimate_efficiency
+from repro.core.metrics.loss_avoidance import (
+    estimate_loss_avoidance,
+    loss_avoidance_from_trace,
+)
+from repro.core.theory import table1
+from repro.model.dynamics import run_homogeneous
+from repro.protocols.aimd import AIMD
+from repro.protocols.mimd import MIMD
+from repro.protocols.probe import ProbeAndHold
+
+
+class TestEfficiency:
+    @pytest.mark.parametrize("b", [0.3, 0.5, 0.8])
+    def test_aimd_matches_nuanced_theory(self, emulab_link, fast_config, b):
+        # Table 1: AIMD(a, b) is min(1, b(1 + tau/C))-efficient.
+        result = estimate_efficiency(AIMD(1, b), emulab_link, fast_config)
+        predicted = table1.multiplicative_efficiency(
+            b, emulab_link.capacity, emulab_link.buffer_size
+        )
+        assert min(1.0, result.score) == pytest.approx(predicted, abs=0.07)
+
+    def test_capped_score_in_detail(self, emulab_link, fast_config):
+        result = estimate_efficiency(AIMD(1, 0.5), emulab_link, fast_config)
+        assert result.detail["capped_score"] <= 1.0
+
+    def test_shallow_buffer_hurts_reno(self, shallow_link, emulab_link, fast_config):
+        deep = estimate_efficiency(AIMD(1, 0.5), emulab_link, fast_config)
+        shallow = estimate_efficiency(AIMD(1, 0.5), shallow_link, fast_config)
+        assert shallow.score < deep.score
+
+    def test_larger_b_means_higher_efficiency(self, shallow_link, fast_config):
+        scores = [
+            estimate_efficiency(AIMD(1, b), shallow_link, fast_config).score
+            for b in (0.3, 0.6, 0.9)
+        ]
+        assert scores == sorted(scores)
+
+    def test_from_trace_uses_minimum(self, emulab_link):
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 2, 1000)
+        result = efficiency_from_trace(trace)
+        ratio = trace.tail(0.5).total_window() / trace.tail(0.5).capacities
+        assert result.score == pytest.approx(float(ratio.min()))
+
+
+class TestLossAvoidance:
+    def test_aimd_two_senders_matches_overshoot_formula(self, emulab_link, fast_config):
+        # Loss quantum 1 - (C+tau)/(C+tau+n*a).
+        result = estimate_loss_avoidance(AIMD(1, 0.5), emulab_link, fast_config)
+        predicted = table1.additive_overshoot_loss(
+            2 * 1.0, emulab_link.capacity, emulab_link.buffer_size
+        )
+        assert result.score == pytest.approx(predicted, rel=0.3)
+
+    def test_larger_increment_more_loss(self, emulab_link, fast_config):
+        small = estimate_loss_avoidance(AIMD(1, 0.5), emulab_link, fast_config)
+        big = estimate_loss_avoidance(AIMD(8, 0.5), emulab_link, fast_config)
+        assert big.score > small.score
+
+    def test_probe_and_hold_is_zero_loss(self, emulab_link, fast_config):
+        result = estimate_loss_avoidance(ProbeAndHold(1, 0.9), emulab_link,
+                                         fast_config)
+        assert result.score == 0.0
+        assert result.detail["is_zero_loss"]
+
+    def test_mimd_loss_scale(self, emulab_link, fast_config):
+        # MIMD's overshoot is ~(a-1) of the pipe: small for a=1.01.
+        result = estimate_loss_avoidance(MIMD(1.01, 0.875), emulab_link, fast_config)
+        assert 0.0 < result.score < 0.05
+
+    def test_from_trace_detail_fields(self, emulab_link):
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 2, 800)
+        result = loss_avoidance_from_trace(trace)
+        assert 0 <= result.detail["loss_event_fraction"] <= 1
+        assert result.detail["mean_loss"] <= result.score

@@ -1,0 +1,113 @@
+"""Extension axioms: responsiveness and churn resilience."""
+
+import math
+
+import pytest
+
+from repro.core.metrics.extensions import (
+    estimate_churn_resilience,
+    estimate_responsiveness,
+)
+from repro.protocols.aimd import AIMD
+from repro.protocols.mimd import MIMD
+from repro.protocols.probe import ProbeAndHold
+
+
+class TestResponsiveness:
+    def test_aimd_reclaims_doubled_link(self, emulab_link):
+        result = estimate_responsiveness(AIMD(1, 0.5), emulab_link)
+        assert math.isfinite(result.score)
+        assert result.score > 0
+
+    def test_faster_increase_responds_faster(self, emulab_link):
+        slow = estimate_responsiveness(AIMD(0.25, 0.5), emulab_link)
+        fast = estimate_responsiveness(AIMD(4, 0.5), emulab_link)
+        assert fast.score < slow.score
+
+    def test_mimd_responds_quickly(self, emulab_link):
+        # Superlinear probing reclaims spare capacity fast.
+        mimd = estimate_responsiveness(MIMD(1.05, 0.875), emulab_link)
+        aimd = estimate_responsiveness(AIMD(0.5, 0.5), emulab_link)
+        assert mimd.score < aimd.score
+
+    def test_probe_and_hold_never_responds(self, emulab_link):
+        # After its first loss the protocol holds: a capacity doubling
+        # goes permanently unclaimed — the temporal face of Claim 1.
+        result = estimate_responsiveness(ProbeAndHold(1, 0.9), emulab_link)
+        assert math.isinf(result.score)
+
+    def test_validation(self, emulab_link):
+        with pytest.raises(ValueError):
+            estimate_responsiveness(AIMD(1, 0.5), emulab_link, target_fraction=0.0)
+        with pytest.raises(ValueError):
+            estimate_responsiveness(AIMD(1, 0.5), emulab_link, warmup_steps=0)
+
+
+class TestChurnResilience:
+    def test_aimd_joiner_reaches_half_share(self, emulab_link):
+        result = estimate_churn_resilience(AIMD(1, 0.5), emulab_link)
+        assert math.isfinite(result.score)
+        assert result.detail["joiner_final_window"] > result.detail["target_window"]
+
+    def test_mimd_starves_joiners(self, emulab_link):
+        # MIMD preserves ratios: an incumbent at capacity vs a 1-MSS joiner
+        # stays ~C:1 forever, so the joiner never reaches half share.
+        result = estimate_churn_resilience(MIMD(1.01, 0.875), emulab_link)
+        assert math.isinf(result.score)
+
+    def test_more_incumbents_is_harder_but_share_shrinks(self, emulab_link):
+        one = estimate_churn_resilience(AIMD(1, 0.5), emulab_link, incumbents=1)
+        three = estimate_churn_resilience(AIMD(1, 0.5), emulab_link, incumbents=3)
+        assert three.detail["fair_share"] < one.detail["fair_share"]
+        assert math.isfinite(three.score)
+
+    def test_validation(self, emulab_link):
+        with pytest.raises(ValueError):
+            estimate_churn_resilience(AIMD(1, 0.5), emulab_link, incumbents=0)
+        with pytest.raises(ValueError):
+            estimate_churn_resilience(AIMD(1, 0.5), emulab_link, share_fraction=2.0)
+
+
+class TestUnsynchronizedLoss:
+    """The unsynchronized-feedback model variant (future-work extension)."""
+
+    def test_small_flow_often_spared(self, emulab_link):
+        import numpy as np
+
+        from repro.model.dynamics import FluidSimulator, SimulationConfig
+
+        config = SimulationConfig(
+            initial_windows=[150.0, 2.0], unsynchronized_loss=True, seed=5
+        )
+        sim = FluidSimulator(emulab_link, [AIMD(1, 0.5)] * 2, config)
+        trace = sim.run(2000)
+        lossy_steps = trace.congestion_loss > 0
+        big_noticed = (trace.observed_loss[lossy_steps, 0] > 0).mean()
+        small_noticed = (trace.observed_loss[lossy_steps, 1] > 0).mean()
+        assert small_noticed < big_noticed
+
+    def test_deterministic_given_seed(self, emulab_link):
+        import numpy as np
+
+        from repro.model.dynamics import FluidSimulator, SimulationConfig
+
+        def run():
+            config = SimulationConfig(
+                initial_windows=[50.0, 1.0], unsynchronized_loss=True, seed=9
+            )
+            return FluidSimulator(emulab_link, [AIMD(1, 0.5)] * 2, config).run(500)
+
+        np.testing.assert_array_equal(run().windows, run().windows)
+
+    def test_synchronized_default_unchanged(self, emulab_link):
+        import numpy as np
+
+        from repro.model.dynamics import FluidSimulator, SimulationConfig
+
+        config = SimulationConfig(initial_windows=[150.0, 2.0])
+        trace = FluidSimulator(emulab_link, [AIMD(1, 0.5)] * 2, config).run(500)
+        lossy = trace.congestion_loss > 0
+        # Synchronized feedback: everyone sees every loss event.
+        np.testing.assert_array_equal(
+            trace.observed_loss[lossy, 0] > 0, trace.observed_loss[lossy, 1] > 0
+        )

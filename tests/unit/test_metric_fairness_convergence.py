@@ -1,0 +1,66 @@
+"""Metrics IV and V: fairness and convergence estimators."""
+
+import pytest
+
+from repro.core.metrics.base import EstimatorConfig
+from repro.core.metrics.convergence import convergence_from_trace, estimate_convergence
+from repro.core.metrics.fairness import estimate_fairness, fairness_from_trace
+from repro.model.dynamics import run_homogeneous
+from repro.protocols.aimd import AIMD
+from repro.protocols.mimd import MIMD
+
+
+class TestFairness:
+    def test_aimd_equalizes_from_any_start(self, emulab_link, fast_config):
+        # Table 1: AIMD is 1-fair — even from maximally unequal windows.
+        result = estimate_fairness(AIMD(1, 0.5), emulab_link, fast_config)
+        assert result.score > 0.9
+
+    def test_mimd_preserves_inequality(self, emulab_link, fast_config):
+        # Table 1: MIMD is 0-fair (ratio-preserving).
+        result = estimate_fairness(MIMD(1.01, 0.875), emulab_link, fast_config)
+        assert result.score < 0.1
+
+    def test_four_senders(self, emulab_link):
+        config = EstimatorConfig(steps=2500, n_senders=4)
+        result = estimate_fairness(AIMD(1, 0.5), emulab_link, config)
+        assert result.score > 0.8
+
+    def test_jain_index_reported(self, emulab_link, fast_config):
+        result = estimate_fairness(AIMD(1, 0.5), emulab_link, fast_config)
+        assert 0 < result.detail["jain_index"] <= 1.0
+
+    def test_requires_two_senders(self, emulab_link):
+        config = EstimatorConfig(steps=100, n_senders=1)
+        with pytest.raises(ValueError):
+            estimate_fairness(AIMD(1, 0.5), emulab_link, config)
+
+    def test_from_trace_requires_two_senders(self, emulab_link):
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 1, 100)
+        with pytest.raises(ValueError):
+            fairness_from_trace(trace)
+
+
+class TestConvergence:
+    @pytest.mark.parametrize("b,expected", [(0.5, 2 * 0.5 / 1.5),
+                                            (0.8, 2 * 0.8 / 1.8)])
+    def test_aimd_matches_2b_over_1_plus_b(self, emulab_link, fast_config, b,
+                                           expected):
+        # The Table 1 convergence column, reproduced by the estimator.
+        result = estimate_convergence(AIMD(1, b), emulab_link, fast_config)
+        assert result.score == pytest.approx(expected, abs=0.05)
+
+    def test_per_sender_detail(self, emulab_link, fast_config):
+        result = estimate_convergence(AIMD(1, 0.5), emulab_link, fast_config)
+        assert len(result.detail["per_sender_alpha"]) == fast_config.n_senders
+        assert result.score == min(result.detail["per_sender_alpha"])
+
+    def test_gentler_backoff_converges_tighter(self, emulab_link, fast_config):
+        rough = estimate_convergence(AIMD(1, 0.3), emulab_link, fast_config)
+        gentle = estimate_convergence(AIMD(1, 0.9), emulab_link, fast_config)
+        assert gentle.score > rough.score
+
+    def test_from_trace(self, emulab_link):
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 2, 1200)
+        result = convergence_from_trace(trace)
+        assert 0 < result.score <= 1.0

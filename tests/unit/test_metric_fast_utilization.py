@@ -1,0 +1,96 @@
+"""Metric II: fast-utilization estimator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.metrics.base import EstimatorConfig
+from repro.core.metrics.fast_utilization import (
+    estimate_fast_utilization,
+    estimate_unconstrained_growth,
+    fast_utilization_from_trace,
+    witnessed_alpha,
+)
+from repro.model.dynamics import run_homogeneous
+from repro.protocols.aimd import AIMD
+from repro.protocols.binomial import BIN
+from repro.protocols.mimd import MIMD
+from repro.protocols.probe import ProbeAndHold
+
+
+class TestWitnessedAlpha:
+    def test_linear_growth_witnesses_slope(self):
+        # x(t) = x0 + a*t gives 2S/dt^2 = a(1 + 1/dt) -> a.
+        a, dt = 2.0, 100
+        windows = np.array([10.0 + a * t for t in range(dt + 1)])
+        assert witnessed_alpha(windows) == pytest.approx(a, rel=0.02)
+
+    def test_flat_growth_witnesses_zero(self):
+        assert witnessed_alpha(np.full(50, 7.0)) == 0.0
+
+    def test_exponential_growth_witnesses_more_with_longer_interval(self):
+        series = np.array([1.01**t for t in range(1200)])
+        assert witnessed_alpha(series) > witnessed_alpha(series[:600])
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            witnessed_alpha(np.array([1.0]))
+
+
+class TestEstimator:
+    @pytest.mark.parametrize("a", [0.5, 1.0, 2.0])
+    def test_aimd_witnesses_a(self, emulab_link, fast_config, a):
+        result = estimate_fast_utilization(AIMD(a, 0.5), emulab_link, fast_config)
+        assert result.score == pytest.approx(a, rel=0.05)
+
+    def test_probe_and_hold_witnesses_zero(self, emulab_link, fast_config):
+        # Claim 1's counterexample: after the hold begins, an endless
+        # loss-free zero-growth interval pins the witnessed alpha at 0.
+        result = estimate_fast_utilization(
+            ProbeAndHold(1, 0.9), emulab_link, fast_config
+        )
+        assert result.score == 0.0
+
+    def test_nan_when_no_long_interval(self, emulab_link):
+        # With the adaptive fallback disabled, an interval requirement
+        # longer than the run yields no estimate.
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 1, 50)
+        result = fast_utilization_from_trace(trace, min_interval=1000,
+                                             adaptive=False)
+        assert math.isnan(result.score)
+
+    def test_adaptive_fallback_recovers_estimate(self, emulab_link):
+        # The same request with the fallback enabled halves the requirement
+        # until the run's loss-free intervals qualify.
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 1, 600)
+        result = fast_utilization_from_trace(trace, min_interval=4096)
+        assert not math.isnan(result.score)
+        assert result.detail["min_interval_used"] < 4096
+
+    def test_min_interval_validation(self, emulab_link):
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 1, 50)
+        with pytest.raises(ValueError):
+            fast_utilization_from_trace(trace, min_interval=1)
+
+
+class TestUnconstrainedGrowth:
+    def test_aimd_is_linear(self):
+        result = estimate_unconstrained_growth(AIMD(1, 0.5), horizon=400)
+        assert result.detail["trend"] == "linear"
+        assert result.score == pytest.approx(1.0, rel=0.05)
+
+    def test_mimd_is_superlinear(self):
+        result = estimate_unconstrained_growth(MIMD(1.02, 0.875), horizon=800)
+        assert result.detail["trend"] == "superlinear"
+
+    def test_iiad_is_sublinear(self):
+        result = estimate_unconstrained_growth(
+            BIN(1, 1, 1, 0), horizon=800, start_window=4.0
+        )
+        assert result.detail["trend"] == "sublinear"
+        assert result.score < 0.5
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            estimate_unconstrained_growth(AIMD(1, 0.5), horizon=2)

@@ -1,0 +1,88 @@
+"""Metrics VII and VIII: friendliness and latency-avoidance estimators."""
+
+import pytest
+
+from repro.core.metrics.base import EstimatorConfig
+from repro.core.metrics.friendliness import (
+    estimate_friendliness,
+    estimate_tcp_friendliness,
+    friendliness_from_trace,
+)
+from repro.core.metrics.latency import (
+    deep_buffer_link,
+    estimate_latency_avoidance,
+    latency_from_trace,
+)
+from repro.core.theory.theorems import theorem2_friendliness_bound
+from repro.model.dynamics import FluidSimulator, SimulationConfig, run_homogeneous
+from repro.protocols.aimd import AIMD
+from repro.protocols.mimd import MIMD
+from repro.protocols.vegas import VegasLike
+
+
+class TestFriendliness:
+    def test_reno_is_one_friendly_to_itself(self, emulab_link, fast_config):
+        result = estimate_tcp_friendliness(AIMD(1, 0.5), emulab_link, fast_config)
+        assert result.score == pytest.approx(1.0, abs=0.05)
+
+    @pytest.mark.parametrize("a,b", [(2.0, 0.5), (1.0, 0.8)])
+    def test_aimd_attains_theorem2_bound(self, emulab_link, fast_config, a, b):
+        # The tightness half of Theorem 2.
+        result = estimate_tcp_friendliness(AIMD(a, b), emulab_link, fast_config)
+        assert result.score == pytest.approx(
+            theorem2_friendliness_bound(a, b), rel=0.1
+        )
+
+    def test_gentler_protocol_scores_above_one(self, emulab_link, fast_config):
+        # AIMD(0.5, 0.5) is *less* aggressive than Reno, so Reno keeps more.
+        result = estimate_tcp_friendliness(AIMD(0.5, 0.5), emulab_link, fast_config)
+        assert result.score > 1.5
+
+    def test_mimd_is_unfriendly(self, emulab_link, fast_config):
+        result = estimate_tcp_friendliness(
+            MIMD(1.01, 0.875), emulab_link, fast_config
+        )
+        assert result.score < 0.3
+
+    def test_per_mix_detail(self, emulab_link):
+        config = EstimatorConfig(steps=1200, n_senders=3)
+        result = estimate_friendliness(
+            AIMD(2, 0.5), AIMD(1, 0.5), emulab_link, config
+        )
+        assert set(result.detail["per_mix"]) == {"1P/2Q", "2P/1Q"}
+
+    def test_from_trace_validation(self, emulab_link):
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 2, 100)
+        with pytest.raises(ValueError):
+            friendliness_from_trace(trace, [], [0])
+        with pytest.raises(ValueError):
+            friendliness_from_trace(trace, [0], [0])
+
+
+class TestLatency:
+    def test_deep_buffer_link_scales_with_capacity(self, emulab_link):
+        deep = deep_buffer_link(emulab_link, 4.0)
+        assert deep.buffer_size == pytest.approx(4 * emulab_link.capacity)
+        with pytest.raises(ValueError):
+            deep_buffer_link(emulab_link, 0.0)
+
+    def test_loss_based_protocols_inflate_latency(self, emulab_link, fast_config):
+        # Reno fills whatever buffer exists: inflation far above zero.
+        result = estimate_latency_avoidance(AIMD(1, 0.5), emulab_link, fast_config)
+        assert result.score > 1.0
+
+    def test_vegas_keeps_latency_low(self, emulab_link, fast_config):
+        result = estimate_latency_avoidance(
+            VegasLike(gamma=0.2), emulab_link, fast_config
+        )
+        assert result.score < 0.5
+
+    def test_vegas_beats_reno(self, emulab_link, fast_config):
+        reno = estimate_latency_avoidance(AIMD(1, 0.5), emulab_link, fast_config)
+        vegas = estimate_latency_avoidance(VegasLike(0.2), emulab_link, fast_config)
+        assert vegas.score < reno.score
+
+    def test_from_trace_reports_max(self, emulab_link):
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 1, 600)
+        result = latency_from_trace(trace)
+        assert result.score >= result.detail["mean_inflation"]

@@ -1,0 +1,70 @@
+"""Metric VI: robustness to non-congestion loss."""
+
+import pytest
+
+from repro.core.metrics.robustness import (
+    diverges_under_loss,
+    estimate_robustness,
+    robustness_profile,
+)
+from repro.protocols.aimd import AIMD
+from repro.protocols.cubic import CUBIC
+from repro.protocols.mimd import MIMD
+from repro.protocols.robust_aimd import RobustAIMD
+
+
+class TestDivergence:
+    def test_everything_diverges_without_loss(self):
+        assert diverges_under_loss(AIMD(1, 0.5), 0.0, horizon=500)
+
+    def test_reno_stalls_at_any_constant_loss(self):
+        # The PCC motivating observation: even tiny persistent random loss
+        # keeps TCP at the window floor.
+        assert not diverges_under_loss(AIMD(1, 0.5), 0.001, horizon=500)
+
+    def test_robust_aimd_shrugs_off_subthreshold_loss(self):
+        assert diverges_under_loss(RobustAIMD(1, 0.8, 0.01), 0.005, horizon=500)
+
+    def test_robust_aimd_stalls_above_threshold(self):
+        assert not diverges_under_loss(RobustAIMD(1, 0.8, 0.01), 0.02, horizon=500)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            diverges_under_loss(AIMD(1, 0.5), 1.5)
+        with pytest.raises(ValueError):
+            diverges_under_loss(AIMD(1, 0.5), 0.1, horizon=2)
+
+
+class TestEstimate:
+    @pytest.mark.parametrize("protocol", [
+        AIMD(1, 0.5), MIMD(1.01, 0.875), CUBIC(0.4, 0.8),
+    ])
+    def test_classic_protocols_are_zero_robust(self, protocol):
+        # Table 1: "all protocols are 0-robust" except Robust-AIMD.
+        result = estimate_robustness(protocol, horizon=600)
+        assert result.score == 0.0
+
+    @pytest.mark.parametrize("eps", [0.01, 0.05])
+    def test_robust_aimd_is_epsilon_robust(self, eps):
+        # Table 1: Robust-AIMD(a, b, eps) is eps-robust. The bisection
+        # should land within a few tolerance units of eps.
+        result = estimate_robustness(
+            RobustAIMD(1, 0.8, eps), tolerance=2e-3, horizon=800
+        )
+        assert result.score == pytest.approx(eps, abs=5e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_robustness(AIMD(1, 0.5), max_rate=0.0)
+        with pytest.raises(ValueError):
+            estimate_robustness(AIMD(1, 0.5), tolerance=0.0)
+
+
+class TestProfile:
+    def test_profile_shape(self):
+        profile = robustness_profile(
+            RobustAIMD(1, 0.8, 0.01), rates=[0.001, 0.005, 0.02], horizon=500
+        )
+        assert profile[0.001] is True
+        assert profile[0.005] is True
+        assert profile[0.02] is False

@@ -1,0 +1,183 @@
+"""Event scheduler and droptail queue (repro.packetsim.engine / .queue)."""
+
+import pytest
+
+from repro.packetsim.engine import EventScheduler
+from repro.packetsim.packet import Packet
+from repro.packetsim.queue import BottleneckQueue
+
+
+class TestScheduler:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(2.0, lambda: order.append("late"))
+        scheduler.schedule(1.0, lambda: order.append("early"))
+        scheduler.run_until(5.0)
+        assert order == ["early", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(1.0, lambda: order.append("first"))
+        scheduler.schedule(1.0, lambda: order.append("second"))
+        scheduler.run_until(2.0)
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(3.5, lambda: seen.append(scheduler.now))
+        scheduler.run_until(10.0)
+        assert seen == [3.5]
+        assert scheduler.now == 10.0
+
+    def test_events_beyond_horizon_stay_pending(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(5.0, lambda: None)
+        scheduler.run_until(1.0)
+        assert scheduler.pending() == 1
+
+    def test_cascading_events(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            scheduler.schedule(1.0, lambda: fired.append("second"))
+
+        scheduler.schedule(1.0, first)
+        scheduler.run_until(3.0)
+        assert fired == ["first", "second"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run_until(2.0)
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(1.5, lambda: None)
+
+    def test_run_until_backwards_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.run_until(5.0)
+        with pytest.raises(ValueError):
+            scheduler.run_until(1.0)
+
+    def test_event_storm_guard(self):
+        scheduler = EventScheduler()
+
+        def rearm():
+            scheduler.schedule(0.0, rearm)
+
+        scheduler.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError, match="max_events"):
+            scheduler.run_until(1.0, max_events=100)
+
+    def test_processed_counter(self):
+        scheduler = EventScheduler()
+        for _ in range(5):
+            scheduler.schedule(0.5, lambda: None)
+        scheduler.run_until(1.0)
+        assert scheduler.processed_events == 5
+
+
+def pkt(seq: int, flow: int = 0) -> Packet:
+    return Packet(flow_id=flow, sequence=seq, sent_at=0.0, round_index=0)
+
+
+class TestQueue:
+    def make(self, scheduler, capacity=2, bandwidth=10.0):
+        departed, dropped = [], []
+        queue = BottleneckQueue(
+            scheduler,
+            bandwidth=bandwidth,
+            capacity=capacity,
+            on_departure=departed.append,
+            on_drop=dropped.append,
+        )
+        return queue, departed, dropped
+
+    def test_packets_depart_at_service_rate(self):
+        scheduler = EventScheduler()
+        queue, departed, _ = self.make(scheduler, bandwidth=10.0)
+        queue.arrive(pkt(0))
+        queue.arrive(pkt(1))
+        scheduler.run_until(0.15)
+        assert [p.sequence for p in departed] == [0]
+        scheduler.run_until(0.25)
+        assert [p.sequence for p in departed] == [0, 1]
+
+    def test_fifo_order(self):
+        scheduler = EventScheduler()
+        queue, departed, _ = self.make(scheduler, capacity=10)
+        for seq in range(5):
+            queue.arrive(pkt(seq))
+        scheduler.run_until(10.0)
+        assert [p.sequence for p in departed] == list(range(5))
+
+    def test_droptail_when_full(self):
+        scheduler = EventScheduler()
+        queue, departed, dropped = self.make(scheduler, capacity=2)
+        # One in service + two buffered; the fourth arrival is dropped.
+        for seq in range(4):
+            queue.arrive(pkt(seq))
+        assert [p.sequence for p in dropped] == [3]
+        scheduler.run_until(10.0)
+        assert [p.sequence for p in departed] == [0, 1, 2]
+
+    def test_stats_counters(self):
+        scheduler = EventScheduler()
+        queue, _, _ = self.make(scheduler, capacity=1)
+        for seq in range(5):
+            queue.arrive(pkt(seq))
+        scheduler.run_until(10.0)
+        assert queue.stats.enqueued == 2
+        assert queue.stats.dropped == 3
+        assert queue.stats.departed == 2
+        assert queue.stats.drop_rate == pytest.approx(0.6)
+
+    def test_zero_capacity_allows_only_in_service(self):
+        scheduler = EventScheduler()
+        queue, departed, dropped = self.make(scheduler, capacity=0)
+        queue.arrive(pkt(0))
+        queue.arrive(pkt(1))
+        scheduler.run_until(10.0)
+        assert len(departed) == 1
+        assert len(dropped) == 1
+
+    def test_occupancy_sampling(self):
+        scheduler = EventScheduler()
+        samples_queue = BottleneckQueue(
+            scheduler, bandwidth=10.0, capacity=5,
+            on_departure=lambda p: None, on_drop=lambda p: None,
+            sample_occupancy=True,
+        )
+        samples_queue.arrive(pkt(0))
+        samples_queue.arrive(pkt(1))
+        scheduler.run_until(1.0)
+        assert len(samples_queue.stats.occupancy_samples) >= 2
+
+    def test_validation(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            BottleneckQueue(scheduler, bandwidth=0.0, capacity=1,
+                            on_departure=lambda p: None, on_drop=lambda p: None)
+        with pytest.raises(ValueError):
+            BottleneckQueue(scheduler, bandwidth=1.0, capacity=-1,
+                            on_departure=lambda p: None, on_drop=lambda p: None)
+
+
+class TestPacketValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"flow_id": -1, "sequence": 0, "sent_at": 0.0, "round_index": 0},
+        {"flow_id": 0, "sequence": -1, "sent_at": 0.0, "round_index": 0},
+        {"flow_id": 0, "sequence": 0, "sent_at": -1.0, "round_index": 0},
+        {"flow_id": 0, "sequence": 0, "sent_at": 0.0, "round_index": -1},
+    ])
+    def test_rejects_negative_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            Packet(**kwargs)

@@ -1,0 +1,79 @@
+"""Figure 1 surface and feasibility (repro.core.theory.pareto)."""
+
+import pytest
+
+from repro.core.theory.pareto import (
+    Figure1Point,
+    dominated_by_surface,
+    figure1_surface,
+    frontier_friendliness,
+    is_feasible_point,
+    is_frontier_point,
+    surface_is_mutually_non_dominated,
+)
+
+
+class TestSurface:
+    def test_default_grid_size(self):
+        points = figure1_surface()
+        assert len(points) == 16 * 19
+
+    def test_custom_grid(self):
+        points = figure1_surface(alphas=[1.0], betas=[0.5])
+        assert len(points) == 1
+        assert points[0].tcp_friendliness == pytest.approx(1.0)
+
+    def test_surface_values_match_theorem2(self):
+        for point in figure1_surface(alphas=[0.5, 2.0], betas=[0.3, 0.8]):
+            assert point.tcp_friendliness == pytest.approx(
+                frontier_friendliness(point.fast_utilization, point.efficiency)
+            )
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            figure1_surface(alphas=[0.0], betas=[0.5])
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            figure1_surface(alphas=[1.0], betas=[1.5])
+
+    def test_aimd_parameters_read_off_the_point(self):
+        point = Figure1Point(2.0, 0.5, 0.5)
+        assert point.aimd_parameters == (2.0, 0.5)
+
+
+class TestFrontierProperty:
+    def test_default_surface_is_mutually_non_dominated(self):
+        # The defining Pareto property of Figure 1.
+        assert surface_is_mutually_non_dominated(figure1_surface())
+
+    def test_corrupted_surface_detected(self):
+        points = figure1_surface(alphas=[1.0, 2.0], betas=[0.5])
+        # Lower one point's friendliness below the surface: now dominated.
+        bad = Figure1Point(1.0, 0.5, 0.1)
+        assert not surface_is_mutually_non_dominated(points + [bad])
+
+    def test_dominated_by_surface(self):
+        surface = figure1_surface(alphas=[1.0], betas=[0.5])
+        assert dominated_by_surface((0.9, 0.4, 0.5), surface)
+        assert not dominated_by_surface((1.0, 0.5, 1.0), surface)
+
+
+class TestFeasibility:
+    def test_points_on_surface_are_feasible(self):
+        assert is_feasible_point(1.0, 0.5, 1.0)
+
+    def test_points_below_surface_are_feasible(self):
+        assert is_feasible_point(1.0, 0.5, 0.2)
+
+    def test_points_above_surface_are_infeasible(self):
+        # Theorem 2: no protocol beats the cap.
+        assert not is_feasible_point(1.0, 0.5, 1.5)
+
+    def test_frontier_membership(self):
+        assert is_frontier_point(1.0, 0.5, 1.0)
+        assert not is_frontier_point(1.0, 0.5, 0.5)
+
+    def test_negative_friendliness_rejected(self):
+        with pytest.raises(ValueError):
+            is_feasible_point(1.0, 0.5, -0.1)

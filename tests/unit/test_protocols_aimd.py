@@ -1,0 +1,67 @@
+"""AIMD(a, b) protocol rules (repro.protocols.aimd)."""
+
+import pytest
+
+from repro.model.sender import Observation
+from repro.protocols.aimd import AIMD, reno
+
+
+def obs(window: float, loss: float = 0.0, step: int = 0) -> Observation:
+    return Observation(step=step, window=window, loss_rate=loss, rtt=0.042,
+                       min_rtt=0.042)
+
+
+class TestRules:
+    def test_additive_increase_without_loss(self):
+        assert AIMD(1, 0.5).next_window(obs(10.0)) == pytest.approx(11.0)
+
+    def test_custom_increment(self):
+        assert AIMD(2.5, 0.5).next_window(obs(10.0)) == pytest.approx(12.5)
+
+    def test_multiplicative_decrease_on_loss(self):
+        assert AIMD(1, 0.5).next_window(obs(10.0, loss=0.01)) == pytest.approx(5.0)
+
+    def test_any_positive_loss_triggers_decrease(self):
+        assert AIMD(1, 0.5).next_window(obs(10.0, loss=1e-12)) == pytest.approx(5.0)
+
+    def test_decrease_factor_applied_exactly(self):
+        assert AIMD(1, 0.875).next_window(obs(80.0, loss=0.5)) == pytest.approx(70.0)
+
+    def test_stateless_across_calls(self):
+        protocol = AIMD(1, 0.5)
+        protocol.next_window(obs(10.0, loss=0.5))
+        # No hidden state: the same observation yields the same answer.
+        assert protocol.next_window(obs(10.0)) == pytest.approx(11.0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("a", [0.0, -1.0])
+    def test_bad_increase(self, a):
+        with pytest.raises(ValueError):
+            AIMD(a, 0.5)
+
+    @pytest.mark.parametrize("b", [0.0, 1.0, 1.5, -0.2])
+    def test_bad_decrease(self, b):
+        with pytest.raises(ValueError):
+            AIMD(1, b)
+
+
+class TestMeta:
+    def test_loss_based_flag(self):
+        assert AIMD(1, 0.5).loss_based is True
+
+    def test_name_formats_parameters(self):
+        assert AIMD(1, 0.5).name == "AIMD(1,0.5)"
+        assert AIMD(2.5, 0.875).name == "AIMD(2.5,0.875)"
+
+    def test_reno_preset(self):
+        protocol = reno()
+        assert protocol.a == 1.0
+        assert protocol.b == 0.5
+
+    def test_clone_preserves_parameters(self):
+        clone = AIMD(2, 0.7).clone()
+        assert clone.a == 2 and clone.b == 0.7
+
+    def test_repr_is_name(self):
+        assert repr(AIMD(1, 0.5)) == "AIMD(1,0.5)"

@@ -1,0 +1,86 @@
+"""BIN(a, b, k, l) binomial protocols (repro.protocols.binomial)."""
+
+import pytest
+
+from repro.model.sender import Observation
+from repro.protocols.binomial import BIN, iiad, sqrt_protocol
+
+
+def obs(window: float, loss: float = 0.0) -> Observation:
+    return Observation(step=0, window=window, loss_rate=loss, rtt=0.042,
+                       min_rtt=0.042)
+
+
+class TestRules:
+    def test_increase_scales_inversely_with_window_power(self):
+        protocol = BIN(a=1, b=0.5, k=1, l=0)
+        assert protocol.next_window(obs(10.0)) == pytest.approx(10.1)
+        assert protocol.next_window(obs(100.0)) == pytest.approx(100.01)
+
+    def test_k_zero_reduces_to_additive(self):
+        protocol = BIN(a=2, b=0.5, k=0, l=1)
+        assert protocol.next_window(obs(10.0)) == pytest.approx(12.0)
+
+    def test_decrease_with_l_one_is_multiplicative(self):
+        # x - b*x = (1-b)*x: BIN(a, b, 0, 1) == AIMD(a, 1-b).
+        protocol = BIN(a=1, b=0.5, k=0, l=1)
+        assert protocol.next_window(obs(10.0, loss=0.1)) == pytest.approx(5.0)
+
+    def test_decrease_with_l_zero_is_additive(self):
+        # IIAD: the decrease subtracts the constant b regardless of window.
+        protocol = BIN(a=1, b=1, k=1, l=0)
+        assert protocol.next_window(obs(10.0, loss=0.1)) == pytest.approx(9.0)
+        assert protocol.next_window(obs(100.0, loss=0.1)) == pytest.approx(99.0)
+
+    def test_sqrt_member(self):
+        protocol = sqrt_protocol(a=1, b=0.5)
+        assert protocol.next_window(obs(4.0)) == pytest.approx(4.5)  # +1/sqrt(4)
+        assert protocol.next_window(obs(4.0, loss=0.1)) == pytest.approx(3.0)  # -0.5*2
+
+    def test_decrease_clamped_at_zero(self):
+        # Large additive decrease cannot take the window negative.
+        protocol = BIN(a=1, b=1, k=0, l=0)
+        assert protocol.next_window(obs(0.5, loss=0.5)) == 0.0
+
+    def test_zero_window_restarts_additively(self):
+        # a/x**k diverges at 0; the protocol restarts from a instead.
+        protocol = BIN(a=1, b=0.5, k=1, l=0)
+        assert protocol.next_window(obs(0.0)) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_a(self):
+        with pytest.raises(ValueError):
+            BIN(a=0, b=0.5, k=1, l=0)
+
+    @pytest.mark.parametrize("b", [0.0, 1.5])
+    def test_bad_b(self, b):
+        with pytest.raises(ValueError):
+            BIN(a=1, b=b, k=1, l=0)
+
+    def test_b_equal_one_allowed(self):
+        # The paper allows 0 < b <= 1 (IIAD uses b = 1).
+        BIN(a=1, b=1.0, k=1, l=0)
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            BIN(a=1, b=0.5, k=-0.5, l=0)
+
+    @pytest.mark.parametrize("l", [-0.1, 1.1])
+    def test_l_outside_unit_interval_rejected(self, l):
+        with pytest.raises(ValueError):
+            BIN(a=1, b=0.5, k=0, l=l)
+
+
+class TestCompatibility:
+    def test_iiad_is_tcp_compatible(self):
+        assert iiad().is_tcp_compatible()  # k + l = 1
+
+    def test_sqrt_is_tcp_compatible(self):
+        assert sqrt_protocol().is_tcp_compatible()  # k + l = 1
+
+    def test_aggressive_member_is_not(self):
+        assert not BIN(a=1, b=0.5, k=0.2, l=0.3).is_tcp_compatible()
+
+    def test_name(self):
+        assert BIN(1, 0.5, 1, 0).name == "BIN(1,0.5,1,0)"

@@ -1,0 +1,100 @@
+"""CUBIC(c, b) protocol (repro.protocols.cubic)."""
+
+import pytest
+
+from repro.model.sender import Observation
+from repro.protocols.cubic import CUBIC, cubic_kernel
+
+
+def obs(window: float, loss: float = 0.0, step: int = 0) -> Observation:
+    return Observation(step=step, window=window, loss_rate=loss, rtt=0.042,
+                       min_rtt=0.042)
+
+
+class TestCurve:
+    def test_backoff_on_loss(self):
+        protocol = CUBIC(0.4, 0.8)
+        assert protocol.next_window(obs(100.0, loss=0.1)) == pytest.approx(80.0)
+
+    def test_curve_passes_through_backoff_point(self):
+        # At T = 0 the curve equals x_max * b; one step later it is still
+        # below x_max (concave recovery region).
+        protocol = CUBIC(0.4, 0.8)
+        after_loss = protocol.next_window(obs(100.0, loss=0.1))
+        next_w = protocol.next_window(obs(after_loss))
+        assert after_loss < next_w < 100.0
+
+    def test_curve_plateaus_at_x_max(self):
+        # Around T = K the window revisits x_max.
+        protocol = CUBIC(0.4, 0.8)
+        protocol.next_window(obs(100.0, loss=0.1))
+        k = protocol.inflection_delay
+        w = None
+        for step in range(int(round(k))):
+            w = protocol.next_window(obs(w if w is not None else 80.0))
+        assert w == pytest.approx(100.0, rel=0.05)
+
+    def test_convex_acceleration_past_plateau(self):
+        protocol = CUBIC(0.4, 0.8)
+        protocol.next_window(obs(100.0, loss=0.1))
+        windows = []
+        w = 80.0
+        for _ in range(20):
+            w = protocol.next_window(obs(w))
+            windows.append(w)
+        increments = [b - a for a, b in zip(windows, windows[1:])]
+        # Far past K the increments grow (convex region).
+        assert increments[-1] > increments[len(increments) // 2]
+
+    def test_first_call_anchors_at_current_window(self):
+        # Before any loss, the curve starts from the initial window.
+        protocol = CUBIC(0.4, 0.8)
+        first = protocol.next_window(obs(10.0))
+        assert first > 0.0
+
+    def test_reset_clears_anchor(self):
+        protocol = CUBIC(0.4, 0.8)
+        protocol.next_window(obs(100.0, loss=0.5))
+        protocol.reset()
+        assert protocol.inflection_delay == 0.0
+
+
+class TestState:
+    def test_steps_since_loss_drive_growth(self):
+        protocol = CUBIC(0.4, 0.8)
+        protocol.next_window(obs(50.0, loss=0.1))
+        w1 = protocol.next_window(obs(40.0))
+        protocol2 = CUBIC(0.4, 0.8)
+        protocol2.next_window(obs(50.0, loss=0.1))
+        protocol2.next_window(obs(40.0))
+        w2 = protocol2.next_window(obs(40.0))
+        # Same anchor, later step: the second protocol has advanced further.
+        assert w2 != pytest.approx(w1) or w2 > w1 - 1e-9
+
+    def test_new_loss_re_anchors(self):
+        protocol = CUBIC(0.4, 0.8)
+        protocol.next_window(obs(100.0, loss=0.1))
+        protocol.next_window(obs(80.0))
+        assert protocol.next_window(obs(60.0, loss=0.2)) == pytest.approx(48.0)
+
+
+class TestValidation:
+    def test_bad_c(self):
+        with pytest.raises(ValueError):
+            CUBIC(0.0, 0.8)
+
+    @pytest.mark.parametrize("b", [0.0, 1.0])
+    def test_bad_b(self, b):
+        with pytest.raises(ValueError):
+            CUBIC(0.4, b)
+
+    def test_kernel_preset(self):
+        protocol = cubic_kernel()
+        assert protocol.c == pytest.approx(0.4)
+        assert protocol.b == pytest.approx(0.8)
+
+    def test_loss_based(self):
+        assert CUBIC(0.4, 0.8).loss_based is True
+
+    def test_name(self):
+        assert CUBIC(0.4, 0.8).name == "CUBIC(0.4,0.8)"

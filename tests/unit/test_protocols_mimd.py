@@ -1,0 +1,68 @@
+"""MIMD(a, b) protocol rules (repro.protocols.mimd)."""
+
+import pytest
+
+from repro.model.sender import Observation
+from repro.protocols.mimd import MIMD, MimdPccBound, scalable_mimd
+
+
+def obs(window: float, loss: float = 0.0) -> Observation:
+    return Observation(step=0, window=window, loss_rate=loss, rtt=0.042,
+                       min_rtt=0.042)
+
+
+class TestRules:
+    def test_multiplicative_increase(self):
+        assert MIMD(1.01, 0.875).next_window(obs(100.0)) == pytest.approx(101.0)
+
+    def test_multiplicative_decrease(self):
+        assert MIMD(1.01, 0.875).next_window(obs(100.0, loss=0.1)) == pytest.approx(87.5)
+
+    def test_ratio_preservation(self):
+        # The defining MIMD property: two windows keep their ratio under
+        # identical feedback — the root of its 0-fairness.
+        protocol = MIMD(1.05, 0.8)
+        w1, w2 = 10.0, 40.0
+        for loss in (0.0, 0.1, 0.0, 0.0, 0.2):
+            w1 = protocol.next_window(obs(w1, loss))
+            w2 = protocol.next_window(obs(w2, loss))
+        assert w2 / w1 == pytest.approx(4.0)
+
+    def test_growth_compounds(self):
+        protocol = MIMD(1.1, 0.5)
+        w = 1.0
+        for _ in range(10):
+            w = protocol.next_window(obs(w))
+        assert w == pytest.approx(1.1**10)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("a", [1.0, 0.99, 0.0])
+    def test_increase_must_exceed_one(self, a):
+        with pytest.raises(ValueError):
+            MIMD(a, 0.875)
+
+    @pytest.mark.parametrize("b", [0.0, 1.0])
+    def test_bad_decrease(self, b):
+        with pytest.raises(ValueError):
+            MIMD(1.01, b)
+
+
+class TestPresets:
+    def test_scalable(self):
+        protocol = scalable_mimd()
+        assert protocol.a == pytest.approx(1.01)
+        assert protocol.b == pytest.approx(0.875)
+
+    def test_pcc_bound_parameters(self):
+        # The paper: PCC is strictly more aggressive than MIMD(1.01, 0.99).
+        bound = MimdPccBound()
+        assert bound.a == pytest.approx(1.01)
+        assert bound.b == pytest.approx(0.99)
+        assert "PCC" in bound.name
+
+    def test_pcc_bound_is_mimd(self):
+        assert isinstance(MimdPccBound(), MIMD)
+
+    def test_loss_based(self):
+        assert MIMD(1.01, 0.875).loss_based is True

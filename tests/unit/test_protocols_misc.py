@@ -1,0 +1,124 @@
+"""Vegas-like, probe-and-hold and slow-start protocols."""
+
+import pytest
+
+from repro.model.sender import Observation
+from repro.protocols.aimd import AIMD
+from repro.protocols.probe import ProbeAndHold
+from repro.protocols.slow_start import SlowStartWrapper
+from repro.protocols.vegas import VegasLike
+
+
+def obs(window: float, loss: float = 0.0, rtt: float = 0.042,
+        min_rtt: float = 0.042) -> Observation:
+    return Observation(step=0, window=window, loss_rate=loss, rtt=rtt,
+                       min_rtt=min_rtt)
+
+
+class TestVegasLike:
+    def test_not_loss_based(self):
+        assert VegasLike().loss_based is False
+
+    def test_increases_while_latency_low(self):
+        protocol = VegasLike(gamma=0.1, a=1, b=0.875)
+        assert protocol.next_window(obs(10.0, rtt=0.042)) == pytest.approx(11.0)
+
+    def test_backs_off_when_latency_exceeds_bound(self):
+        protocol = VegasLike(gamma=0.1, a=1, b=0.875)
+        # RTT 20% above the min violates the 10% slack.
+        assert protocol.next_window(obs(10.0, rtt=0.0504)) == pytest.approx(8.75)
+
+    def test_backs_off_on_loss_even_at_low_latency(self):
+        protocol = VegasLike(gamma=0.1, a=1, b=0.875)
+        assert protocol.next_window(obs(10.0, loss=0.1)) == pytest.approx(8.75)
+
+    def test_bound_tracks_min_rtt(self):
+        protocol = VegasLike(gamma=0.5)
+        # min_rtt 0.02, rtt 0.025: inside the 50% slack -> increase.
+        assert protocol.next_window(obs(10.0, rtt=0.025, min_rtt=0.02)) == 11.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VegasLike(gamma=0.0)
+        with pytest.raises(ValueError):
+            VegasLike(a=0)
+        with pytest.raises(ValueError):
+            VegasLike(b=1.0)
+
+
+class TestProbeAndHold:
+    def test_probes_until_first_loss(self):
+        protocol = ProbeAndHold(a=1, b=0.9)
+        assert protocol.next_window(obs(10.0)) == pytest.approx(11.0)
+        assert not protocol.holding
+
+    def test_holds_after_first_loss(self):
+        protocol = ProbeAndHold(a=1, b=0.9)
+        held = protocol.next_window(obs(100.0, loss=0.05))
+        assert held == pytest.approx(90.0)
+        assert protocol.holding
+
+    def test_hold_is_permanent(self):
+        protocol = ProbeAndHold(a=1, b=0.9)
+        protocol.next_window(obs(100.0, loss=0.05))
+        # Even loss-free observations no longer change the window.
+        assert protocol.next_window(obs(90.0)) == pytest.approx(90.0)
+        assert protocol.next_window(obs(90.0, loss=0.5)) == pytest.approx(90.0)
+
+    def test_reset_resumes_probing(self):
+        protocol = ProbeAndHold(a=1, b=0.9)
+        protocol.next_window(obs(100.0, loss=0.05))
+        protocol.reset()
+        assert not protocol.holding
+        assert protocol.next_window(obs(10.0)) == pytest.approx(11.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeAndHold(a=0)
+        with pytest.raises(ValueError):
+            ProbeAndHold(b=1.0)
+
+
+class TestSlowStart:
+    def test_doubles_until_loss(self):
+        protocol = SlowStartWrapper(AIMD(1, 0.5))
+        assert protocol.next_window(obs(1.0)) == pytest.approx(2.0)
+        assert protocol.next_window(obs(2.0)) == pytest.approx(4.0)
+        assert protocol.in_slow_start
+
+    def test_exits_on_loss_and_delegates(self):
+        protocol = SlowStartWrapper(AIMD(1, 0.5))
+        protocol.next_window(obs(1.0))
+        # Loss: slow start ends; inner AIMD handles this very observation.
+        assert protocol.next_window(obs(8.0, loss=0.1)) == pytest.approx(4.0)
+        assert not protocol.in_slow_start
+        assert protocol.next_window(obs(4.0)) == pytest.approx(5.0)
+
+    def test_ssthresh_caps_the_ramp(self):
+        protocol = SlowStartWrapper(AIMD(1, 0.5), ssthresh=10.0)
+        assert protocol.next_window(obs(6.0)) == pytest.approx(10.0)
+        assert not protocol.in_slow_start
+
+    def test_window_at_threshold_exits(self):
+        protocol = SlowStartWrapper(AIMD(1, 0.5), ssthresh=8.0)
+        # Already at ssthresh: delegate immediately.
+        assert protocol.next_window(obs(8.0)) == pytest.approx(9.0)
+
+    def test_reset_restores_slow_start(self):
+        protocol = SlowStartWrapper(AIMD(1, 0.5))
+        protocol.next_window(obs(8.0, loss=0.1))
+        protocol.reset()
+        assert protocol.in_slow_start
+
+    def test_inherits_loss_based_flag(self):
+        from repro.protocols.vegas import VegasLike
+
+        assert SlowStartWrapper(AIMD(1, 0.5)).loss_based is True
+        assert SlowStartWrapper(VegasLike()).loss_based is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowStartWrapper(AIMD(1, 0.5), ssthresh=0.0)
+
+    def test_name_mentions_inner(self):
+        assert "AIMD(1,0.5)" in SlowStartWrapper(AIMD(1, 0.5)).name

@@ -1,0 +1,114 @@
+"""The PCC-like utility-gradient protocol (repro.protocols.pcc)."""
+
+import pytest
+
+from repro.model.sender import Observation
+from repro.protocols.pcc import PccLike, allegro_utility
+
+
+def obs(window: float, loss: float = 0.0, step: int = 0) -> Observation:
+    return Observation(step=step, window=window, loss_rate=loss, rtt=0.042,
+                       min_rtt=0.042)
+
+
+class TestUtility:
+    def test_lossless_utility_is_half_rate_at_tolerance_free_point(self):
+        # With zero loss, S(0) ~ 1 for a steep sigmoid, so u ~ rate.
+        assert allegro_utility(100.0, 0.0) == pytest.approx(100.0, rel=0.01)
+
+    def test_utility_collapses_past_tolerance(self):
+        below = allegro_utility(100.0, 0.03)
+        above = allegro_utility(100.0, 0.08)
+        assert below > 0 > above
+
+    def test_utility_monotone_decreasing_in_loss(self):
+        values = [allegro_utility(100.0, loss) for loss in (0.0, 0.02, 0.05, 0.2)]
+        assert values == sorted(values, reverse=True)
+
+    def test_utility_scales_linearly_in_rate(self):
+        assert allegro_utility(200.0, 0.01) == pytest.approx(
+            2 * allegro_utility(100.0, 0.01)
+        )
+
+    def test_extreme_sigmoid_does_not_overflow(self):
+        allegro_utility(1.0, 1.0, sigmoid_alpha=1e6)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            allegro_utility(-1.0, 0.0)
+        with pytest.raises(ValueError):
+            allegro_utility(1.0, 1.5)
+
+
+class TestProbeCycle:
+    def test_first_decision_probes_up(self):
+        protocol = PccLike(probe=0.05)
+        assert protocol.next_window(obs(100.0)) == pytest.approx(105.0)
+
+    def test_second_decision_probes_down(self):
+        protocol = PccLike(probe=0.05)
+        protocol.next_window(obs(100.0))
+        assert protocol.next_window(obs(105.0)) == pytest.approx(95.0)
+
+    def test_lossless_link_moves_base_up(self):
+        # More rate, no loss: utility favours up; the base should rise.
+        protocol = PccLike(probe=0.05, step=0.01)
+        w = 100.0
+        for _ in range(12):
+            w = protocol.next_window(obs(w))
+        assert protocol._base > 100.0
+
+    def test_heavy_loss_moves_base_down(self):
+        protocol = PccLike(probe=0.05, step=0.01)
+        w = 100.0
+        for _ in range(12):
+            w = protocol.next_window(obs(w, loss=0.2))
+        assert protocol._base < 100.0
+
+    def test_amplifier_grows_with_consecutive_wins(self):
+        protocol = PccLike(probe=0.05, step=0.01, max_amplifier=3)
+        w = 100.0
+        for _ in range(20):
+            w = protocol.next_window(obs(w))
+        assert protocol._amplifier == 3
+
+    def test_reset_restores_initial_state(self):
+        protocol = PccLike()
+        protocol.next_window(obs(100.0))
+        protocol.reset()
+        assert protocol._base is None
+
+    def test_deterministic(self):
+        p1, p2 = PccLike(), PccLike()
+        seq1, seq2 = [], []
+        w1 = w2 = 50.0
+        for i in range(30):
+            loss = 0.1 if i % 7 == 0 else 0.0
+            w1 = p1.next_window(obs(w1, loss))
+            w2 = p2.next_window(obs(w2, loss))
+            seq1.append(w1)
+            seq2.append(w2)
+        assert seq1 == seq2
+
+
+class TestValidation:
+    @pytest.mark.parametrize("probe", [0.0, 0.6])
+    def test_bad_probe(self, probe):
+        with pytest.raises(ValueError):
+            PccLike(probe=probe)
+
+    def test_bad_step(self):
+        with pytest.raises(ValueError):
+            PccLike(step=0.0)
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            PccLike(tolerance=0.0)
+
+    def test_bad_amplifier(self):
+        with pytest.raises(ValueError):
+            PccLike(max_amplifier=0)
+
+    def test_loss_based(self):
+        # The Allegro utility reads only rate and loss.
+        assert PccLike().loss_based is True

@@ -1,0 +1,57 @@
+"""Robust-AIMD(a, b, epsilon) — the paper's new protocol."""
+
+import pytest
+
+from repro.model.sender import Observation
+from repro.protocols.robust_aimd import RobustAIMD
+
+
+def obs(window: float, loss: float = 0.0) -> Observation:
+    return Observation(step=0, window=window, loss_rate=loss, rtt=0.042,
+                       min_rtt=0.042)
+
+
+class TestThreshold:
+    def test_increases_with_zero_loss(self):
+        assert RobustAIMD(1, 0.8, 0.01).next_window(obs(10.0)) == pytest.approx(11.0)
+
+    def test_tolerates_loss_below_threshold(self):
+        # The defining Robust-AIMD behaviour: sub-threshold loss is ignored.
+        protocol = RobustAIMD(1, 0.8, 0.01)
+        assert protocol.next_window(obs(10.0, loss=0.009)) == pytest.approx(11.0)
+
+    def test_decreases_at_threshold(self):
+        # The rule is >= epsilon, not > epsilon.
+        protocol = RobustAIMD(1, 0.8, 0.01)
+        assert protocol.next_window(obs(10.0, loss=0.01)) == pytest.approx(8.0)
+
+    def test_decreases_above_threshold(self):
+        protocol = RobustAIMD(1, 0.8, 0.01)
+        assert protocol.next_window(obs(10.0, loss=0.5)) == pytest.approx(8.0)
+
+    def test_paper_parameters(self):
+        # Table 2 uses Robust-AIMD(1, 0.8, 0.01).
+        protocol = RobustAIMD()
+        assert (protocol.a, protocol.b, protocol.epsilon) == (1.0, 0.8, 0.01)
+
+
+class TestValidation:
+    def test_bad_a(self):
+        with pytest.raises(ValueError):
+            RobustAIMD(0, 0.8, 0.01)
+
+    @pytest.mark.parametrize("b", [0.0, 1.0])
+    def test_bad_b(self, b):
+        with pytest.raises(ValueError):
+            RobustAIMD(1, b, 0.01)
+
+    @pytest.mark.parametrize("eps", [0.0, 1.0, -0.1])
+    def test_bad_epsilon(self, eps):
+        with pytest.raises(ValueError):
+            RobustAIMD(1, 0.8, eps)
+
+    def test_loss_based(self):
+        assert RobustAIMD().loss_based is True
+
+    def test_name_contains_all_parameters(self):
+        assert RobustAIMD(1, 0.8, 0.01).name == "Robust-AIMD(1,0.8,0.01)"

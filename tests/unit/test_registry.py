@@ -1,0 +1,93 @@
+"""String-spec protocol construction (repro.protocols.registry)."""
+
+import pytest
+
+from repro.protocols.aimd import AIMD
+from repro.protocols.base import Protocol
+from repro.protocols.binomial import BIN
+from repro.protocols.cubic import CUBIC
+from repro.protocols.mimd import MIMD
+from repro.protocols.registry import (
+    available_protocols,
+    make_protocol,
+    register_protocol,
+)
+from repro.protocols.robust_aimd import RobustAIMD
+
+
+class TestSpecs:
+    def test_aimd_spec(self):
+        protocol = make_protocol("AIMD(1, 0.5)")
+        assert isinstance(protocol, AIMD)
+        assert (protocol.a, protocol.b) == (1.0, 0.5)
+
+    def test_case_insensitive(self):
+        assert isinstance(make_protocol("aimd(2, 0.7)"), AIMD)
+
+    def test_mimd_spec(self):
+        protocol = make_protocol("MIMD(1.01, 0.875)")
+        assert isinstance(protocol, MIMD)
+
+    def test_bin_spec_four_args(self):
+        protocol = make_protocol("BIN(1, 0.5, 1, 0)")
+        assert isinstance(protocol, BIN)
+        assert (protocol.k, protocol.l) == (1.0, 0.0)
+
+    def test_cubic_spec(self):
+        assert isinstance(make_protocol("CUBIC(0.4, 0.8)"), CUBIC)
+
+    def test_robust_aimd_spec_with_dash(self):
+        protocol = make_protocol("Robust-AIMD(1, 0.8, 0.01)")
+        assert isinstance(protocol, RobustAIMD)
+        assert protocol.epsilon == pytest.approx(0.01)
+
+    def test_whitespace_tolerated(self):
+        assert isinstance(make_protocol("  AIMD( 1 ,0.5 ) "), AIMD)
+
+    def test_invalid_parameters_propagate(self):
+        with pytest.raises(ValueError):
+            make_protocol("AIMD(0, 0.5)")
+
+    def test_non_numeric_parameter(self):
+        with pytest.raises(ValueError, match="non-numeric"):
+            make_protocol("AIMD(x, 0.5)")
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown protocol family"):
+            make_protocol("QUIC(1)")
+
+    def test_garbage_spec(self):
+        with pytest.raises(ValueError, match="unrecognized"):
+            make_protocol("not a spec at all")
+
+
+class TestPresets:
+    @pytest.mark.parametrize(
+        "name", ["reno", "cubic", "scalable", "robust-aimd", "pcc", "pcc-bound",
+                 "iiad", "sqrt", "vegas"]
+    )
+    def test_preset_resolves(self, name):
+        assert isinstance(make_protocol(name), Protocol)
+
+    def test_reno_parameters(self):
+        reno = make_protocol("reno")
+        assert isinstance(reno, AIMD)
+        assert (reno.a, reno.b) == (1.0, 0.5)
+
+    def test_listing_contains_presets_and_families(self):
+        listing = available_protocols()
+        assert "reno" in listing["presets"]
+        assert "aimd" in listing["families"]
+
+
+class TestRegistration:
+    def test_register_and_build(self):
+        class Custom(AIMD):
+            pass
+
+        register_protocol("custom-aimd", Custom)
+        assert isinstance(make_protocol("custom-aimd(1, 0.5)"), Custom)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_protocol("  ", AIMD)

@@ -1,0 +1,103 @@
+"""Rendering functions of the experiment drivers produce coherent text."""
+
+import pytest
+
+from repro.core.metrics import EstimatorConfig
+from repro.experiments.claims import ClaimsResult, TheoremCheck, render_claims
+from repro.experiments.emulab import (
+    CellMeasurement,
+    EmulabResult,
+    HierarchyCheck,
+    render_emulab,
+)
+from repro.experiments.figure1 import Figure1Result, render_figure1
+from repro.experiments.table2 import Table2Cell, Table2Result, render_table2
+from repro.core.theory.pareto import figure1_surface
+
+
+class TestRenderClaims:
+    def make(self, holds=True):
+        return ClaimsResult(checks=[
+            TheoremCheck("Theorem 1", "AIMD(1,0.5)", "x >= 0.5",
+                         "measured 0.6", holds),
+        ])
+
+    def test_all_hold_banner(self):
+        assert "ALL HOLD" in render_claims(self.make(True))
+
+    def test_failure_banner(self):
+        text = render_claims(self.make(False))
+        assert "1 FAILED" in text
+
+    def test_contains_instance(self):
+        assert "AIMD(1,0.5)" in render_claims(self.make())
+
+    def test_markdown_mode(self):
+        assert "|" in render_claims(self.make(), markdown=True)
+
+
+class TestRenderTable2:
+    def make(self):
+        return Table2Result(
+            cells=[Table2Cell(2, 20, 0.06, 0.02)],
+            pcc_standin="PCC-like",
+        )
+
+    def test_improvement_shown_with_x_suffix(self):
+        text = render_table2(self.make())
+        assert "3.00x" in text
+
+    def test_summary_mentions_paper_values(self):
+        text = render_table2(self.make())
+        assert "paper: 1.92x" in text
+        assert "all cells: True" in text
+
+
+class TestRenderFigure1:
+    def test_excerpt_is_bounded(self):
+        result = Figure1Result(surface=figure1_surface(), empirical=[])
+        text = render_figure1(result, max_surface_rows=5)
+        # Header + separator + at most 5 rows for the surface excerpt.
+        surface_block = text.split("\n\n")[0]
+        assert len(surface_block.splitlines()) <= 8
+
+    def test_reports_non_domination(self):
+        result = Figure1Result(surface=figure1_surface([1.0], [0.5]))
+        assert "mutually non-dominated: True" in render_figure1(result)
+
+
+class TestRenderEmulab:
+    def make(self):
+        cell = CellMeasurement(
+            protocol="reno", efficiency=0.9, loss_avoidance=0.01,
+            fairness=0.95, convergence=0.66, tcp_friendliness=1.0,
+        )
+        return EmulabResult(
+            measurements={"n=2,bw=20Mbps,buf=100": [cell]},
+            checks=[
+                HierarchyCheck("n=2,bw=20Mbps,buf=100", "efficiency",
+                               "cubic", "reno", True),
+                HierarchyCheck("n=2,bw=20Mbps,buf=100", "fairness",
+                               "reno", "scalable", False),
+            ],
+        )
+
+    def test_agreement_summary(self):
+        text = render_emulab(self.make())
+        assert "50.0%" in text
+
+    def test_disagreements_listed(self):
+        text = render_emulab(self.make())
+        assert "DISAGREES" in text
+        assert "reno >= scalable" in text
+
+    def test_agreement_by_metric(self):
+        result = self.make()
+        by_metric = result.agreement_by_metric()
+        assert by_metric["efficiency"] == 1.0
+        assert by_metric["fairness"] == 0.0
+
+    def test_jsonable_structure(self):
+        payload = self.make().to_jsonable()
+        assert payload["agreement"] == 0.5
+        assert "n=2,bw=20Mbps,buf=100" in payload["cells"]

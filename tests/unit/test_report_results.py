@@ -1,0 +1,110 @@
+"""Report rendering and JSON persistence (repro.experiments.report / .results)."""
+
+import math
+
+import pytest
+
+from repro.experiments.report import Table, format_cell, render_table
+from repro.experiments.results import load_result, save_result
+
+
+class TestFormatCell:
+    def test_none_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_precision(self):
+        assert format_cell(1.23456, precision=3) == "1.235"
+
+    def test_nan_and_inf(self):
+        assert format_cell(math.nan) == "-"
+        assert format_cell(math.inf) == "inf"
+        assert format_cell(-math.inf) == "-inf"
+
+    def test_tiny_values_use_scientific(self):
+        assert "e" in format_cell(4.9e-4, precision=3)
+
+    def test_strings_pass_through(self):
+        assert format_cell("reno") == "reno"
+
+
+class TestTable:
+    def test_row_length_validated(self):
+        table = Table(title="t", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_text_rendering_aligns_columns(self):
+        table = Table(title="demo", headers=["name", "value"])
+        table.add_row("x", 1.0)
+        table.add_row("longer-name", 2.0)
+        text = table.to_text()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "-+-" in lines[2]
+        # All body lines share the same width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_markdown_rendering(self):
+        table = Table(title="demo", headers=["a", "b"]).add_row(1, 2)
+        md = table.to_markdown()
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+        assert md.startswith("**demo**")
+
+    def test_render_table_dispatch(self):
+        table = Table(title="t", headers=["a"]).add_row(1)
+        assert render_table(table, markdown=True).startswith("**")
+        assert render_table(table, markdown=False).startswith("t")
+
+    def test_add_row_chains(self):
+        table = Table(title="t", headers=["a"])
+        assert table.add_row(1) is table
+
+
+class TestResultsIO:
+    def test_roundtrip_plain_dict(self, tmp_path):
+        payload = {"alpha": 0.5, "names": ["a", "b"], "count": 3, "flag": True}
+        path = save_result(payload, tmp_path / "result.json")
+        assert load_result(path) == payload
+
+    def test_special_floats_roundtrip(self, tmp_path):
+        payload = {"nan": math.nan, "inf": math.inf, "ninf": -math.inf}
+        path = save_result(payload, tmp_path / "result.json")
+        loaded = load_result(path)
+        assert math.isnan(loaded["nan"])
+        assert loaded["inf"] == math.inf
+        assert loaded["ninf"] == -math.inf
+
+    def test_nested_structures(self, tmp_path):
+        payload = {"rows": [{"x": 1.0}, {"x": [2.0, math.inf]}]}
+        loaded = load_result(save_result(payload, tmp_path / "n.json"))
+        assert loaded["rows"][1]["x"][1] == math.inf
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = save_result({"a": 1}, tmp_path / "deep" / "dir" / "x.json")
+        assert path.exists()
+
+    def test_objects_with_to_jsonable(self, tmp_path):
+        class Result:
+            def to_jsonable(self):
+                return {"score": 0.9}
+
+        loaded = load_result(save_result(Result(), tmp_path / "o.json"))
+        assert loaded == {"score": 0.9}
+
+    def test_unserializable_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_result({"fn": lambda: None}, tmp_path / "bad.json")
+
+    def test_experiment_result_roundtrip(self, tmp_path):
+        # A real experiment result survives the JSON round trip.
+        from repro.core.theory.pareto import figure1_surface
+        from repro.experiments.figure1 import Figure1Result
+
+        result = Figure1Result(surface=figure1_surface([1.0], [0.5]))
+        loaded = load_result(save_result(result, tmp_path / "fig1.json"))
+        assert loaded["surface"][0]["friendliness"] == pytest.approx(1.0)

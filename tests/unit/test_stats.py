@@ -1,0 +1,152 @@
+"""Time-series reductions (repro.analysis.stats)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    convergence_alpha,
+    detect_settling_step,
+    jain_index,
+    longest_loss_free_run,
+    loss_free_runs,
+    min_over_max,
+    relative_band,
+    tail_mean,
+)
+
+
+class TestTailMean:
+    def test_constant_series(self):
+        assert tail_mean(np.full(10, 3.0)) == pytest.approx(3.0)
+
+    def test_uses_only_the_tail(self):
+        series = np.array([0.0] * 5 + [10.0] * 5)
+        assert tail_mean(series, 0.5) == pytest.approx(10.0)
+
+    def test_nan_aware(self):
+        series = np.array([np.nan, np.nan, 2.0, 4.0])
+        assert tail_mean(series, 0.5) == pytest.approx(3.0)
+
+    def test_all_nan_tail_raises(self):
+        with pytest.raises(ValueError):
+            tail_mean(np.array([1.0, np.nan, np.nan]), 0.5)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            tail_mean(np.ones(5), 0.0)
+
+    def test_empty_series(self):
+        with pytest.raises(ValueError):
+            tail_mean(np.array([]))
+
+
+class TestJain:
+    def test_equal_shares(self):
+        assert jain_index(np.array([5.0, 5.0, 5.0])) == pytest.approx(1.0)
+
+    def test_single_hog(self):
+        assert jain_index(np.array([1.0, 0.0, 0.0, 0.0])) == pytest.approx(0.25)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index(np.zeros(3)) == 1.0
+
+    def test_scale_invariant(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert jain_index(values) == pytest.approx(jain_index(values * 100))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index(np.array([-1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index(np.array([]))
+
+
+class TestMinOverMax:
+    def test_equal(self):
+        assert min_over_max(np.array([2.0, 2.0])) == 1.0
+
+    def test_ratio(self):
+        assert min_over_max(np.array([1.0, 4.0])) == pytest.approx(0.25)
+
+    def test_zero_max(self):
+        assert min_over_max(np.zeros(2)) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            min_over_max(np.array([-1.0]))
+
+
+class TestConvergenceAlpha:
+    def test_constant_series_is_one(self):
+        assert convergence_alpha(np.full(10, 5.0)) == pytest.approx(1.0)
+
+    def test_aimd_sawtooth_matches_table1(self):
+        # A sawtooth between b*W and W scores exactly 2b/(1+b).
+        b, W = 0.5, 100.0
+        series = np.array([b * W, W] * 20)
+        assert convergence_alpha(series) == pytest.approx(2 * b / (1 + b))
+
+    @pytest.mark.parametrize("b", [0.3, 0.7, 0.875])
+    def test_sawtooth_general_b(self, b):
+        series = np.linspace(b * 100, 100, 50)
+        assert convergence_alpha(series) == pytest.approx(2 * b / (1 + b))
+
+    def test_zero_series(self):
+        assert convergence_alpha(np.zeros(5)) == 1.0
+
+    def test_nan_entries_ignored(self):
+        series = np.array([np.nan, 50.0, 100.0])
+        assert convergence_alpha(series) == pytest.approx(2 * 50 / 150)
+
+    def test_relative_band_complements(self):
+        series = np.array([50.0, 100.0])
+        assert relative_band(series) == pytest.approx(1 - convergence_alpha(series))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            convergence_alpha(np.array([np.nan]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            convergence_alpha(np.array([-1.0, 1.0]))
+
+
+class TestSettling:
+    def test_step_change_detected(self):
+        series = np.array([0.0] * 10 + [100.0] * 20)
+        assert detect_settling_step(series, band=0.1, min_hold=5) == 10
+
+    def test_never_settles(self):
+        series = np.array([0.0, 1000.0] * 10)
+        assert detect_settling_step(series, band=0.01, min_hold=5) is None
+
+    def test_settled_from_start(self):
+        assert detect_settling_step(np.full(20, 7.0), min_hold=5) == 0
+
+    def test_too_short(self):
+        assert detect_settling_step(np.ones(3), min_hold=10) is None
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            detect_settling_step(np.ones(20), band=0.0)
+
+
+class TestLossFreeRuns:
+    def test_no_loss_is_one_run(self):
+        assert loss_free_runs(np.zeros(5)) == [(0, 5)]
+
+    def test_all_loss_is_no_runs(self):
+        assert loss_free_runs(np.ones(5)) == []
+
+    def test_interleaved(self):
+        series = np.array([0, 0, 0.1, 0, 0, 0, 0.2, 0])
+        assert loss_free_runs(series) == [(0, 2), (3, 6), (7, 8)]
+
+    def test_longest_run(self):
+        series = np.array([0, 0.1, 0, 0, 0, 0.1])
+        assert longest_loss_free_run(series) == (2, 5)
+
+    def test_longest_run_all_lossy(self):
+        assert longest_loss_free_run(np.ones(3)) == (0, 0)

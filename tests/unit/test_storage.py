@@ -1,0 +1,83 @@
+"""Trace persistence (repro.storage)."""
+
+import numpy as np
+import pytest
+
+from repro.model.dynamics import run_homogeneous
+from repro.protocols.aimd import AIMD
+from repro.storage import load_trace, save_trace, trace_to_csv
+
+
+@pytest.fixture()
+def trace(emulab_link):
+    return run_homogeneous(emulab_link, AIMD(1, 0.5), 2, 200)
+
+
+class TestNpzRoundtrip:
+    def test_lossless(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "run.npz")
+        loaded = load_trace(path)
+        np.testing.assert_array_equal(loaded.windows, trace.windows)
+        np.testing.assert_array_equal(loaded.congestion_loss, trace.congestion_loss)
+        np.testing.assert_array_equal(loaded.rtts, trace.rtts)
+
+    def test_suffix_added(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "run")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_derived_series_survive(self, trace, tmp_path):
+        loaded = load_trace(save_trace(trace, tmp_path / "run.npz"))
+        np.testing.assert_allclose(loaded.utilization(), trace.utilization())
+        np.testing.assert_allclose(loaded.total_window(), trace.total_window())
+
+    def test_nan_entries_preserved(self, emulab_link, tmp_path):
+        from repro.model.dynamics import FluidSimulator, SimulationConfig
+        from repro.model.events import EventSchedule
+
+        schedule = EventSchedule().add_sender_start(1, 50)
+        sim = FluidSimulator(
+            emulab_link, [AIMD(1, 0.5)] * 2, SimulationConfig(schedule=schedule)
+        )
+        original = sim.run(100)
+        loaded = load_trace(save_trace(original, tmp_path / "late.npz"))
+        assert np.isnan(loaded.windows[:50, 1]).all()
+
+    def test_missing_field_rejected(self, trace, tmp_path):
+        path = tmp_path / "broken.npz"
+        np.savez(path, windows=trace.windows, format_version=np.array(1))
+        with pytest.raises(ValueError, match="missing"):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, trace, tmp_path):
+        path = tmp_path / "old.npz"
+        arrays = {
+            name: getattr(trace, name)
+            for name in (
+                "windows", "observed_loss", "congestion_loss", "rtts",
+                "capacities", "pipe_limits", "base_rtts",
+            )
+        }
+        np.savez(path, format_version=np.array(99), **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
+
+
+class TestCsvExport:
+    def test_header_and_row_count(self, trace, tmp_path):
+        path = trace_to_csv(trace, tmp_path / "run.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == trace.steps + 1
+        header = lines[0].split(",")
+        assert header[:2] == ["step", "congestion_loss"]
+        assert "window_0" in header and "window_1" in header
+
+    def test_values_roundtrip_exactly(self, trace, tmp_path):
+        import csv as csv_module
+
+        path = trace_to_csv(trace, tmp_path / "run.csv")
+        with path.open() as handle:
+            rows = list(csv_module.DictReader(handle))
+        t = 17
+        assert float(rows[t]["window_0"]) == trace.windows[t, 0]
+        assert float(rows[t]["rtt"]) == trace.rtts[t]

@@ -1,0 +1,101 @@
+"""The generic sweep harness (repro.experiments.sweep)."""
+
+import pytest
+
+from repro.experiments.sweep import Sweep, SweepRow
+
+
+class TestCells:
+    def test_cross_product(self):
+        sweep = Sweep(axes={"a": [1, 2], "b": ["x", "y", "z"]},
+                      measure=lambda a, b: None)
+        assert sweep.size() == 6
+        cells = list(sweep.cells())
+        assert cells[0] == {"a": 1, "b": "x"}
+        assert cells[-1] == {"a": 2, "b": "z"}
+
+    def test_deterministic_order(self):
+        sweep = Sweep(axes={"a": [1, 2], "b": [3, 4]}, measure=lambda a, b: None)
+        assert list(sweep.cells()) == list(sweep.cells())
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(axes={}, measure=lambda: None)
+        with pytest.raises(ValueError):
+            Sweep(axes={"a": []}, measure=lambda a: None)
+
+
+class TestRun:
+    def test_measures_every_cell(self):
+        sweep = Sweep(axes={"x": [1, 2, 3]}, measure=lambda x: x * 10)
+        rows = sweep.run()
+        assert [row.value for row in rows] == [10, 20, 30]
+        assert rows[1].parameter("x") == 2
+
+    def test_errors_propagate_by_default(self):
+        def boom(x):
+            raise RuntimeError("nope")
+
+        with pytest.raises(RuntimeError):
+            Sweep(axes={"x": [1]}, measure=boom).run()
+
+    def test_skip_errors_records_them(self):
+        def sometimes(x):
+            if x == 2:
+                raise RuntimeError("nope")
+            return x
+
+        sweep = Sweep(axes={"x": [1, 2, 3]}, measure=sometimes, skip_errors=True)
+        rows = sweep.run()
+        assert [row.value for row in rows] == [1, None, 3]
+        assert len(sweep.errors) == 1
+        assert sweep.errors[0][0] == {"x": 2}
+
+    def test_real_measurement(self, emulab_link):
+        # A miniature Table 2-style sweep through the actual simulator.
+        from repro.experiments.table2 import measure_friendliness
+        from repro.protocols.aimd import AIMD
+
+        sweep = Sweep(
+            axes={"a": [1.0, 2.0], "bw": [20]},
+            measure=lambda a, bw: measure_friendliness(AIMD(a, 0.5), 2, bw,
+                                                       steps=800),
+        )
+        rows = sweep.run()
+        # Larger increment -> less friendly.
+        assert rows[0].value > rows[1].value
+
+
+class TestAggregateAndRender:
+    def make_rows(self):
+        sweep = Sweep(
+            axes={"a": [1, 2], "b": [10, 20]},
+            measure=lambda a, b: a * b,
+        )
+        return sweep.run()
+
+    def test_aggregate_groups_and_reduces(self):
+        rows = self.make_rows()
+        by_a = Sweep.aggregate(rows, by=("a",), reduce=sum)
+        assert by_a == {(1,): 30, (2,): 60}
+
+    def test_aggregate_max(self):
+        rows = self.make_rows()
+        by_b = Sweep.aggregate(rows, by=("b",), reduce=max)
+        assert by_b == {(10,): 20, (20,): 40}
+
+    def test_to_table(self):
+        rows = self.make_rows()
+        table = Sweep.to_table(rows, title="demo", value_label="product")
+        assert table.headers == ["a", "b", "product"]
+        assert len(table.rows) == 4
+
+    def test_to_table_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep.to_table([], title="demo")
+
+    def test_row_unknown_parameter(self):
+        row = SweepRow(parameters=(("a", 1),), value=2)
+        with pytest.raises(KeyError):
+            row.parameter("b")
+        assert row.as_dict() == {"a": 1, "value": 2}

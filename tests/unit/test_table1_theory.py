@@ -1,0 +1,188 @@
+"""The closed forms of Table 1 (repro.core.theory.table1)."""
+
+import math
+
+import pytest
+
+from repro.core.theory import table1
+
+C, TAU, N = 70.0, 100.0, 2
+
+
+class TestBuildingBlocks:
+    def test_aimd_convergence(self):
+        assert table1.aimd_convergence(0.5) == pytest.approx(1 / 1.5)
+        with pytest.raises(ValueError):
+            table1.aimd_convergence(1.0)
+
+    def test_aimd_friendliness_reno_is_one(self):
+        assert table1.aimd_friendliness(1.0, 0.5) == pytest.approx(1.0)
+
+    def test_aimd_friendliness_monotone(self):
+        # More aggressive (larger a, larger b) -> less friendly.
+        assert table1.aimd_friendliness(2, 0.5) < table1.aimd_friendliness(1, 0.5)
+        assert table1.aimd_friendliness(1, 0.8) < table1.aimd_friendliness(1, 0.5)
+
+    def test_multiplicative_efficiency_caps_at_one(self):
+        assert table1.multiplicative_efficiency(0.9, C, TAU) == 1.0
+        assert table1.multiplicative_efficiency(0.3, C, 0.0) == pytest.approx(0.3)
+
+    def test_additive_overshoot_loss(self):
+        assert table1.additive_overshoot_loss(2.0, C, TAU) == pytest.approx(
+            1 - 170 / 172
+        )
+        assert table1.additive_overshoot_loss(0.0, C, TAU) == 0.0
+
+
+class TestAimdRow:
+    def test_reno_row(self):
+        row = table1.aimd_row(1.0, 0.5, C, TAU, N)
+        assert row.worst_case.efficiency == pytest.approx(0.5)
+        assert row.worst_case.fast_utilization == pytest.approx(1.0)
+        assert row.worst_case.tcp_friendliness == pytest.approx(1.0)
+        assert row.worst_case.fairness == 1.0
+        assert row.worst_case.robustness == 0.0
+        assert row.nuanced["efficiency"] == 1.0  # 0.5 * (1 + 100/70) > 1
+        assert row.score("loss_avoidance") == pytest.approx(1 - 170 / 172)
+
+    def test_score_prefers_nuanced(self):
+        row = table1.aimd_row(1.0, 0.5, C, TAU, N)
+        assert row.score("efficiency") == row.nuanced["efficiency"]
+        assert row.score("fairness") == row.worst_case.fairness
+
+
+class TestMimdRow:
+    def test_scalable_row(self):
+        row = table1.mimd_row(1.01, 0.875, C, TAU, N)
+        assert math.isinf(row.worst_case.fast_utilization)
+        assert row.worst_case.fairness == 0.0
+        assert row.worst_case.loss_avoidance == pytest.approx(0.01 / 1.01)
+
+    def test_printed_vs_derived_loss(self):
+        # We implement both readings of the MIMD loss-avoidance cell.
+        assert table1.mimd_loss_avoidance_printed(1.01) == pytest.approx(
+            1.01 / 2.01
+        )
+        assert table1.mimd_loss_avoidance_derived(1.01) == pytest.approx(
+            0.01 / 1.01
+        )
+
+    def test_nuanced_friendliness_shrinks_with_pipe(self):
+        small = table1.mimd_friendliness_nuanced(1.01, 0.875, C, TAU)
+        large = table1.mimd_friendliness_nuanced(1.01, 0.875, 10 * C, TAU)
+        assert large < small
+
+    def test_degenerate_tiny_link(self):
+        assert math.isinf(table1.mimd_friendliness_nuanced(1.01, 0.5, 1.0, 0.0))
+
+
+class TestBinRow:
+    def test_iiad_row(self):
+        row = table1.bin_row(1.0, 1.0, 1.0, 0.0, C, TAU, N)
+        assert row.worst_case.fast_utilization == 0.0  # k > 0
+        assert row.worst_case.tcp_friendliness == pytest.approx(math.sqrt(1.5))
+        # Additive decrease at the operating point barely dents the window.
+        assert row.nuanced["efficiency"] == 1.0
+        assert row.nuanced["convergence"] > 0.98
+
+    def test_k_zero_l_one_equals_aimd(self):
+        bin_row = table1.bin_row(1.0, 0.5, 0.0, 1.0, C, TAU, N)
+        aimd_row = table1.aimd_row(1.0, 0.5, C, TAU, N)
+        assert bin_row.worst_case.fast_utilization == pytest.approx(1.0)
+        assert bin_row.nuanced["loss_avoidance"] == pytest.approx(
+            aimd_row.nuanced["loss_avoidance"]
+        )
+        assert bin_row.nuanced["convergence"] == pytest.approx(
+            aimd_row.worst_case.convergence
+        )
+
+    def test_non_compatible_bin_scores_zero_friendliness(self):
+        row = table1.bin_row(1.0, 0.5, 0.2, 0.3, C, TAU, N)
+        assert row.worst_case.tcp_friendliness == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            table1.bin_row(0.0, 0.5, 1.0, 0.0, C, TAU, N)
+        with pytest.raises(ValueError):
+            table1.bin_row(1.0, 0.5, -1.0, 0.0, C, TAU, N)
+        with pytest.raises(ValueError):
+            table1.bin_row(1.0, 0.5, 1.0, 2.0, C, TAU, N)
+
+
+class TestCubicRow:
+    def test_kernel_cubic_row(self):
+        row = table1.cubic_row(0.4, 0.8, C, TAU, N)
+        assert row.worst_case.efficiency == pytest.approx(0.8)
+        assert row.worst_case.fast_utilization == pytest.approx(0.4)
+        assert row.score("loss_avoidance") == pytest.approx(
+            1 - 170 / (170 + 2 * 0.4)
+        )
+
+    def test_friendliness_shrinks_with_pipe(self):
+        small = table1.cubic_friendliness_nuanced(0.4, 0.8, C, TAU)
+        large = table1.cubic_friendliness_nuanced(0.4, 0.8, 100 * C, TAU)
+        assert large < small
+
+    def test_friendliness_capped_at_parity(self):
+        # Tiny c would push the expression past 1; the cap holds it there.
+        assert table1.cubic_friendliness_nuanced(1e-5, 0.8, C, TAU) == 1.0
+
+
+class TestRobustAimdRow:
+    def test_paper_parameters(self):
+        row = table1.robust_aimd_row(1.0, 0.8, 0.01, C, TAU, N)
+        assert row.worst_case.robustness == pytest.approx(0.01)
+        assert row.worst_case.fast_utilization == pytest.approx(1.0)
+        # Loss-avoidance settles where the loss rate crosses epsilon.
+        pipe = C + TAU
+        expected = (pipe * 0.01 + 2 * 0.99) / (pipe + 2 * 0.99)
+        assert row.nuanced["loss_avoidance"] == pytest.approx(expected)
+
+    def test_friendliness_far_below_aimd(self):
+        robust = table1.robust_aimd_row(1.0, 0.8, 0.01, C, TAU, N)
+        plain = table1.aimd_row(1.0, 0.8, C, TAU, N)
+        assert robust.nuanced["tcp_friendliness"] < 0.01 * plain.score(
+            "tcp_friendliness"
+        )
+
+    def test_efficiency_boost_from_tolerance(self):
+        # b/(1-eps) exceeds b: tolerating loss keeps the pipe fuller.
+        row = table1.robust_aimd_row(1.0, 0.8, 0.2, C, 0.0, N)
+        assert row.worst_case.efficiency == pytest.approx(1.0)  # 0.8/0.8 = 1
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            table1.robust_aimd_row(1.0, 0.8, 0.0, C, TAU, N)
+
+    def test_theorem3_footnote_assumption(self):
+        with pytest.raises(ValueError, match="C \\+ tau"):
+            table1.robust_aimd_friendliness_nuanced(1e9, 0.8, 0.01, 1.0, 0.0)
+
+
+class TestPaperTable:
+    def test_five_rows(self):
+        rows = table1.paper_table1(C, TAU, N)
+        names = [row.protocol for row in rows]
+        assert names == [
+            "AIMD(1,0.5)",
+            "MIMD(1.01,0.875)",
+            "BIN(1,1,1,0)",
+            "CUBIC(0.4,0.8)",
+            "Robust-AIMD(1,0.8,0.01)",
+        ]
+
+    def test_only_robust_aimd_is_robust(self):
+        rows = table1.paper_table1(C, TAU, N)
+        robust = [row for row in rows if row.worst_case.robustness > 0]
+        assert len(robust) == 1
+        assert "Robust-AIMD" in robust[0].protocol
+
+    def test_all_loss_based_latency_unbounded(self):
+        for row in table1.paper_table1(C, TAU, N):
+            assert math.isinf(row.worst_case.latency_avoidance)
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            table1.paper_table1(-1.0, TAU, N)
+        with pytest.raises(ValueError):
+            table1.paper_table1(C, TAU, 0)

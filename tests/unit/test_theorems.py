@@ -1,0 +1,116 @@
+"""Bound functions of Claim 1 and Theorems 1-5 (repro.core.theory.theorems)."""
+
+import pytest
+
+from repro.core.theory import theorems
+
+
+class TestClaim1:
+    def test_zero_loss_loss_based_must_not_fast_utilize(self):
+        assert theorems.claim1_consistent(True, True, 0.0)
+        assert not theorems.claim1_consistent(True, True, 0.5)
+
+    def test_non_loss_based_unconstrained(self):
+        assert theorems.claim1_consistent(False, True, 5.0)
+
+    def test_lossy_protocols_unconstrained(self):
+        assert theorems.claim1_consistent(True, False, 5.0)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            theorems.claim1_consistent(True, True, -1.0)
+
+
+class TestTheorem1:
+    def test_bound_formula(self):
+        assert theorems.theorem1_efficiency_bound(0.5) == pytest.approx(1 / 3)
+        assert theorems.theorem1_efficiency_bound(1.0) == pytest.approx(1.0)
+        assert theorems.theorem1_efficiency_bound(0.0) == 0.0
+
+    def test_bound_monotone_in_convergence(self):
+        values = [theorems.theorem1_efficiency_bound(a) for a in (0.1, 0.5, 0.9)]
+        assert values == sorted(values)
+
+    def test_holds_checker(self):
+        assert theorems.theorem1_holds(0.5, 1.0, 0.4)
+        assert not theorems.theorem1_holds(0.9, 1.0, 0.5)
+
+    def test_vacuous_without_fast_utilization(self):
+        # Claim-1-style protocols (alpha = 0) are exempt.
+        assert theorems.theorem1_holds(0.99, 0.0, 0.0)
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            theorems.theorem1_efficiency_bound(1.5)
+
+
+class TestTheorem2:
+    def test_reno_point(self):
+        assert theorems.theorem2_friendliness_bound(1.0, 0.5) == pytest.approx(1.0)
+
+    def test_bound_decreases_with_alpha(self):
+        assert theorems.theorem2_friendliness_bound(
+            2.0, 0.5
+        ) < theorems.theorem2_friendliness_bound(1.0, 0.5)
+
+    def test_bound_decreases_with_beta(self):
+        assert theorems.theorem2_friendliness_bound(
+            1.0, 0.9
+        ) < theorems.theorem2_friendliness_bound(1.0, 0.5)
+
+    def test_full_efficiency_forces_zero_friendliness(self):
+        assert theorems.theorem2_friendliness_bound(1.0, 1.0) == 0.0
+
+    def test_holds_checker(self):
+        assert theorems.theorem2_holds(1.0, 0.5, 0.9)
+        assert not theorems.theorem2_holds(1.0, 0.5, 1.2)
+        assert theorems.theorem2_holds(0.0, 0.5, 99.0)  # vacuous
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            theorems.theorem2_friendliness_bound(0.0, 0.5)
+        with pytest.raises(ValueError):
+            theorems.theorem2_friendliness_bound(1.0, 1.5)
+
+
+class TestTheorem3:
+    def test_far_tighter_than_theorem2(self):
+        t2 = theorems.theorem2_friendliness_bound(1.0, 0.8)
+        t3 = theorems.theorem3_friendliness_bound(1.0, 0.8, 0.01, 70.0, 100.0)
+        assert t3 < t2 / 100
+
+    def test_tightens_with_pipe_size(self):
+        small = theorems.theorem3_friendliness_bound(1.0, 0.8, 0.01, 70.0, 100.0)
+        large = theorems.theorem3_friendliness_bound(1.0, 0.8, 0.01, 700.0, 100.0)
+        assert large < small
+
+    def test_footnote_assumption_enforced(self):
+        with pytest.raises(ValueError, match="C \\+ tau > alpha/2"):
+            theorems.theorem3_friendliness_bound(10.0, 0.8, 0.01, 1.0, 0.0)
+
+    def test_robustness_range(self):
+        with pytest.raises(ValueError):
+            theorems.theorem3_friendliness_bound(1.0, 0.8, 0.0, 70.0, 100.0)
+
+    def test_holds_vacuous_without_robustness(self):
+        assert theorems.theorem3_holds(1.0, 0.8, 0.0, 99.0, 70.0, 100.0)
+
+
+class TestTheorem4And5:
+    def test_transfer_is_identity(self):
+        assert theorems.theorem4_transfer(0.7) == 0.7
+        with pytest.raises(ValueError):
+            theorems.theorem4_transfer(-0.1)
+
+    def test_aggressiveness_verdict(self):
+        verdict = theorems.AggressivenessVerdict("P", "Q", 10.0, 5.0)
+        assert verdict.p_more_aggressive
+        assert not theorems.AggressivenessVerdict("P", "Q", 5.0, 10.0).p_more_aggressive
+
+    def test_theorem5_bound_is_zero(self):
+        assert theorems.theorem5_friendliness_bound() == 0.0
+
+    def test_theorem5_holds(self):
+        assert theorems.theorem5_holds(0.9, 0.01)
+        assert not theorems.theorem5_holds(0.9, 0.5)
+        assert theorems.theorem5_holds(0.0, 0.5)  # vacuous without efficiency

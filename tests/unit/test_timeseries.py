@@ -1,0 +1,125 @@
+"""Time-series analysis (repro.analysis.timeseries)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import (
+    autocorrelation_period,
+    find_peaks,
+    find_troughs,
+    moving_average,
+    summarize_sawtooth,
+    throughput_latency_points,
+)
+from repro.model.dynamics import run_homogeneous
+from repro.protocols.aimd import AIMD
+
+
+def sawtooth(peak=100.0, b=0.5, cycles=5, slope=1.0):
+    """An ideal AIMD-style sawtooth series."""
+    trough = b * peak
+    steps = int((peak - trough) / slope)
+    one = np.concatenate([np.linspace(trough, peak, steps)])
+    return np.concatenate([one] * cycles)
+
+
+class TestMovingAverage:
+    def test_constant_series_unchanged(self):
+        series = np.full(10, 4.0)
+        np.testing.assert_allclose(moving_average(series, 3), 4.0)
+
+    def test_window_one_is_identity(self):
+        series = np.array([1.0, 5.0, 2.0])
+        np.testing.assert_array_equal(moving_average(series, 1), series)
+
+    def test_smooths_alternation(self):
+        series = np.array([0.0, 10.0] * 20)
+        smoothed = moving_average(series, 4)
+        assert smoothed[10:30].std() < series[10:30].std()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            moving_average(np.ones(5), 0)
+        with pytest.raises(ValueError):
+            moving_average(np.ones((2, 2)), 2)
+
+
+class TestPeaksTroughs:
+    def test_single_peak(self):
+        series = np.array([0.0, 1.0, 3.0, 1.0, 0.0])
+        np.testing.assert_array_equal(find_peaks(series), [2])
+
+    def test_trough(self):
+        series = np.array([3.0, 1.0, 0.5, 1.0, 3.0])
+        np.testing.assert_array_equal(find_troughs(series), [2])
+
+    def test_monotone_has_none(self):
+        assert find_peaks(np.arange(10.0)).size == 0
+
+    def test_too_short(self):
+        assert find_peaks(np.array([1.0, 2.0])).size == 0
+
+    def test_sawtooth_peak_count(self):
+        series = sawtooth(cycles=4)
+        assert find_peaks(series).size == 3  # interior peaks only
+
+
+class TestSawtoothSummary:
+    def test_ideal_sawtooth_recovered(self):
+        series = sawtooth(peak=100.0, b=0.5, cycles=6)
+        summary = summarize_sawtooth(series)
+        assert summary is not None
+        assert summary.mean_peak == pytest.approx(100.0, rel=0.05)
+        assert summary.decrease_factor == pytest.approx(0.5, abs=0.05)
+        assert summary.convergence_alpha == pytest.approx(2 / 3, abs=0.05)
+
+    def test_flat_series_has_no_cycles(self):
+        assert summarize_sawtooth(np.full(100, 5.0)) is None
+
+    def test_real_reno_trace(self, emulab_link):
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 2, 3000)
+        summary = summarize_sawtooth(trace.tail(0.5).sender_series(0))
+        assert summary is not None
+        # The extracted decrease factor is Reno's b = 0.5.
+        assert summary.decrease_factor == pytest.approx(0.5, abs=0.05)
+        assert summary.n_cycles >= 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize_sawtooth(np.ones(10), min_cycles=0)
+
+
+class TestAutocorrelationPeriod:
+    def test_recovers_sawtooth_period(self):
+        series = sawtooth(peak=100.0, b=0.5, cycles=8, slope=1.0)
+        true_period = 50
+        period = autocorrelation_period(series)
+        assert period == pytest.approx(true_period, abs=2)
+
+    def test_flat_series_none(self):
+        assert autocorrelation_period(np.full(100, 3.0)) is None
+
+    def test_short_series_none(self):
+        assert autocorrelation_period(np.ones(4)) is None
+
+
+class TestThroughputLatency:
+    def test_bucketing(self):
+        windows = np.full(100, 10.0)
+        rtts = np.full(100, 0.05)
+        points = throughput_latency_points(windows, rtts, bucket=25)
+        assert len(points) == 4
+        throughput, latency = points[0]
+        assert throughput == pytest.approx(200.0)
+        assert latency == pytest.approx(0.05)
+
+    def test_nan_windows_skipped(self):
+        windows = np.full(50, np.nan)
+        rtts = np.full(50, 0.05)
+        assert throughput_latency_points(windows, rtts, bucket=25) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            throughput_latency_points(np.ones(10), np.ones(5))
+        with pytest.raises(ValueError):
+            throughput_latency_points(np.ones(10), np.ones(10), bucket=0)

@@ -1,0 +1,149 @@
+"""SimulationTrace series and reductions (repro.model.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.model.dynamics import run_homogeneous
+from repro.model.trace import SimulationTrace
+from repro.protocols.aimd import AIMD
+
+
+def make_trace(steps=10, n=2, window_value=5.0) -> SimulationTrace:
+    return SimulationTrace(
+        windows=np.full((steps, n), window_value),
+        observed_loss=np.zeros((steps, n)),
+        congestion_loss=np.zeros(steps),
+        rtts=np.full(steps, 0.042),
+        capacities=np.full(steps, 70.0),
+        pipe_limits=np.full(steps, 170.0),
+        base_rtts=np.full(steps, 0.042),
+    )
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationTrace(
+                windows=np.zeros((10, 2)),
+                observed_loss=np.zeros((10, 3)),
+                congestion_loss=np.zeros(10),
+                rtts=np.zeros(10),
+                capacities=np.ones(10),
+                pipe_limits=np.ones(10),
+                base_rtts=np.ones(10),
+            )
+
+    def test_scalar_series_must_match_steps(self):
+        with pytest.raises(ValueError):
+            SimulationTrace(
+                windows=np.zeros((10, 2)),
+                observed_loss=np.zeros((10, 2)),
+                congestion_loss=np.zeros(5),
+                rtts=np.zeros(10),
+                capacities=np.ones(10),
+                pipe_limits=np.ones(10),
+                base_rtts=np.ones(10),
+            )
+
+    def test_windows_must_be_2d(self):
+        with pytest.raises(ValueError):
+            SimulationTrace(
+                windows=np.zeros(10),
+                observed_loss=np.zeros(10),
+                congestion_loss=np.zeros(10),
+                rtts=np.zeros(10),
+                capacities=np.ones(10),
+                pipe_limits=np.ones(10),
+                base_rtts=np.ones(10),
+            )
+
+
+class TestDerivedSeries:
+    def test_total_window_sums_senders(self):
+        trace = make_trace(steps=4, n=3, window_value=5.0)
+        np.testing.assert_allclose(trace.total_window(), 15.0)
+
+    def test_total_window_ignores_nan(self):
+        trace = make_trace(steps=2, n=2, window_value=5.0)
+        trace.windows[0, 1] = np.nan
+        assert trace.total_window()[0] == pytest.approx(5.0)
+
+    def test_utilization_capped_at_pipe(self):
+        trace = make_trace(steps=2, n=2, window_value=500.0)
+        # 1000 total, pipe 170, C 70: utilization capped at 170/70.
+        assert trace.utilization()[0] == pytest.approx(170.0 / 70.0)
+
+    def test_goodput_formula(self):
+        trace = make_trace(steps=1, n=1, window_value=42.0)
+        trace.observed_loss[0, 0] = 0.5
+        assert trace.goodput()[0, 0] == pytest.approx(42.0 * 0.5 / 0.042)
+
+    def test_rtt_inflation_zero_at_base(self):
+        trace = make_trace()
+        np.testing.assert_allclose(trace.rtt_inflation(), 0.0)
+
+    def test_loss_events(self):
+        trace = make_trace(steps=3)
+        trace.congestion_loss[1] = 0.05
+        np.testing.assert_array_equal(trace.loss_events(), [False, True, False])
+
+    def test_mean_windows_nan_aware(self):
+        trace = make_trace(steps=4, n=2, window_value=10.0)
+        trace.windows[:2, 1] = np.nan
+        means = trace.mean_windows()
+        assert means[0] == pytest.approx(10.0)
+        assert means[1] == pytest.approx(10.0)
+
+
+class TestSlicing:
+    def test_tail_half(self):
+        trace = make_trace(steps=10)
+        assert trace.tail(0.5).steps == 5
+
+    def test_tail_full(self):
+        trace = make_trace(steps=10)
+        assert trace.tail(1.0).steps == 10
+
+    def test_tail_invalid_fraction(self):
+        trace = make_trace()
+        with pytest.raises(ValueError):
+            trace.tail(0.0)
+        with pytest.raises(ValueError):
+            trace.tail(1.5)
+
+    def test_slice_bounds_checked(self):
+        trace = make_trace(steps=10)
+        with pytest.raises(ValueError):
+            trace.slice(5, 3)
+        with pytest.raises(ValueError):
+            trace.slice(0, 99)
+
+    def test_slice_views_data(self):
+        trace = make_trace(steps=10)
+        part = trace.slice(2, 6)
+        assert part.steps == 4
+        assert part.windows.base is trace.windows
+
+    def test_sender_series_bounds(self):
+        trace = make_trace(n=2)
+        with pytest.raises(ValueError):
+            trace.sender_series(2)
+
+
+class TestOnRealRun:
+    def test_summary_keys(self, emulab_link):
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 2, 400)
+        summary = trace.summary()
+        for key in ("steps", "senders", "mean_utilization", "mean_loss"):
+            assert key in summary
+
+    def test_active_mask_matches_nan(self, emulab_link):
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 2, 100)
+        assert trace.active_mask().all()
+
+    def test_utilization_reasonable_for_reno(self, emulab_link):
+        trace = run_homogeneous(emulab_link, AIMD(1, 0.5), 2, 2000)
+        util = trace.tail(0.5).utilization()
+        # Reno keeps the link at least half full and never beyond pipe/C.
+        assert util.min() > 0.5
+        assert util.max() <= emulab_link.pipe_limit / emulab_link.capacity + 1e-9

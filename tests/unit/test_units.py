@@ -1,0 +1,59 @@
+"""Unit conversions (repro.model.units)."""
+
+import pytest
+
+from repro.model import units
+
+
+class TestMbpsToMss:
+    def test_20mbps(self):
+        # 20 Mbps / (8 * 1500) bytes = 1666.67 MSS/s
+        assert units.mbps_to_mss_per_second(20) == pytest.approx(1666.666, rel=1e-3)
+
+    def test_zero_is_allowed(self):
+        assert units.mbps_to_mss_per_second(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.mbps_to_mss_per_second(-1)
+
+    def test_custom_mss(self):
+        # Halving the MSS doubles the packet rate.
+        base = units.mbps_to_mss_per_second(20, mss_bytes=1500)
+        assert units.mbps_to_mss_per_second(20, mss_bytes=750) == pytest.approx(2 * base)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("mbps", [0.1, 1, 20, 100, 1000])
+    def test_inverse(self, mbps):
+        mss = units.mbps_to_mss_per_second(mbps)
+        assert units.mss_per_second_to_mbps(mss) == pytest.approx(mbps)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.mss_per_second_to_mbps(-5)
+
+
+class TestBdp:
+    def test_paper_reference_link(self):
+        # 20 Mbps at 42 ms RTT: the paper's C = 70 MSS.
+        assert units.bdp_mss(20, 42) == pytest.approx(70.0)
+
+    def test_scales_linearly_with_bandwidth(self):
+        assert units.bdp_mss(100, 42) == pytest.approx(5 * units.bdp_mss(20, 42))
+
+    def test_scales_linearly_with_rtt(self):
+        assert units.bdp_mss(20, 84) == pytest.approx(2 * units.bdp_mss(20, 42))
+
+    def test_zero_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            units.bdp_mss(20, 0)
+
+
+class TestTheta:
+    def test_half_of_rtt(self):
+        assert units.rtt_ms_to_theta_seconds(42) == pytest.approx(0.021)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            units.rtt_ms_to_theta_seconds(-1)

@@ -1,0 +1,72 @@
+"""The 8-dimensional metric vector (repro.core.metrics.vector)."""
+
+import math
+
+import pytest
+
+from repro.core.metrics.vector import LOWER_IS_BETTER, METRIC_ORDER, MetricVector
+
+
+class TestBasics:
+    def test_eight_metrics_in_paper_order(self):
+        assert len(METRIC_ORDER) == 8
+        assert METRIC_ORDER[0] == "efficiency"
+        assert METRIC_ORDER[-1] == "latency_avoidance"
+
+    def test_lower_is_better_axes(self):
+        assert LOWER_IS_BETTER == {"loss_avoidance", "latency_avoidance"}
+
+    def test_default_is_all_nan(self):
+        vector = MetricVector()
+        assert all(math.isnan(v) for v in vector.as_dict().values())
+
+    def test_as_dict_order(self):
+        vector = MetricVector(efficiency=0.5)
+        assert list(vector.as_dict()) == list(METRIC_ORDER)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(TypeError):
+            MetricVector(efficiency="high")
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            MetricVector().efficiency = 1.0
+
+
+class TestParetoPoint:
+    def test_orientation_flips_lower_is_better(self):
+        vector = MetricVector(efficiency=0.8, loss_avoidance=0.01)
+        point = vector.as_pareto_point(("efficiency", "loss_avoidance"))
+        assert point == [0.8, -0.01]
+
+    def test_full_point_length(self):
+        vector = MetricVector(**{name: 0.5 for name in METRIC_ORDER})
+        assert len(vector.as_pareto_point()) == 8
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            MetricVector().as_pareto_point(("speed",))
+
+
+class TestHelpers:
+    def test_measured_metrics(self):
+        vector = MetricVector(efficiency=0.5, fairness=1.0)
+        assert vector.measured_metrics() == ("efficiency", "fairness")
+
+    def test_replace(self):
+        vector = MetricVector(efficiency=0.5)
+        updated = vector.replace(fairness=0.9)
+        assert updated.efficiency == 0.5
+        assert updated.fairness == 0.9
+        assert math.isnan(vector.fairness)  # original untouched
+
+    def test_replace_unknown_metric(self):
+        with pytest.raises(ValueError):
+            MetricVector().replace(speed=1.0)
+
+    def test_format_row_handles_special_values(self):
+        vector = MetricVector(efficiency=0.5, latency_avoidance=math.inf)
+        row = vector.format_row()
+        assert "0.500" in row
+        assert "inf" in row
+        assert "-" in row  # NaN slots
