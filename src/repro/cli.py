@@ -8,9 +8,12 @@ Usage::
     repro claims
     repro emulab [--full]
     repro simulate --protocols "AIMD(1,0.5)" "CUBIC(0.4,0.8)" --steps 2000
+    repro cache stats|clear [--dir PATH]
 
 Every subcommand prints the paper-style table to stdout; ``--json`` also
-archives the structured result.
+archives the structured result. The global ``--workers N`` runs experiment
+grids over a process pool; ``--timing`` prints a wall-time breakdown to
+stderr after the run.
 """
 
 from __future__ import annotations
@@ -58,6 +61,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also write the structured result to this path")
     parser.add_argument("--markdown", action="store_true",
                         help="render tables as Markdown")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fan experiment grids out over this many worker "
+                        "processes (default: serial)")
+    parser.add_argument("--timing", action="store_true",
+                        help="print a wall-time breakdown to stderr")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     t1 = subparsers.add_parser("table1", help="protocol characterization (Table 1)")
@@ -116,16 +124,52 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--steps", type=int, default=3000)
     survey.add_argument("--no-extensions", action="store_true",
                         help="skip the responsiveness/churn extension metrics")
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk simulation cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--dir", type=str, default=None,
+                       help="cache directory (default: ~/.cache/repro/sim or "
+                       "$REPRO_CACHE_DIR)")
     return parser
+
+
+def _run_cache_command(args: argparse.Namespace) -> int:
+    from repro.perf.cache import TraceCache, default_cache_dir
+
+    cache = TraceCache(args.dir or default_cache_dir())
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached trace(s) from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    print(f"cache directory: {stats['directory']}")
+    print(f"entries: {stats['entries']}")
+    print(f"size: {stats['bytes']} bytes")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    finally:
+        if args.timing:
+            from repro.perf import REGISTRY
 
+            print(REGISTRY.render(), file=sys.stderr)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "cache":
+        return _run_cache_command(args)
     if args.command == "table1":
         link = _link_from(args)
         result = run_table1(
-            link, EstimatorConfig(steps=args.steps, n_senders=args.senders)
+            link,
+            EstimatorConfig(steps=args.steps, n_senders=args.senders),
+            workers=args.workers,
         )
         print(render_table1(result, markdown=args.markdown))
     elif args.command == "table2":
@@ -133,13 +177,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.packet:
             result = run_table2_packet(pcc=pcc)
         else:
-            result = run_table2(pcc=pcc, steps=args.steps)
+            result = run_table2(pcc=pcc, steps=args.steps, workers=args.workers)
         print(render_table2(result, markdown=args.markdown))
     elif args.command == "figure1":
-        result = run_figure1()
+        result = run_figure1(workers=args.workers)
         print(render_figure1(result, markdown=args.markdown))
     elif args.command == "claims":
-        result = run_claims(_link_from(args), steps=args.steps)
+        result = run_claims(_link_from(args), steps=args.steps,
+                            workers=args.workers)
         print(render_claims(result, markdown=args.markdown))
     elif args.command == "emulab":
         if args.full:
@@ -148,9 +193,10 @@ def main(argv: list[str] | None = None) -> int:
                 bandwidths_mbps=(20, 30, 60, 100),
                 buffers_mss=(10, 100),
                 duration=args.duration,
+                workers=args.workers,
             )
         else:
-            result = run_emulab(duration=args.duration)
+            result = run_emulab(duration=args.duration, workers=args.workers)
         print(render_emulab(result, markdown=args.markdown))
     elif args.command == "simulate":
         link = _link_from(args)
@@ -198,6 +244,7 @@ def main(argv: list[str] | None = None) -> int:
         result = run_survey(
             config=_Config(steps=args.steps, n_senders=2),
             include_extensions=not args.no_extensions,
+            workers=args.workers,
         )
         print(render_survey(result, markdown=args.markdown))
     else:  # pragma: no cover - argparse enforces the choices

@@ -24,6 +24,7 @@ content:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 from repro.core.metrics.base import EstimatorConfig
@@ -34,6 +35,7 @@ from repro.core.metrics.friendliness import friendliness_from_trace
 from repro.core.metrics.loss_avoidance import loss_avoidance_from_trace
 from repro.core.theory import theorems
 from repro.experiments.report import Table
+from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model.dynamics import FluidSimulator, SimulationConfig
 from repro.model.link import Link
 from repro.protocols.aimd import AIMD
@@ -333,16 +335,39 @@ def check_theorem5(base_link: Link, steps: int = 4000,
     return checks
 
 
-def run_claims(link: Link | None = None, steps: int = 4000) -> ClaimsResult:
-    """Run every Section 4 demonstration."""
+def _claims_cell(statement: str, link: Link, steps: int) -> list[TheoremCheck]:
+    """One demonstration group by name (picklable for process pools)."""
+    if statement == "claim1":
+        return check_claim1(link, steps)
+    if statement == "theorem1":
+        return check_theorem1(link, steps)
+    if statement == "theorem2":
+        return check_theorem2(link, steps)
+    if statement == "theorem3":
+        return check_theorem3(steps=max(steps, 6000))
+    if statement == "theorem4":
+        return check_theorem4(link, steps)
+    if statement == "theorem5":
+        return check_theorem5(link, steps)
+    raise ValueError(f"unknown demonstration {statement!r}")
+
+
+def run_claims(link: Link | None = None, steps: int = 4000,
+               workers: int | None = None) -> ClaimsResult:
+    """Run every Section 4 demonstration (in parallel when ``workers > 1``)."""
     link = link or Link.from_mbps(20, 42, 100)
     result = ClaimsResult()
-    result.checks.extend(check_claim1(link, steps))
-    result.checks.extend(check_theorem1(link, steps))
-    result.checks.extend(check_theorem2(link, steps))
-    result.checks.extend(check_theorem3(steps=max(steps, 6000)))
-    result.checks.extend(check_theorem4(link, steps))
-    result.checks.extend(check_theorem5(link, steps))
+    sweep = Sweep(
+        axes={
+            "statement": [
+                "claim1", "theorem1", "theorem2", "theorem3", "theorem4",
+                "theorem5",
+            ]
+        },
+        measure=functools.partial(_claims_cell, link=link, steps=steps),
+    )
+    for row in sweep.run(**workers_sweep_options(workers)):
+        result.checks.extend(row.value)
     return result
 
 

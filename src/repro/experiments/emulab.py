@@ -21,6 +21,7 @@ strictly orders, the measured order against the theoretical one.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 
@@ -29,6 +30,7 @@ import numpy as np
 from repro.analysis.stats import convergence_alpha, min_over_max
 from repro.core.theory import table1
 from repro.experiments.report import Table
+from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model import units
 from repro.packetsim.scenario import PacketScenario, run_scenario
 from repro.protocols import presets
@@ -222,6 +224,20 @@ def measure_cell(
     )
 
 
+def _emulab_cell(
+    n: int,
+    bw: float,
+    buf: int,
+    protocols: dict[str, Protocol],
+    duration: float,
+) -> list[CellMeasurement]:
+    """Every protocol's measurements for one grid cell (picklable for pools)."""
+    return [
+        measure_cell(name, proto, n, bw, buf, duration)
+        for name, proto in protocols.items()
+    ]
+
+
 def run_emulab(
     ns: tuple[int, ...] = (2, 4),
     bandwidths_mbps: tuple[float, ...] = (20, 60),
@@ -229,32 +245,39 @@ def run_emulab(
     duration: float = 20.0,
     protocols: dict[str, Protocol] | None = None,
     empirical_tol: float = 0.05,
+    workers: int | None = None,
 ) -> EmulabResult:
     """Run the validation grid and compare hierarchies against theory.
 
     The default grid is a representative subset of the paper's (which is
     ``ns=(2, 3, 4)``, ``bandwidths=(20, 30, 60, 100)``); pass the full
-    tuple to reproduce every cell at higher runtime.
+    tuple to reproduce every cell at higher runtime. Grid cells are
+    independent; ``workers > 1`` fans them out over a process pool.
     """
     protocols = protocols or default_protocols()  # kernel-scaled Cubic
     result = EmulabResult()
-    for n in ns:
-        for bw in bandwidths_mbps:
-            for buf in buffers_mss:
-                cell_name = f"n={n},bw={bw:g}Mbps,buf={buf}"
-                cell = [
-                    measure_cell(name, proto, n, bw, buf, duration)
-                    for name, proto in protocols.items()
-                ]
-                result.measurements[cell_name] = cell
-                capacity = units.bdp_mss(bw, PAPER_RTT_MS)
-                rows = {
-                    m.protocol: _theory_row(m.protocol, capacity, buf, n)
-                    for m in cell
-                }
-                result.checks.extend(
-                    _hierarchy_checks(cell_name, cell, rows, empirical_tol)
-                )
+    sweep = Sweep(
+        axes={"n": list(ns), "bw": list(bandwidths_mbps),
+              "buf": list(buffers_mss)},
+        measure=functools.partial(
+            _emulab_cell, protocols=protocols, duration=duration
+        ),
+    )
+    for row in sweep.run(**workers_sweep_options(workers)):
+        n = row.parameter("n")
+        bw = row.parameter("bw")
+        buf = row.parameter("buf")
+        cell_name = f"n={n},bw={bw:g}Mbps,buf={buf}"
+        cell = row.value
+        result.measurements[cell_name] = cell
+        capacity = units.bdp_mss(bw, PAPER_RTT_MS)
+        rows = {
+            m.protocol: _theory_row(m.protocol, capacity, buf, n)
+            for m in cell
+        }
+        result.checks.extend(
+            _hierarchy_checks(cell_name, cell, rows, empirical_tol)
+        )
     return result
 
 

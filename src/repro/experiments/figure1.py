@@ -23,6 +23,7 @@ a plot-ready layout.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -38,6 +39,7 @@ from repro.core.theory.pareto import (
     surface_is_mutually_non_dominated,
 )
 from repro.experiments.report import Table
+from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model.link import Link
 from repro.protocols.aimd import AIMD
 
@@ -138,17 +140,24 @@ def run_figure1(
     empirical_betas: list[float] | None = None,
     link: Link | None = None,
     config: EstimatorConfig | None = None,
+    workers: int | None = None,
 ) -> Figure1Result:
-    """Generate the Figure 1 surface and its empirical validation points."""
+    """Generate the Figure 1 surface and its empirical validation points.
+
+    The empirical (alpha, beta) grid cells are independent simulations;
+    ``workers > 1`` fans them out over a process pool.
+    """
     surface = figure1_surface(alphas, betas)
     link = link or Link.from_mbps(20, 42, 100)
     config = config or EstimatorConfig(steps=4000, n_senders=2)
     empirical_alphas = empirical_alphas or [0.5, 1.0, 2.0]
     empirical_betas = empirical_betas or [0.3, 0.5, 0.8]
+    sweep = Sweep(
+        axes={"alpha": empirical_alphas, "beta": empirical_betas},
+        measure=functools.partial(measure_aimd_point, link=link, config=config),
+    )
     empirical = [
-        measure_aimd_point(a, b, link, config)
-        for a in empirical_alphas
-        for b in empirical_betas
+        row.value for row in sweep.run(**workers_sweep_options(workers))
     ]
     return Figure1Result(
         surface=surface,

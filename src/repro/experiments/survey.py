@@ -11,6 +11,7 @@ introduction, executed wholesale.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -25,6 +26,7 @@ from repro.core.metrics.extensions import (
 )
 from repro.core.metrics.vector import METRIC_ORDER
 from repro.experiments.report import Table
+from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model.link import Link
 from repro.protocols import presets
 from repro.protocols.base import Protocol
@@ -113,44 +115,71 @@ class SurveyResult:
         }
 
 
+def _survey_cell(
+    regime: str,
+    protocol: str,
+    roster: dict[str, Callable[[], Protocol]],
+    regimes: dict[str, Link],
+    config: EstimatorConfig,
+    include_extensions: bool,
+    include_robustness: bool,
+) -> SurveyEntry:
+    """One (regime, protocol) characterization (picklable for pools)."""
+    factory = roster[protocol]
+    link = regimes[regime]
+    vector = estimate_all_metrics(
+        factory(), link, config, include_robustness=include_robustness
+    )
+    if include_extensions:
+        responsiveness = estimate_responsiveness(
+            factory(), link, warmup_steps=config.steps // 3,
+            measure_steps=config.steps,
+        ).score
+        churn = estimate_churn_resilience(
+            factory(), link, warmup_steps=config.steps // 3,
+            measure_steps=config.steps,
+        ).score
+    else:
+        responsiveness = churn = float("nan")
+    return SurveyEntry(
+        protocol=protocol,
+        regime=regime,
+        vector=vector,
+        responsiveness=responsiveness,
+        churn_resilience=churn,
+    )
+
+
 def run_survey(
     roster: dict[str, Callable[[], Protocol]] | None = None,
     regimes: dict[str, Link] | None = None,
     config: EstimatorConfig | None = None,
     include_extensions: bool = True,
     include_robustness: bool = True,
+    workers: int | None = None,
 ) -> SurveyResult:
-    """Characterize every (protocol, regime) pair."""
+    """Characterize every (protocol, regime) pair.
+
+    Pairs are independent; ``workers > 1`` fans them out over a process
+    pool.
+    """
     roster = roster or default_roster()
     regimes = regimes or default_regimes()
     config = config or EstimatorConfig(steps=3000, n_senders=2)
     result = SurveyResult()
-    for regime_name, link in regimes.items():
-        for protocol_name, factory in roster.items():
-            protocol = factory()
-            vector = estimate_all_metrics(
-                protocol, link, config, include_robustness=include_robustness
-            )
-            if include_extensions:
-                responsiveness = estimate_responsiveness(
-                    factory(), link, warmup_steps=config.steps // 3,
-                    measure_steps=config.steps,
-                ).score
-                churn = estimate_churn_resilience(
-                    factory(), link, warmup_steps=config.steps // 3,
-                    measure_steps=config.steps,
-                ).score
-            else:
-                responsiveness = churn = float("nan")
-            result.entries.append(
-                SurveyEntry(
-                    protocol=protocol_name,
-                    regime=regime_name,
-                    vector=vector,
-                    responsiveness=responsiveness,
-                    churn_resilience=churn,
-                )
-            )
+    sweep = Sweep(
+        axes={"regime": list(regimes), "protocol": list(roster)},
+        measure=functools.partial(
+            _survey_cell,
+            roster=roster,
+            regimes=regimes,
+            config=config,
+            include_extensions=include_extensions,
+            include_robustness=include_robustness,
+        ),
+    )
+    for row in sweep.run(**workers_sweep_options(workers)):
+        result.entries.append(row.value)
     return result
 
 

@@ -12,15 +12,43 @@ express Table 2-style grids, ablations, and user studies in a few lines::
     )
     rows = sweep.run()
     best = sweep.aggregate(rows, by=("bw",), reduce=max)
+
+Grid cells are independent, so a sweep is embarrassingly parallel: pass
+``parallel=True`` (optionally with ``max_workers``) to fan cells out over
+a process pool. Rows come back in deterministic cell order regardless of
+completion order, and the sweep falls back to the serial path whenever
+parallelism cannot help or cannot work — one worker, one cell, an
+unpicklable measure function (e.g. a lambda), or a platform that refuses
+to spawn processes. Serial and parallel runs produce identical rows.
 """
 
 from __future__ import annotations
 
 import itertools
+import os
+import pickle
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.experiments.report import Table
+from repro.perf import timing
+
+
+def _invoke_measure(measure: Callable[..., Any], cell: dict[str, Any]) -> Any:
+    """Top-level trampoline so pool workers can unpickle the call."""
+    return measure(**cell)
+
+
+def _is_picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True
+
+
+class _PoolUnavailable(RuntimeError):
+    """Internal: the process pool could not be created on this platform."""
 
 
 @dataclass(frozen=True)
@@ -49,12 +77,19 @@ class Sweep:
     ``measure`` receives each axis as a keyword argument. Exceptions
     propagate by default; pass ``skip_errors=True`` to record failed
     cells as ``None`` values instead (the error message goes into
-    ``errors``).
+    ``errors``). ``errors`` is cleared at the start of every ``run()``,
+    so it always describes the most recent run only.
+
+    ``parallel``/``max_workers`` fan cells out over a process pool (see
+    the module docstring for ordering and fallback guarantees); both can
+    also be overridden per ``run()`` call.
     """
 
     axes: Mapping[str, Sequence[Any]]
     measure: Callable[..., Any]
     skip_errors: bool = False
+    parallel: bool = False
+    max_workers: int | None = None
     errors: list[tuple[dict[str, Any], str]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -77,18 +112,74 @@ class Sweep:
             total *= len(values)
         return total
 
-    def run(self) -> list[SweepRow]:
-        """Measure every cell."""
-        rows: list[SweepRow] = []
-        for cell in self.cells():
+    def run(
+        self,
+        parallel: bool | None = None,
+        max_workers: int | None = None,
+    ) -> list[SweepRow]:
+        """Measure every cell; row order always matches ``cells()`` order."""
+        self.errors.clear()
+        cells = list(self.cells())
+        use_parallel = self.parallel if parallel is None else parallel
+        workers = self.max_workers if max_workers is None else max_workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if (
+            use_parallel
+            and workers > 1
+            and len(cells) > 1
+            and _is_picklable(self.measure)
+        ):
             try:
-                value = self.measure(**cell)
+                with timing.measure("sweep.run.parallel"):
+                    return self._run_parallel(cells, min(workers, len(cells)))
+            except _PoolUnavailable:
+                pass
+        with timing.measure("sweep.run.serial"):
+            return self._run_serial(cells)
+
+    def _record_failure(self, cell: dict[str, Any], exc: Exception) -> None:
+        self.errors.append((cell, f"{type(exc).__name__}: {exc}"))
+
+    def _run_serial(self, cells: list[dict[str, Any]]) -> list[SweepRow]:
+        rows: list[SweepRow] = []
+        for cell in cells:
+            try:
+                with timing.measure("sweep.cell"):
+                    value = self.measure(**cell)
             except Exception as exc:  # noqa: BLE001 - reported, not hidden
                 if not self.skip_errors:
                     raise
-                self.errors.append((cell, f"{type(exc).__name__}: {exc}"))
+                self._record_failure(cell, exc)
                 value = None
             rows.append(SweepRow(parameters=tuple(cell.items()), value=value))
+        return rows
+
+    def _run_parallel(self, cells: list[dict[str, Any]],
+                      workers: int) -> list[SweepRow]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        try:
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, RuntimeError) as exc:
+            raise _PoolUnavailable(str(exc)) from exc
+        rows: list[SweepRow] = []
+        with pool:
+            futures = [
+                pool.submit(_invoke_measure, self.measure, cell) for cell in cells
+            ]
+            # Collect in submission (= cell) order: rows stay deterministic
+            # and, without skip_errors, the first failing cell in grid order
+            # raises — exactly the serial semantics.
+            for cell, future in zip(cells, futures):
+                try:
+                    value = future.result()
+                except Exception as exc:  # noqa: BLE001 - reported, not hidden
+                    if not self.skip_errors:
+                        raise
+                    self._record_failure(cell, exc)
+                    value = None
+                rows.append(SweepRow(parameters=tuple(cell.items()), value=value))
         return rows
 
     # ------------------------------------------------------------------
@@ -116,3 +207,15 @@ class Sweep:
         for row in rows:
             table.add_row(*(v for _, v in row.parameters), row.value)
         return table
+
+
+def workers_sweep_options(workers: int | None) -> dict[str, Any]:
+    """Sweep kwargs for an experiment driver's ``workers`` argument.
+
+    ``None`` or ``<= 1`` means serial; anything larger enables the
+    process pool with that worker cap. Shared by the experiment drivers
+    so ``--workers`` behaves identically everywhere.
+    """
+    if workers is not None and workers > 1:
+        return {"parallel": True, "max_workers": workers}
+    return {"parallel": False}

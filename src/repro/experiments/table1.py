@@ -27,6 +27,7 @@ are sublinear (the ``<0>`` entry); CUBIC's measured value must respect its
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 
@@ -36,6 +37,7 @@ from repro.core.metrics.fast_utilization import estimate_unconstrained_growth
 from repro.core.metrics.vector import LOWER_IS_BETTER, METRIC_ORDER
 from repro.core.theory.theorems import theorem2_friendliness_bound
 from repro.experiments.report import Table
+from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model.link import Link
 from repro.protocols import presets
 from repro.protocols.aimd import AIMD
@@ -389,39 +391,67 @@ def _capped(metric: str, value: float) -> float:
 
 
 # ----------------------------------------------------------------------
+def _config_for_protocol(protocol: Protocol,
+                         config: EstimatorConfig) -> EstimatorConfig:
+    """Scale the step budget for families with slow transients."""
+    slow_transient = 1
+    if isinstance(protocol, BIN) and protocol.k > 0:
+        # Sub-linear probing (e.g. IIAD's a/x increments) needs an order
+        # of magnitude more steps to pass its transient.
+        slow_transient = 10
+    elif isinstance(protocol, CUBIC):
+        # Cubic equalizes shares noticeably slower than AIMD.
+        slow_transient = 3
+    if slow_transient == 1:
+        return config
+    return EstimatorConfig(
+        steps=config.steps * slow_transient,
+        tail_fraction=config.tail_fraction,
+        n_senders=config.n_senders,
+        spread_initial_windows=config.spread_initial_windows,
+    )
+
+
+def _table1_cell(
+    index: int,
+    protocols: list[Protocol],
+    link: Link,
+    config: EstimatorConfig,
+) -> tuple[CharacterizationResult, list[PredictionCheck]]:
+    """Characterize one protocol and run its checks (picklable for pools)."""
+    protocol = protocols[index]
+    proto_config = _config_for_protocol(protocol, config)
+    result = characterize(protocol, link, proto_config)
+    checks = _prediction_checks_for(result, protocol, link, proto_config.n_senders)
+    return result, checks
+
+
 def run_table1(
     link: Link | None = None,
     config: EstimatorConfig | None = None,
     protocols: list[Protocol] | None = None,
+    workers: int | None = None,
 ) -> Table1Result:
-    """Characterize the Table 1 protocols and validate predictions + hierarchy."""
+    """Characterize the Table 1 protocols and validate predictions + hierarchy.
+
+    Each protocol's characterization is independent; ``workers > 1`` fans
+    them out over a process pool.
+    """
     link = link or Link.from_mbps(20, 42, 100)
     config = config or EstimatorConfig(steps=4000, n_senders=2)
     protocols = protocols or paper_protocols()
+    sweep = Sweep(
+        axes={"index": list(range(len(protocols)))},
+        measure=functools.partial(
+            _table1_cell, protocols=protocols, link=link, config=config
+        ),
+    )
     characterizations = []
     prediction_checks: list[PredictionCheck] = []
-    for protocol in protocols:
-        proto_config = config
-        slow_transient = 1
-        if isinstance(protocol, BIN) and protocol.k > 0:
-            # Sub-linear probing (e.g. IIAD's a/x increments) needs an order
-            # of magnitude more steps to pass its transient.
-            slow_transient = 10
-        elif isinstance(protocol, CUBIC):
-            # Cubic equalizes shares noticeably slower than AIMD.
-            slow_transient = 3
-        if slow_transient > 1:
-            proto_config = EstimatorConfig(
-                steps=config.steps * slow_transient,
-                tail_fraction=config.tail_fraction,
-                n_senders=config.n_senders,
-                spread_initial_windows=config.spread_initial_windows,
-            )
-        result = characterize(protocol, link, proto_config)
+    for row in sweep.run(**workers_sweep_options(workers)):
+        result, checks = row.value
         characterizations.append(result)
-        prediction_checks.extend(
-            _prediction_checks_for(result, protocol, link, proto_config.n_senders)
-        )
+        prediction_checks.extend(checks)
     pair_checks = _pairwise_checks(characterizations, prediction_checks)
     return Table1Result(
         link=link,

@@ -21,6 +21,7 @@ loss utility) by default, with the paper's aggressiveness lower bound
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -28,6 +29,7 @@ import numpy as np
 from repro.core.metrics.base import EstimatorConfig
 from repro.core.metrics.friendliness import friendliness_from_trace
 from repro.experiments.report import Table
+from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model.dynamics import FluidSimulator, SimulationConfig
 from repro.model.link import Link
 from repro.protocols import presets
@@ -134,29 +136,48 @@ class Table2Result:
         }
 
 
+def _table2_cell(
+    n: int,
+    bw: float,
+    robust_aimd: Protocol,
+    pcc: Protocol,
+    steps: int,
+) -> tuple[float, float]:
+    """One (n, BW) cell's pair of friendliness scores (picklable for pools)."""
+    return (
+        measure_friendliness(robust_aimd, n, bw, steps),
+        measure_friendliness(pcc, n, bw, steps),
+    )
+
+
 def run_table2(
     senders: tuple[int, ...] = PAPER_SENDERS,
     bandwidths_mbps: tuple[float, ...] = PAPER_BANDWIDTHS_MBPS,
     pcc: Protocol | None = None,
     robust_aimd: Protocol | None = None,
     steps: int = 4000,
+    workers: int | None = None,
 ) -> Table2Result:
-    """Measure every Table 2 cell."""
+    """Measure every Table 2 cell (over a process pool when ``workers > 1``)."""
     pcc = pcc or presets.pcc_like()
     robust_aimd = robust_aimd or presets.robust_aimd_paper()
     result = Table2Result(pcc_standin=pcc.name)
-    for n in senders:
-        for bw in bandwidths_mbps:
-            f_robust = measure_friendliness(robust_aimd, n, bw, steps)
-            f_pcc = measure_friendliness(pcc, n, bw, steps)
-            result.cells.append(
-                Table2Cell(
-                    n_senders=n,
-                    bandwidth_mbps=bw,
-                    friendliness_robust_aimd=f_robust,
-                    friendliness_pcc=f_pcc,
-                )
+    sweep = Sweep(
+        axes={"n": list(senders), "bw": list(bandwidths_mbps)},
+        measure=functools.partial(
+            _table2_cell, robust_aimd=robust_aimd, pcc=pcc, steps=steps
+        ),
+    )
+    for row in sweep.run(**workers_sweep_options(workers)):
+        f_robust, f_pcc = row.value
+        result.cells.append(
+            Table2Cell(
+                n_senders=row.parameter("n"),
+                bandwidth_mbps=row.parameter("bw"),
+                friendliness_robust_aimd=f_robust,
+                friendliness_pcc=f_pcc,
             )
+        )
     return result
 
 

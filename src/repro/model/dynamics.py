@@ -20,9 +20,10 @@ import numpy as np
 
 from repro.model.events import EventSchedule
 from repro.model.link import Link
-from repro.model.random_loss import LossProcess, NoLoss, combine_loss
+from repro.model.random_loss import BernoulliLoss, LossProcess, NoLoss, combine_loss
 from repro.model.sender import Observation, SenderState
 from repro.model.trace import SimulationTrace
+from repro.perf import timing
 from repro.protocols.base import Protocol
 
 DEFAULT_MAX_WINDOW = 1e9
@@ -64,6 +65,14 @@ class SimulationConfig:
         least one of its packets was among the drops — so small flows
         often sail through a loss event unscathed, as they do in real
         droptail queues. Seeded and deterministic via ``seed``.
+    allow_vectorized:
+        Permit the homogeneous fast path: when every sender runs the same
+        protocol with the same parameters, feedback is synchronized and
+        the protocol opts in (``Protocol.supports_vectorized``), the
+        simulator steps all windows with one numpy expression per step
+        instead of per-sender Python objects. Traces are bit-identical to
+        the general path (property-tested); disable to force the general
+        loop.
     """
 
     initial_windows: Sequence[float] | None = None
@@ -75,6 +84,7 @@ class SimulationConfig:
     enforce_loss_based: bool = True
     unsynchronized_loss: bool = False
     seed: int = 0
+    allow_vectorized: bool = True
 
     def __post_init__(self) -> None:
         if self.min_window < 0:
@@ -129,15 +139,90 @@ class FluidSimulator:
 
     # ------------------------------------------------------------------
     def run(self, steps: int) -> SimulationTrace:
-        """Simulate ``steps`` RTT-sized time steps and return the trace."""
+        """Simulate ``steps`` RTT-sized time steps and return the trace.
+
+        When a simulation cache is active (:mod:`repro.perf.cache`) and
+        the run is cacheable, a previously archived trace is returned
+        instead of re-simulating; the dynamics are deterministic, so the
+        arrays are bit-identical either way. Homogeneous runs whose
+        protocol opts in take the vectorized fast path (see
+        ``SimulationConfig.allow_vectorized``).
+        """
         if steps <= 0:
             raise ValueError(f"steps must be positive, got {steps}")
+        from repro.perf import cache as sim_cache
+
+        cache = sim_cache.active_cache()
+        key = None
+        if cache is not None:
+            key = sim_cache.simulation_key(
+                self.link, self.protocols, self.config, self._initial, steps
+            )
+            if key is not None:
+                cached = cache.get(key)
+                if cached is not None:
+                    return cached
+
         cfg = self.config
-        n = len(self.protocols)
-        rng = np.random.default_rng(cfg.seed) if cfg.unsynchronized_loss else None
         cfg.loss_process.reset()
         for protocol in self.protocols:
             protocol.reset()
+        if self._fast_path_eligible():
+            with timing.measure("sim.run.vectorized"):
+                trace = self._run_vectorized(steps)
+        else:
+            with timing.measure("sim.run.general"):
+                trace = self._run_general(steps)
+        if cache is not None and key is not None:
+            cache.put(key, trace)
+        return trace
+
+    # ------------------------------------------------------------------
+    def _fast_path_eligible(self) -> bool:
+        """Whether the vectorized homogeneous fast path applies.
+
+        Requirements: every sender runs the same protocol class with the
+        same parameters and the protocol opts in via
+        ``supports_vectorized``; feedback is synchronized (no
+        ``unsynchronized_loss``, no ECN marking); no scheduled events; no
+        per-sender non-congestion loss (``NoLoss`` or a deterministic
+        ``BernoulliLoss``, both constant across senders); and real-valued
+        windows (``integer_windows`` off). Everything else falls back to
+        the general per-sender loop.
+        """
+        cfg = self.config
+        if not cfg.allow_vectorized:
+            return False
+        if cfg.unsynchronized_loss or cfg.integer_windows:
+            return False
+        if cfg.schedule.sender_starts or cfg.schedule.link_changes:
+            return False
+        if self.link.ecn_threshold is not None:
+            return False
+        lp = cfg.loss_process
+        if not (
+            isinstance(lp, NoLoss)
+            or (isinstance(lp, BernoulliLoss) and lp.deterministic)
+        ):
+            return False
+        first = self.protocols[0]
+        if not getattr(first, "supports_vectorized", False):
+            return False
+        try:
+            signature = vars(first)
+            return all(
+                type(p) is type(first) and vars(p) == signature
+                for p in self.protocols[1:]
+            )
+        except Exception:  # noqa: BLE001 - any doubt means "not eligible"
+            return False
+
+    # ------------------------------------------------------------------
+    def _run_general(self, steps: int) -> SimulationTrace:
+        """The per-sender reference loop (handles every configuration)."""
+        cfg = self.config
+        n = len(self.protocols)
+        rng = np.random.default_rng(cfg.seed) if cfg.unsynchronized_loss else None
 
         senders = []
         for i in range(n):
@@ -161,9 +246,20 @@ class FluidSimulator:
         pipe_limits = np.zeros(steps)
         base_rtts = np.zeros(steps)
 
+        # Loop invariants hoisted for the (overwhelmingly common) case of
+        # an empty schedule: the link never changes and every sender is
+        # active from step 0, so neither needs recomputing per step.
+        schedule = cfg.schedule
+        has_link_changes = bool(schedule.link_changes)
+        static_membership = not schedule.sender_starts
+        link = self.link
+        active = senders
+
         for t in range(steps):
-            link = cfg.schedule.link_at(t, self.link)
-            active = [s for s in senders if s.active(t)]
+            if has_link_changes:
+                link = schedule.link_at(t, self.link)
+            if not static_membership:
+                active = [s for s in senders if s.active(t)]
             total = sum(s.window for s in active)
             loss = link.loss_rate(total)
             rtt = link.rtt(total)
@@ -197,6 +293,76 @@ class FluidSimulator:
                         obs, rtt=_PLACEHOLDER_RTT, min_rtt=_PLACEHOLDER_RTT
                     )
                 state.window = self._clamp(protocol.next_window(obs))
+
+        return SimulationTrace(
+            windows=windows,
+            observed_loss=observed_loss,
+            congestion_loss=congestion_loss,
+            rtts=rtts,
+            capacities=capacities,
+            pipe_limits=pipe_limits,
+            base_rtts=base_rtts,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_vectorized(self, steps: int) -> SimulationTrace:
+        """Homogeneous fast path: one numpy update per step for all senders.
+
+        Only runs when :meth:`_fast_path_eligible` holds. Every float
+        operation mirrors the general loop exactly — the aggregate is a
+        left-fold sum (numpy's pairwise summation would round differently),
+        loss is combined through :func:`combine_loss` even when the random
+        rate is zero, and the clamp is the same min/max — so the resulting
+        trace is bit-identical to the general path's.
+        """
+        cfg = self.config
+        n = len(self.protocols)
+        protocol = self.protocols[0]
+        link = self.link
+        # Constant by eligibility (NoLoss or deterministic Bernoulli).
+        random_rate = cfg.loss_process.rate(0, 0)
+        use_placeholder_rtt = cfg.enforce_loss_based and protocol.loss_based
+
+        current = np.array(
+            [self._clamp(w) for w in self._initial], dtype=float
+        )
+        windows = np.full((steps, n), np.nan)
+        observed_loss = np.full((steps, n), np.nan)
+        congestion_loss = np.zeros(steps)
+        rtts = np.zeros(steps)
+        capacities = np.full(steps, link.capacity)
+        pipe_limits = np.full(steps, link.pipe_limit)
+        base_rtts = np.full(steps, link.base_rtt)
+
+        for t in range(steps):
+            # Left-fold sum in sender order, matching sum() over states.
+            total = 0.0
+            for value in current.tolist():
+                total += value
+            loss = link.loss_rate(total)
+            rtt = link.rtt(total)
+            seen = combine_loss(loss, random_rate)
+
+            congestion_loss[t] = loss
+            rtts[t] = rtt
+            windows[t, :] = current
+            observed_loss[t, :] = seen
+
+            rtt_observed = _PLACEHOLDER_RTT if use_placeholder_rtt else rtt
+            proposed = np.asarray(
+                protocol.vectorized_next(current, seen, rtt_observed), dtype=float
+            )
+            if proposed.shape != (n,):
+                raise ValueError(
+                    f"vectorized_next returned shape {proposed.shape}, "
+                    f"expected ({n},)"
+                )
+            if not np.all(np.isfinite(proposed)):
+                raise ValueError(
+                    "protocol produced a non-finite window: "
+                    f"{proposed[~np.isfinite(proposed)][0]}"
+                )
+            current = np.clip(proposed, cfg.min_window, cfg.max_window)
 
         return SimulationTrace(
             windows=windows,

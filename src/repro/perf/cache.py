@@ -1,0 +1,301 @@
+"""Content-addressed on-disk cache of fluid-simulation traces.
+
+A fluid simulation is a deterministic function of (link, protocols,
+config, steps) — the paper's own framing: a protocol-plus-initial-windows
+choice *deterministically* induces the dynamics. That makes traces
+content-addressable: we canonicalize the inputs into a stable structure,
+hash it, and archive the resulting trace as ``.npz`` (via
+:mod:`repro.storage`) under the hash. Repeated estimator calls across
+Table 1, Figure 1 and the claims checks then reload bit-identical arrays
+instead of re-simulating.
+
+Keying rules:
+
+- floats are keyed by their exact bit pattern (``float.hex``), so "close"
+  parameters never collide;
+- protocols are keyed by class plus the attribute dict of a fresh
+  :meth:`~repro.protocols.base.Protocol.clone` (initial state, not
+  whatever mid-run state the instance carries);
+- loss processes are keyed by class plus their reset attribute dict, with
+  RNG objects skipped (the seed attribute already determines them);
+- anything that cannot be canonicalized makes the simulation *uncacheable*
+  (``simulation_key`` returns ``None``) rather than wrongly cacheable.
+
+Activation is explicit: nothing is cached until :func:`configure_cache`
+(or the :func:`cache_enabled` context manager) installs a cache, or the
+``REPRO_SIM_CACHE`` environment variable names a directory — the latter
+is how parallel sweep workers and child processes join in.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+import hashlib
+import json
+import os
+import shutil
+from contextlib import contextmanager
+from dataclasses import fields, is_dataclass
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.model.link import Link
+from repro.model.random_loss import LossProcess
+from repro.perf import timing
+from repro.protocols.base import Protocol
+from repro.storage import load_trace, save_trace
+
+#: Environment variable naming the cache directory; setting it activates
+#: the cache in this process and every child (parallel sweep workers).
+CACHE_ENV = "REPRO_SIM_CACHE"
+
+#: Bump when the canonicalization or the trace format changes.
+_KEY_VERSION = 1
+
+
+class CacheKeyError(TypeError):
+    """Raised internally when an input cannot be canonically keyed."""
+
+
+# ----------------------------------------------------------------------
+# Canonicalization
+# ----------------------------------------------------------------------
+def _canonical(value: Any) -> Any:
+    """A JSON-serializable canonical form of one keying input."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, enum.Enum):
+        return ["enum", type(value).__qualname__, value.name]
+    if isinstance(value, float):
+        return value.hex()
+    if isinstance(value, int):
+        return value
+    if isinstance(value, np.floating):
+        return float(value).hex()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.ndarray):
+        return [
+            "ndarray",
+            str(value.dtype),
+            list(value.shape),
+            hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest(),
+        ]
+    if isinstance(value, Protocol):
+        return ["protocol", type(value).__qualname__, _attrs_of(value.clone())]
+    if isinstance(value, LossProcess):
+        fresh = copy.deepcopy(value)
+        fresh.reset()
+        return ["loss_process", type(value).__qualname__, _attrs_of(fresh)]
+    if is_dataclass(value) and not isinstance(value, type):
+        return [
+            type(value).__qualname__,
+            {f.name: _canonical(getattr(value, f.name)) for f in fields(value)},
+        ]
+    if isinstance(value, dict):
+        return {
+            "__dict__": sorted(
+                (str(key), _canonical(item)) for key, item in value.items()
+            )
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    raise CacheKeyError(f"cannot canonically key a {type(value).__qualname__}")
+
+
+def _attrs_of(obj: Any) -> Any:
+    """Canonicalized instance attributes, minus RNG state (seed keys it)."""
+    try:
+        attrs = vars(obj)
+    except TypeError as exc:  # __slots__ or builtins
+        raise CacheKeyError(f"object {obj!r} has no attribute dict") from exc
+    return {
+        "__dict__": sorted(
+            (name, _canonical(item))
+            for name, item in attrs.items()
+            if not isinstance(item, np.random.Generator)
+        )
+    }
+
+
+#: SimulationConfig fields excluded from the key: ``initial_windows`` is
+#: keyed in resolved form separately, and ``allow_vectorized`` selects an
+#: execution path whose output is bit-identical by contract (and tested).
+_EXCLUDED_CONFIG_FIELDS = frozenset({"initial_windows", "allow_vectorized"})
+
+
+def simulation_key(
+    link: Link,
+    protocols: Sequence[Protocol],
+    config: Any,
+    initial_windows: Sequence[float],
+    steps: int,
+) -> str | None:
+    """A stable content hash of one simulation, or ``None`` if uncacheable.
+
+    ``config`` is a :class:`~repro.model.dynamics.SimulationConfig` (typed
+    loosely to avoid an import cycle with the engine); ``initial_windows``
+    are the *resolved* per-sender starting windows.
+    """
+    try:
+        payload = {
+            "version": _KEY_VERSION,
+            "steps": int(steps),
+            "link": _canonical(link),
+            "protocols": [_canonical(p) for p in protocols],
+            "initial_windows": [_canonical(float(w)) for w in initial_windows],
+            "config": {
+                f.name: _canonical(getattr(config, f.name))
+                for f in fields(config)
+                if f.name not in _EXCLUDED_CONFIG_FIELDS
+            },
+        }
+    except CacheKeyError:
+        return None
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sim``."""
+    return Path(os.environ.get("REPRO_CACHE_DIR") or "~/.cache/repro/sim").expanduser()
+
+
+class TraceCache:
+    """Trace archive addressed by :func:`simulation_key` hashes.
+
+    Entries are ``.npz`` files written through :mod:`repro.storage`, laid
+    out as ``<dir>/<key[:2]>/<key>.npz`` to keep directories shallow.
+    Writes are atomic (temp file + rename), so concurrent sweep workers
+    may race on the same key without corrupting entries.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory).expanduser() if directory else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.npz"
+
+    def get(self, key: str):
+        """The cached trace for ``key``, or ``None`` (counts hit/miss)."""
+        path = self._path(key)
+        with timing.measure("cache.get"):
+            if path.exists():
+                try:
+                    trace = load_trace(path)
+                except Exception:
+                    # Corrupt or truncated entry: drop it and treat as a miss.
+                    path.unlink(missing_ok=True)
+                else:
+                    self.hits += 1
+                    return trace
+            self.misses += 1
+            return None
+
+    def put(self, key: str, trace) -> Path | None:
+        """Archive ``trace`` under ``key`` (no-op if already present).
+
+        Caching is best-effort: an unwritable or bogus cache directory
+        returns ``None`` instead of killing the simulation that just
+        produced the trace.
+        """
+        path = self._path(key)
+        with timing.measure("cache.put"):
+            if not path.exists():
+                tmp = path.with_name(f".tmp-{os.getpid()}-{key[:16]}.npz")
+                try:
+                    save_trace(trace, tmp)
+                    os.replace(tmp, path)
+                except OSError:
+                    try:
+                        tmp.unlink(missing_ok=True)
+                    except OSError:
+                        pass
+                    return None
+        return path
+
+    def entries(self) -> list[Path]:
+        """All archived entry files, sorted for determinism."""
+        if not self.directory.exists():
+            return []
+        return sorted(self.directory.glob("*/*.npz"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = len(self.entries())
+        if self.directory.is_dir():
+            shutil.rmtree(self.directory)
+        return removed
+
+    def stats(self) -> dict[str, Any]:
+        """Entry count, on-disk bytes and this process's hit/miss counters."""
+        entries = self.entries()
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "bytes": sum(path.stat().st_size for path in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+# ----------------------------------------------------------------------
+# Process-wide activation
+# ----------------------------------------------------------------------
+_active: TraceCache | None = None
+
+
+def configure_cache(directory: str | Path | None = None,
+                    export_env: bool = True) -> TraceCache:
+    """Install a :class:`TraceCache` as this process's active cache.
+
+    With ``export_env`` (default) the directory is also exported via
+    ``REPRO_SIM_CACHE`` so parallel sweep workers share the cache.
+    """
+    global _active
+    _active = TraceCache(directory)
+    if export_env:
+        os.environ[CACHE_ENV] = str(_active.directory)
+    return _active
+
+
+def deactivate_cache() -> None:
+    """Remove the active cache (and the environment export, if any)."""
+    global _active
+    _active = None
+    os.environ.pop(CACHE_ENV, None)
+
+
+def active_cache() -> TraceCache | None:
+    """The active cache: the configured one, else one named by the env."""
+    if _active is not None:
+        return _active
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return configure_cache(env, export_env=False)
+    return None
+
+
+@contextmanager
+def cache_enabled(directory: str | Path | None = None) -> Iterator[TraceCache]:
+    """Scoped activation: install a cache, restore the prior state on exit."""
+    global _active
+    previous = _active
+    previous_env = os.environ.get(CACHE_ENV)
+    cache = configure_cache(directory)
+    try:
+        yield cache
+    finally:
+        _active = previous
+        if previous_env is None:
+            os.environ.pop(CACHE_ENV, None)
+        else:
+            os.environ[CACHE_ENV] = previous_env

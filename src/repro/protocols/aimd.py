@@ -15,6 +15,8 @@ Table 1 of the paper characterizes ``AIMD(a, b)`` as:
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.model.sender import Observation
 from repro.protocols.base import Protocol, format_params, validate_in_range
 
@@ -23,6 +25,7 @@ class AIMD(Protocol):
     """``AIMD(a, b)``: window += a without loss; window *= b on loss."""
 
     loss_based = True
+    supports_vectorized = True
 
     def __init__(self, a: float = 1.0, b: float = 0.5) -> None:
         if a <= 0:
@@ -34,6 +37,12 @@ class AIMD(Protocol):
         if obs.loss_rate > 0.0:
             return obs.window * self.b
         return obs.window + self.a
+
+    def vectorized_next(self, windows: np.ndarray, loss_rate: float,
+                        rtt: float) -> np.ndarray:
+        if loss_rate > 0.0:
+            return windows * self.b
+        return windows + self.a
 
     @property
     def name(self) -> str:

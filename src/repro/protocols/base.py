@@ -12,11 +12,23 @@ A protocol is *loss-based* if its window choices are invariant to the RTT
 values it observes. The :attr:`Protocol.loss_based` flag declares this, and
 the simulator can enforce it by feeding loss-based protocols a constant
 placeholder RTT.
+
+Stateless protocols — those whose next window is a pure function of the
+current (window, loss rate, RTT) observation — may additionally opt into
+the simulator's vectorized homogeneous fast path by setting
+:attr:`Protocol.supports_vectorized` and implementing
+:meth:`Protocol.vectorized_next`, which steps every sender's window at
+once with numpy broadcasting. The contract is strict: the vectorized map
+must be bit-identical, element by element, to ``next_window`` (same
+float64 operations in the same order), and must not read or write any
+internal state, observation history, ``min_rtt`` or ECN feedback.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+
+import numpy as np
 
 from repro.model.sender import Observation
 
@@ -27,6 +39,9 @@ class Protocol(ABC):
     #: Whether the protocol ignores RTT (the paper's "loss-based" property).
     loss_based: bool = True
 
+    #: Whether :meth:`vectorized_next` is implemented (see module docstring).
+    supports_vectorized: bool = False
+
     @abstractmethod
     def next_window(self, obs: Observation) -> float:
         """The window to use next step, given this step's observation.
@@ -35,6 +50,19 @@ class Protocol(ABC):
         deterministic functions of the observation history since the last
         :meth:`reset`.
         """
+
+    def vectorized_next(self, windows: np.ndarray, loss_rate: float,
+                        rtt: float) -> np.ndarray:
+        """All senders' next windows at once (homogeneous fast path).
+
+        ``windows`` holds every sender's current window; ``loss_rate`` and
+        ``rtt`` are the step's synchronized feedback. Only meaningful when
+        :attr:`supports_vectorized` is set; implementations must be pure
+        functions that match ``next_window`` bit for bit per element.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the vectorized fast path"
+        )
 
     def reset(self) -> None:
         """Return to the initial state. Default: stateless, nothing to do."""

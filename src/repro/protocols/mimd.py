@@ -13,6 +13,8 @@ and essentially TCP-unfriendly (worst case 0, with the nuanced value
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.model.sender import Observation
 from repro.protocols.base import Protocol, format_params, validate_in_range
 
@@ -21,6 +23,7 @@ class MIMD(Protocol):
     """``MIMD(a, b)``: window *= a without loss; window *= b on loss."""
 
     loss_based = True
+    supports_vectorized = True
 
     def __init__(self, a: float = 1.01, b: float = 0.875) -> None:
         if a <= 1.0:
@@ -32,6 +35,12 @@ class MIMD(Protocol):
         if obs.loss_rate > 0.0:
             return obs.window * self.b
         return obs.window * self.a
+
+    def vectorized_next(self, windows: np.ndarray, loss_rate: float,
+                        rtt: float) -> np.ndarray:
+        if loss_rate > 0.0:
+            return windows * self.b
+        return windows * self.a
 
     @property
     def name(self) -> str:

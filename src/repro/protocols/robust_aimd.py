@@ -19,6 +19,8 @@ PCC's. Table 2's experiments use ``RobustAIMD(1, 0.8, 0.01)``.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.model.sender import Observation
 from repro.protocols.base import Protocol, format_params, validate_in_range
 
@@ -27,6 +29,7 @@ class RobustAIMD(Protocol):
     """``Robust-AIMD(a, b, epsilon)``: threshold-triggered AIMD stepping."""
 
     loss_based = True
+    supports_vectorized = True
 
     def __init__(self, a: float = 1.0, b: float = 0.8, epsilon: float = 0.01) -> None:
         if a <= 0:
@@ -41,6 +44,12 @@ class RobustAIMD(Protocol):
         if obs.loss_rate >= self.epsilon:
             return obs.window * self.b
         return obs.window + self.a
+
+    def vectorized_next(self, windows: np.ndarray, loss_rate: float,
+                        rtt: float) -> np.ndarray:
+        if loss_rate >= self.epsilon:
+            return windows * self.b
+        return windows + self.a
 
     @property
     def name(self) -> str:

@@ -1,0 +1,85 @@
+"""End-to-end checks of the performance layer against real drivers.
+
+Serial and parallel driver runs must produce *identical* results (same
+floats, same order), and experiment reruns under an active trace cache
+must reload bit-identical traces rather than re-simulating.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import EstimatorConfig
+from repro.experiments.claims import run_claims
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.table2 import run_table2
+from repro.perf import cache_enabled
+
+
+def _table2_tuples(result):
+    return [
+        (c.n_senders, c.bandwidth_mbps, c.friendliness_robust_aimd,
+         c.friendliness_pcc)
+        for c in result.cells
+    ]
+
+
+class TestParallelDrivers:
+    def test_table2_parallel_identical_to_serial(self):
+        # The paper's full Table 2 grid shape at a reduced horizon.
+        kwargs = dict(senders=(2, 3), bandwidths_mbps=(20, 30), steps=300)
+        serial = run_table2(**kwargs)
+        parallel = run_table2(workers=2, **kwargs)
+        assert _table2_tuples(serial) == _table2_tuples(parallel)
+        assert serial.pcc_standin == parallel.pcc_standin
+
+    def test_figure1_parallel_identical_to_serial(self):
+        kwargs = dict(
+            empirical_alphas=[0.5, 1.0],
+            empirical_betas=[0.5],
+            config=EstimatorConfig(steps=300, n_senders=2),
+        )
+        serial = run_figure1(**kwargs)
+        parallel = run_figure1(workers=2, **kwargs)
+        assert serial.empirical == parallel.empirical
+
+    def test_claims_parallel_identical_to_serial(self):
+        serial = run_claims(steps=300)
+        parallel = run_claims(steps=300, workers=2)
+        assert [vars(c) for c in serial.checks] == [
+            vars(c) for c in parallel.checks
+        ]
+
+
+class TestCachedExperiments:
+    def test_table2_rerun_hits_cache_and_matches(self, tmp_path):
+        kwargs = dict(senders=(2,), bandwidths_mbps=(20, 30), steps=300)
+        cold_result = None
+        with cache_enabled(tmp_path) as cache:
+            cold_result = run_table2(**kwargs)
+            cold_stats = (cache.hits, cache.misses)
+            warm_result = run_table2(**kwargs)
+            warm_stats = (cache.hits, cache.misses)
+        assert cold_stats[0] == 0  # nothing cached yet
+        assert cold_stats[1] > 0
+        # The warm rerun resolved every simulation from the cache.
+        assert warm_stats[0] == cold_stats[1]
+        assert warm_stats[1] == cold_stats[1]
+        assert _table2_tuples(cold_result) == _table2_tuples(warm_result)
+
+    def test_cached_matches_uncached_exactly(self, tmp_path):
+        kwargs = dict(senders=(2,), bandwidths_mbps=(20,), steps=300)
+        uncached = run_table2(**kwargs)
+        with cache_enabled(tmp_path):
+            run_table2(**kwargs)  # populate
+            cached = run_table2(**kwargs)  # replay
+        assert _table2_tuples(uncached) == _table2_tuples(cached)
+
+    def test_parallel_workers_share_the_cache_via_env(self, tmp_path):
+        kwargs = dict(senders=(2, 3), bandwidths_mbps=(20,), steps=300)
+        with cache_enabled(tmp_path) as cache:
+            run_table2(workers=2, **kwargs)  # workers populate via env
+            warm = run_table2(**kwargs)  # parent replays from disk
+            assert cache.stats()["entries"] > 0
+            assert cache.hits > 0
+        serial = run_table2(**kwargs)
+        assert _table2_tuples(serial) == _table2_tuples(warm)

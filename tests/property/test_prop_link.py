@@ -95,6 +95,9 @@ def test_mark_fraction_monotone_up_to_pipe(link, x1, x2):
 
 @given(link=ecn_links, x=windows)
 def test_marks_start_strictly_before_loss(link, x):
-    # Whenever the link drops, it is also marking (K <= tau).
-    if link.loss_rate(x) > 0.0 and link.ecn_threshold < link.buffer_size:
+    # Whenever the link drops, it is also marking (K < tau). Guard in the
+    # same float arithmetic as mark_fraction: when K is within one ulp of
+    # tau, C + K can round up to the pipe limit and marking vanishes.
+    marking_below_pipe = link.capacity + link.ecn_threshold < link.pipe_limit
+    if link.loss_rate(x) > 0.0 and marking_below_pipe:
         assert link.mark_fraction(x) > 0.0

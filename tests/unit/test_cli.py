@@ -31,6 +31,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table9"])
 
+    def test_workers_and_timing_flags(self):
+        args = build_parser().parse_args(["--workers", "4", "--timing", "claims"])
+        assert args.workers == 4
+        assert args.timing
+
+    def test_workers_defaults_to_serial(self):
+        args = build_parser().parse_args(["claims"])
+        assert args.workers is None
+        assert not args.timing
+
+    def test_cache_subcommand(self):
+        args = build_parser().parse_args(["cache", "stats"])
+        assert args.action == "stats"
+        args = build_parser().parse_args(["cache", "clear", "--dir", "/tmp/x"])
+        assert args.action == "clear"
+        assert args.dir == "/tmp/x"
+
+    def test_cache_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "frobnicate"])
+
 
 class TestMain:
     def test_simulate_prints_summary(self, capsys):
@@ -72,3 +93,18 @@ class TestMain:
     def test_bad_protocol_spec_raises(self):
         with pytest.raises(ValueError):
             main(["simulate", "--protocols", "NOPE(1)"])
+
+    def test_claims_with_workers_and_timing(self, capsys):
+        exit_code = main(["--workers", "2", "--timing", "claims",
+                          "--steps", "800"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Claim 1" in captured.out
+        assert "sweep.run" in captured.err  # the timing table
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert "removed 0" in capsys.readouterr().out

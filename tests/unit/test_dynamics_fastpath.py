@@ -1,0 +1,109 @@
+"""Fast-path eligibility gating in FluidSimulator (repro.model.dynamics).
+
+Bit-identity of the two paths is property-tested in
+``tests/property/test_prop_vectorized.py``; these tests pin down exactly
+which configurations are allowed onto the vectorized path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.events import EventSchedule
+from repro.model.link import Link
+from repro.model.random_loss import BernoulliLoss, GilbertElliottLoss
+from repro.protocols.aimd import AIMD
+from repro.protocols.cubic import CUBIC
+from repro.protocols.mimd import MIMD
+
+
+@pytest.fixture
+def link():
+    return Link.from_mbps(20, 42, 100)
+
+
+def eligible(link, protocols, config=None):
+    return FluidSimulator(link, protocols, config)._fast_path_eligible()
+
+
+class TestEligible:
+    def test_homogeneous_aimd(self, link):
+        assert eligible(link, [AIMD(1, 0.5)] * 3)
+
+    def test_single_sender(self, link):
+        assert eligible(link, [AIMD(1, 0.5)])
+
+    def test_deterministic_bernoulli_loss(self, link):
+        cfg = SimulationConfig(loss_process=BernoulliLoss(0.01))
+        assert eligible(link, [AIMD(1, 0.5)] * 2, cfg)
+
+    def test_separate_instances_with_equal_params(self, link):
+        assert eligible(link, [AIMD(1, 0.5), AIMD(1.0, 0.5)])
+
+
+class TestIneligible:
+    def test_opt_out_flag(self, link):
+        cfg = SimulationConfig(allow_vectorized=False)
+        assert not eligible(link, [AIMD(1, 0.5)] * 2, cfg)
+
+    def test_heterogeneous_parameters(self, link):
+        assert not eligible(link, [AIMD(1, 0.5), AIMD(2, 0.5)])
+
+    def test_heterogeneous_types(self, link):
+        assert not eligible(link, [AIMD(1, 0.5), MIMD(1.01, 0.875)])
+
+    def test_protocol_without_vectorized_support(self, link):
+        assert not eligible(link, [CUBIC(0.4, 0.8)] * 2)
+
+    def test_unsynchronized_loss(self, link):
+        cfg = SimulationConfig(unsynchronized_loss=True)
+        assert not eligible(link, [AIMD(1, 0.5)] * 2, cfg)
+
+    def test_integer_windows(self, link):
+        cfg = SimulationConfig(integer_windows=True)
+        assert not eligible(link, [AIMD(1, 0.5)] * 2, cfg)
+
+    def test_staggered_starts(self, link):
+        schedule = EventSchedule()
+        schedule.add_sender_start(1, step=100, window=1.0)
+        cfg = SimulationConfig(schedule=schedule)
+        assert not eligible(link, [AIMD(1, 0.5)] * 2, cfg)
+
+    def test_link_changes(self, link):
+        schedule = EventSchedule()
+        schedule.add_link_change(step=100, link=link.with_bandwidth(2 * link.bandwidth))
+        cfg = SimulationConfig(schedule=schedule)
+        assert not eligible(link, [AIMD(1, 0.5)] * 2, cfg)
+
+    def test_ecn_marking(self):
+        ecn_link = Link.from_mbps(20, 42, 100)
+        ecn_link = Link(
+            bandwidth=ecn_link.bandwidth,
+            theta=ecn_link.theta,
+            buffer_size=ecn_link.buffer_size,
+            ecn_threshold=10.0,
+        )
+        assert not eligible(ecn_link, [AIMD(1, 0.5)] * 2)
+
+    def test_random_bernoulli_loss(self, link):
+        cfg = SimulationConfig(
+            loss_process=BernoulliLoss(0.01, deterministic=False)
+        )
+        assert not eligible(link, [AIMD(1, 0.5)] * 2, cfg)
+
+    def test_gilbert_elliott_loss(self, link):
+        cfg = SimulationConfig(loss_process=GilbertElliottLoss())
+        assert not eligible(link, [AIMD(1, 0.5)] * 2, cfg)
+
+
+class TestDispatch:
+    def test_ineligible_run_still_works(self, link):
+        cfg = SimulationConfig(unsynchronized_loss=True, seed=7)
+        trace = FluidSimulator(link, [AIMD(1, 0.5)] * 2, cfg).run(200)
+        assert trace.windows.shape == (200, 2)
+
+    def test_eligible_run_matches_structure(self, link):
+        trace = FluidSimulator(link, [AIMD(1, 0.5)] * 2).run(200)
+        assert trace.windows.shape == (200, 2)
+        assert np.all(np.isfinite(trace.windows))
+        assert np.all(trace.capacities == link.capacity)

@@ -1,0 +1,75 @@
+"""The wall-time accounting registry (repro.perf.timing)."""
+
+import time
+
+import pytest
+
+from repro.perf.timing import TimingRegistry, TimingStat
+
+
+class TestTimingStat:
+    def test_accumulates(self):
+        stat = TimingStat()
+        stat.add(1.0)
+        stat.add(3.0)
+        assert stat.count == 2
+        assert stat.total == 4.0
+        assert stat.min == 1.0
+        assert stat.max == 3.0
+        assert stat.mean == 2.0
+
+    def test_empty_mean_is_zero(self):
+        assert TimingStat().mean == 0.0
+
+    def test_as_dict(self):
+        stat = TimingStat()
+        stat.add(2.0)
+        d = stat.as_dict()
+        assert d["count"] == 1.0
+        assert d["total_s"] == 2.0
+        assert d["min_s"] == 2.0
+
+    def test_empty_as_dict_has_zero_min(self):
+        assert TimingStat().as_dict()["min_s"] == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            TimingStat().add(-1.0)
+
+
+class TestTimingRegistry:
+    def test_measure_records_elapsed_time(self):
+        registry = TimingRegistry()
+        with registry.measure("work"):
+            time.sleep(0.01)
+        assert registry.total("work") >= 0.005
+        assert registry.stats()["work"].count == 1
+
+    def test_measure_records_on_exception(self):
+        registry = TimingRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.measure("work"):
+                raise RuntimeError("boom")
+        assert registry.stats()["work"].count == 1
+
+    def test_add_and_total(self):
+        registry = TimingRegistry()
+        registry.add("a", 1.0)
+        registry.add("a", 2.0)
+        registry.add("b", 5.0)
+        assert registry.total("a") == 3.0
+        assert registry.total("missing") == 0.0
+
+    def test_reset(self):
+        registry = TimingRegistry()
+        registry.add("a", 1.0)
+        registry.reset()
+        assert registry.stats() == {}
+
+    def test_render(self):
+        registry = TimingRegistry()
+        assert registry.render() == ""
+        registry.add("sim.run", 0.5)
+        text = registry.render()
+        assert "sim.run" in text
+        assert "count" in text

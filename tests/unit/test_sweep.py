@@ -1,8 +1,25 @@
 """The generic sweep harness (repro.experiments.sweep)."""
 
+import functools
+
 import pytest
 
-from repro.experiments.sweep import Sweep, SweepRow
+from repro.experiments.sweep import Sweep, SweepRow, workers_sweep_options
+
+
+def _times(x, factor):
+    """Module-level so it survives pickling into pool workers."""
+    return x * factor
+
+
+def _grid_value(x, y):
+    return x * 10 + y
+
+
+def _explode_on(x, bad):
+    if x == bad:
+        raise RuntimeError("nope")
+    return x
 
 
 class TestCells:
@@ -51,6 +68,28 @@ class TestRun:
         assert len(sweep.errors) == 1
         assert sweep.errors[0][0] == {"x": 2}
 
+    def test_errors_reset_between_runs(self):
+        # Regression: errors from one run() used to pile up into the next.
+        sweep = Sweep(
+            axes={"x": [1, 2, 3]},
+            measure=functools.partial(_explode_on, bad=2),
+            skip_errors=True,
+        )
+        sweep.run()
+        assert len(sweep.errors) == 1
+        sweep.run()
+        assert len(sweep.errors) == 1
+
+    def test_errors_list_identity_preserved(self):
+        sweep = Sweep(
+            axes={"x": [2]},
+            measure=functools.partial(_explode_on, bad=2),
+            skip_errors=True,
+        )
+        held = sweep.errors
+        sweep.run()
+        assert held is sweep.errors and len(held) == 1
+
     def test_real_measurement(self, emulab_link):
         # A miniature Table 2-style sweep through the actual simulator.
         from repro.experiments.table2 import measure_friendliness
@@ -64,6 +103,78 @@ class TestRun:
         rows = sweep.run()
         # Larger increment -> less friendly.
         assert rows[0].value > rows[1].value
+
+
+class TestParallel:
+    def test_rows_identical_to_serial(self):
+        axes = {"x": [1, 2, 3, 4], "y": [5, 6]}
+        serial = Sweep(axes=axes, measure=_grid_value).run()
+        parallel = Sweep(axes=axes, measure=_grid_value).run(
+            parallel=True, max_workers=3
+        )
+        assert serial == parallel  # same values AND same order
+
+    def test_parallel_flag_on_the_sweep_itself(self):
+        sweep = Sweep(
+            axes={"x": [1, 2, 3]},
+            measure=functools.partial(_times, factor=2),
+            parallel=True,
+            max_workers=2,
+        )
+        assert [row.value for row in sweep.run()] == [2, 4, 6]
+
+    def test_single_worker_falls_back_to_serial(self):
+        sweep = Sweep(axes={"x": [1, 2]}, measure=functools.partial(_times, factor=2))
+        assert sweep.run(parallel=True, max_workers=1) == sweep.run()
+
+    def test_unpicklable_measure_falls_back_to_serial(self):
+        sweep = Sweep(axes={"x": [1, 2, 3]}, measure=lambda x: x * 2)
+        rows = sweep.run(parallel=True, max_workers=4)
+        assert [row.value for row in rows] == [2, 4, 6]
+
+    def test_errors_propagate_in_grid_order(self):
+        sweep = Sweep(axes={"x": [1, 2, 3]},
+                      measure=functools.partial(_explode_on, bad=2))
+        with pytest.raises(RuntimeError):
+            sweep.run(parallel=True, max_workers=2)
+
+    def test_skip_errors_records_them_in_parallel(self):
+        sweep = Sweep(
+            axes={"x": [1, 2, 3]},
+            measure=functools.partial(_explode_on, bad=2),
+            skip_errors=True,
+        )
+        rows = sweep.run(parallel=True, max_workers=2)
+        assert [row.value for row in rows] == [1, None, 3]
+        assert len(sweep.errors) == 1
+        assert sweep.errors[0][0] == {"x": 2}
+
+    def test_real_measurement_parallel_matches_serial(self, emulab_link):
+        # A miniature Table 2-sized grid through the actual simulator; the
+        # values must be identical floats, not merely close.
+        from repro.experiments.table2 import measure_friendliness
+        from repro.protocols.robust_aimd import RobustAIMD
+
+        measure = functools.partial(
+            measure_friendliness, RobustAIMD(1, 0.8, 0.01), steps=300
+        )
+        axes = {"n_senders": [2, 3], "bandwidth_mbps": [20, 30]}
+        serial = Sweep(axes=axes, measure=measure).run()
+        parallel = Sweep(axes=axes, measure=measure).run(
+            parallel=True, max_workers=2
+        )
+        assert serial == parallel
+
+
+class TestWorkersSweepOptions:
+    def test_none_means_serial(self):
+        assert workers_sweep_options(None) == {"parallel": False}
+
+    def test_one_means_serial(self):
+        assert workers_sweep_options(1) == {"parallel": False}
+
+    def test_many_enables_pool(self):
+        assert workers_sweep_options(4) == {"parallel": True, "max_workers": 4}
 
 
 class TestAggregateAndRender:
