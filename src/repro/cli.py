@@ -7,6 +7,7 @@ Usage::
     repro figure1
     repro claims
     repro emulab [--full]
+    repro fct [--replications 3]
     repro simulate --protocols "AIMD(1,0.5)" "CUBIC(0.4,0.8)" --steps 2000
     repro cache stats|clear [--dir PATH]
 
@@ -99,6 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
     emulab.add_argument("--duration", type=float, default=10.0,
                         help="seconds of simulated time per run")
 
+    fct = subparsers.add_parser(
+        "fct", help="short-flow completion times vs background protocol"
+    )
+    _add_link_arguments(fct)
+    fct.add_argument("--rate", type=float, default=1.5,
+                     help="Poisson arrival rate of short flows per second")
+    fct.add_argument("--mean-size", type=int, default=60,
+                     help="mean short-flow size in MSS")
+    fct.add_argument("--duration", type=float, default=40.0,
+                     help="seconds of simulated time per run")
+    fct.add_argument("--replications", type=int, default=1,
+                     help="independent workload seeds pooled per background")
+    fct.add_argument("--seed", type=int, default=42)
+
     sim = subparsers.add_parser("simulate", help="run an ad-hoc fluid simulation")
     _add_link_arguments(sim)
     sim.add_argument("--protocols", nargs="+", required=True,
@@ -175,7 +190,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     elif args.command == "table2":
         pcc = presets.pcc_bound() if args.pcc_bound else presets.pcc_like()
         if args.packet:
-            result = run_table2_packet(pcc=pcc)
+            result = run_table2_packet(pcc=pcc, workers=args.workers)
         else:
             result = run_table2(pcc=pcc, steps=args.steps, workers=args.workers)
         print(render_table2(result, markdown=args.markdown))
@@ -198,6 +213,20 @@ def _dispatch(args: argparse.Namespace) -> int:
         else:
             result = run_emulab(duration=args.duration, workers=args.workers)
         print(render_emulab(result, markdown=args.markdown))
+    elif args.command == "fct":
+        from repro.experiments.fct import render_fct, run_fct_study
+
+        result = run_fct_study(
+            link=_link_from(args),
+            rate_per_s=args.rate,
+            mean_size=args.mean_size,
+            arrival_window=args.duration * 0.75,
+            duration=args.duration,
+            seed=args.seed,
+            replications=args.replications,
+            workers=args.workers,
+        )
+        print(render_fct(result, markdown=args.markdown))
     elif args.command == "simulate":
         link = _link_from(args)
         protocols = [make_protocol(spec) for spec in args.protocols]

@@ -224,18 +224,21 @@ def measure_cell(
     )
 
 
-def _emulab_cell(
+def _emulab_protocol_cell(
     n: int,
     bw: float,
     buf: int,
+    proto: str,
     protocols: dict[str, Protocol],
     duration: float,
-) -> list[CellMeasurement]:
-    """Every protocol's measurements for one grid cell (picklable for pools)."""
-    return [
-        measure_cell(name, proto, n, bw, buf, duration)
-        for name, proto in protocols.items()
-    ]
+) -> CellMeasurement:
+    """One protocol's measurements for one grid cell (picklable for pools).
+
+    Fanning out per (cell, protocol) rather than per cell gives the pool
+    ``len(protocols)`` times more units of work, so small grids still
+    saturate the workers.
+    """
+    return measure_cell(proto, protocols[proto], n, bw, buf, duration)
 
 
 def run_emulab(
@@ -258,17 +261,22 @@ def run_emulab(
     result = EmulabResult()
     sweep = Sweep(
         axes={"n": list(ns), "bw": list(bandwidths_mbps),
-              "buf": list(buffers_mss)},
+              "buf": list(buffers_mss), "proto": list(protocols)},
         measure=functools.partial(
-            _emulab_cell, protocols=protocols, duration=duration
+            _emulab_protocol_cell, protocols=protocols, duration=duration
         ),
     )
+    # The protocol axis is innermost, so submission order yields each
+    # cell's protocols consecutively and in dict order; regroup them back
+    # into per-cell lists before running the hierarchy checks.
+    cells: dict[str, tuple[int, float, int, list[CellMeasurement]]] = {}
     for row in sweep.run(**workers_sweep_options(workers)):
         n = row.parameter("n")
         bw = row.parameter("bw")
         buf = row.parameter("buf")
         cell_name = f"n={n},bw={bw:g}Mbps,buf={buf}"
-        cell = row.value
+        cells.setdefault(cell_name, (n, bw, buf, []))[3].append(row.value)
+    for cell_name, (n, bw, buf, cell) in cells.items():
         result.measurements[cell_name] = cell
         capacity = units.bdp_mss(bw, PAPER_RTT_MS)
         rows = {

@@ -10,25 +10,38 @@ friendliness ordering exactly.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable
 
+import numpy as np
+
 from repro.experiments.report import Table
+from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model.link import Link
 from repro.packetsim.workload import poisson_workload, run_workload
 from repro.protocols import presets
 from repro.protocols.base import Protocol
 
 
-def default_backgrounds() -> dict[str, Callable[[], Protocol] | None]:
-    """Background protocols ordered by decreasing TCP-friendliness."""
+def _kernel_cubic() -> Protocol:
+    """Kernel-time-scaled Cubic at the study's 42 ms RTT.
+
+    A module-level factory (not a lambda) so background dicts stay
+    picklable and the study can fan out over a process pool.
+    """
     from repro.experiments.emulab import kernel_cubic_c_per_round
     from repro.protocols.cubic import CUBIC
 
+    return CUBIC(kernel_cubic_c_per_round(42.0), 0.8)
+
+
+def default_backgrounds() -> dict[str, Callable[[], Protocol] | None]:
+    """Background protocols ordered by decreasing TCP-friendliness."""
     return {
         "none": None,
         "reno": presets.reno,
-        "cubic": lambda: CUBIC(kernel_cubic_c_per_round(42.0), 0.8),
+        "cubic": _kernel_cubic,
         "robust-aimd": presets.robust_aimd_paper,
         "pcc-like": presets.pcc_like,
     }
@@ -80,6 +93,35 @@ class FctResult:
         }
 
 
+def _fct_replication(
+    background: str,
+    rep: int,
+    backgrounds: dict[str, Callable[[], Protocol] | None],
+    link: Link,
+    rate_per_s: float,
+    mean_size: int,
+    arrival_window: float,
+    duration: float,
+    seed: int,
+) -> dict:
+    """One (background, replication) run's raw outcomes (picklable)."""
+    factory = backgrounds[background]
+    specs = poisson_workload(
+        rate_per_s=rate_per_s, mean_size=mean_size,
+        duration=arrival_window, protocol=presets.reno(), seed=seed + rep,
+    )
+    outcome = run_workload(
+        link, specs, duration=duration,
+        background=[factory()] if factory is not None else [],
+    )
+    return {
+        "offered": len(specs),
+        "completed": outcome.completed,
+        "fcts": outcome.completion_times(),
+        "retransmissions": outcome.total_retransmissions(),
+    }
+
+
 def run_fct_study(
     link: Link | None = None,
     backgrounds: dict[str, Callable[[], Protocol] | None] | None = None,
@@ -88,28 +130,49 @@ def run_fct_study(
     arrival_window: float = 30.0,
     duration: float = 40.0,
     seed: int = 42,
+    replications: int = 1,
+    workers: int | None = None,
 ) -> FctResult:
-    """Run the study for each background protocol over the same workload."""
+    """Run the study for each background protocol over the same workload.
+
+    ``replications > 1`` repeats every background with seeds ``seed``,
+    ``seed + 1``, ... and pools the completion times (one row per
+    background either way); the (background, replication) grid is
+    independent, so ``workers > 1`` fans it out over a process pool with
+    results identical to the serial order.
+    """
+    if replications < 1:
+        raise ValueError(f"replications must be at least 1, got {replications}")
     link = link or Link.from_mbps(20, 42, 100)
     backgrounds = backgrounds or default_backgrounds()
+    sweep = Sweep(
+        axes={"background": list(backgrounds), "rep": list(range(replications))},
+        measure=functools.partial(
+            _fct_replication,
+            backgrounds=backgrounds,
+            link=link,
+            rate_per_s=rate_per_s,
+            mean_size=mean_size,
+            arrival_window=arrival_window,
+            duration=duration,
+            seed=seed,
+        ),
+    )
+    pooled: dict[str, list[dict]] = {name: [] for name in backgrounds}
+    for row in sweep.run(**workers_sweep_options(workers)):
+        pooled[row.parameter("background")].append(row.value)
     result = FctResult()
-    for name, factory in backgrounds.items():
-        specs = poisson_workload(
-            rate_per_s=rate_per_s, mean_size=mean_size,
-            duration=arrival_window, protocol=presets.reno(), seed=seed,
-        )
-        background = [factory()] if factory is not None else []
-        outcome = run_workload(link, specs, duration=duration,
-                               background=background)
+    for name, outcomes in pooled.items():
+        fcts = [fct for outcome in outcomes for fct in outcome["fcts"]]
         result.rows.append(
             FctRow(
                 background=name,
-                completed=outcome.completed,
-                offered=len(specs),
-                mean_fct=outcome.mean_fct(),
-                median_fct=outcome.percentile_fct(0.5),
-                p99_fct=outcome.percentile_fct(0.99),
-                retransmissions=outcome.total_retransmissions(),
+                completed=sum(o["completed"] for o in outcomes),
+                offered=sum(o["offered"] for o in outcomes),
+                mean_fct=float(np.mean(fcts)) if fcts else float("nan"),
+                median_fct=float(np.quantile(fcts, 0.5)) if fcts else float("nan"),
+                p99_fct=float(np.quantile(fcts, 0.99)) if fcts else float("nan"),
+                retransmissions=sum(o["retransmissions"] for o in outcomes),
             )
         )
     return result

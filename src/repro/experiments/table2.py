@@ -214,31 +214,54 @@ def measure_friendliness_packet(
     return reno_rate / worst_protocol_rate
 
 
+def _table2_packet_cell(
+    n: int,
+    bw: float,
+    robust_aimd: Protocol,
+    pcc: Protocol,
+    duration: float,
+) -> tuple[float, float]:
+    """One packet-level cell's friendliness pair (picklable for pools)."""
+    return (
+        measure_friendliness_packet(robust_aimd, n, bw, duration),
+        measure_friendliness_packet(pcc, n, bw, duration),
+    )
+
+
 def run_table2_packet(
     senders: tuple[int, ...] = (2, 3),
     bandwidths_mbps: tuple[float, ...] = (20, 60),
     pcc: Protocol | None = None,
     robust_aimd: Protocol | None = None,
     duration: float = 30.0,
+    workers: int | None = None,
 ) -> Table2Result:
-    """Packet-level Table 2 over a (reduced, configurable) grid."""
+    """Packet-level Table 2 over a (reduced, configurable) grid.
+
+    Cells are independent packet simulations; ``workers > 1`` fans them
+    out over a process pool, with results in submission order (identical
+    to the serial nested loops).
+    """
     pcc = pcc or presets.pcc_like()
     robust_aimd = robust_aimd or presets.robust_aimd_paper()
     result = Table2Result(pcc_standin=f"{pcc.name} [packet-level]")
-    for n in senders:
-        for bw in bandwidths_mbps:
-            result.cells.append(
-                Table2Cell(
-                    n_senders=n,
-                    bandwidth_mbps=bw,
-                    friendliness_robust_aimd=measure_friendliness_packet(
-                        robust_aimd, n, bw, duration
-                    ),
-                    friendliness_pcc=measure_friendliness_packet(
-                        pcc, n, bw, duration
-                    ),
-                )
+    sweep = Sweep(
+        axes={"n": list(senders), "bw": list(bandwidths_mbps)},
+        measure=functools.partial(
+            _table2_packet_cell, robust_aimd=robust_aimd, pcc=pcc,
+            duration=duration,
+        ),
+    )
+    for row in sweep.run(**workers_sweep_options(workers)):
+        f_robust, f_pcc = row.value
+        result.cells.append(
+            Table2Cell(
+                n_senders=row.parameter("n"),
+                bandwidth_mbps=row.parameter("bw"),
+                friendliness_robust_aimd=f_robust,
+                friendliness_pcc=f_pcc,
             )
+        )
     return result
 
 

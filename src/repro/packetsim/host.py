@@ -14,6 +14,12 @@ adds over the fluid model.
 Every packet resolves (ACK or delayed loss notification), so rounds always
 close and no retransmission-timeout machinery is needed for the paper's
 long-lived-flow scenarios.
+
+Packets and round records are recycled through freelists (a shared
+:class:`~repro.packetsim.packet.PacketPool` and a per-flow round-record
+pool): a packet returns to the pool the moment its ACK/loss is processed
+and a round record returns when its round closes, so a steady-state run
+holds O(window) live objects regardless of how many packets it sends.
 """
 
 from __future__ import annotations
@@ -23,20 +29,28 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.model.sender import Observation
-from repro.packetsim.engine import EventScheduler
-from repro.packetsim.packet import Packet
+from repro.packetsim.engine import EventKind, EventScheduler
+from repro.packetsim.packet import Packet, PacketPool
 from repro.protocols.base import Protocol
 
+_FLOW_PUMP = int(EventKind.FLOW_PUMP)
 
-@dataclass
+
 class _RoundRecord:
-    """Accounting for one RTT-round."""
+    """Accounting for one RTT-round (pooled: see ``Flow._round``)."""
 
-    quota: int
-    sent: int = 0
-    acked: int = 0
-    lost: int = 0
-    rtt_sum: float = 0.0
+    __slots__ = ("quota", "sent", "acked", "lost", "rtt_sum")
+
+    def __init__(self, quota: int) -> None:
+        self.reset(quota)
+
+    def reset(self, quota: int) -> "_RoundRecord":
+        self.quota = quota
+        self.sent = 0
+        self.acked = 0
+        self.lost = 0
+        self.rtt_sum = 0.0
+        return self
 
     @property
     def accounted(self) -> int:
@@ -123,6 +137,7 @@ class Flow:
         max_window: float = 1e9,
         start_time: float = 0.0,
         size: int | None = None,
+        pool: PacketPool | None = None,
     ) -> None:
         if initial_window < min_window:
             raise ValueError(
@@ -148,6 +163,8 @@ class Flow:
         self._send_round = 0
         self._decision_round = 0
         self._rounds: dict[int, _RoundRecord] = {}
+        self._round_free: list[_RoundRecord] = []
+        self._pool = pool if pool is not None else PacketPool()
         self._min_rtt = math.inf
         self._last_rtt = math.nan
         self.stats = FlowStats()
@@ -161,8 +178,8 @@ class Flow:
     def start(self) -> None:
         """Begin transmitting (call once, at or after construction)."""
         self.protocol.reset()
-        self._scheduler.schedule_at(
-            max(self.start_time, self._scheduler.now), self._pump
+        self._scheduler.schedule_event_at(
+            max(self.start_time, self._scheduler.now), _FLOW_PUMP, self
         )
 
     # ------------------------------------------------------------------
@@ -170,9 +187,13 @@ class Flow:
         return max(1, int(round(self.cwnd)))
 
     def _round(self, index: int) -> _RoundRecord:
-        if index not in self._rounds:
-            self._rounds[index] = _RoundRecord(quota=self._quota())
-        return self._rounds[index]
+        record = self._rounds.get(index)
+        if record is None:
+            free = self._round_free
+            record = free.pop().reset(self._quota()) if free \
+                else _RoundRecord(self._quota())
+            self._rounds[index] = record
+        return record
 
     def _has_data(self) -> bool:
         """Whether any payload (new or retransmit) is waiting to be sent."""
@@ -196,11 +217,11 @@ class Flow:
                     self.stats.retransmissions += 1
                 else:
                     self._remaining_new -= 1
-            packet = Packet(
-                flow_id=self.flow_id,
-                sequence=self._next_seq,
-                sent_at=self._scheduler.now,
-                round_index=self._send_round,
+            packet = self._pool.acquire(
+                self.flow_id,
+                self._next_seq,
+                self._scheduler.now,
+                self._send_round,
             )
             self._next_seq += 1
             record.sent += 1
@@ -217,6 +238,7 @@ class Flow:
         rtt = now - packet.sent_at
         self.inflight -= 1
         record = self._round(packet.round_index)
+        self._pool.release(packet)
         record.acked += 1
         record.rtt_sum += rtt
         self.stats.packets_acked += 1
@@ -237,6 +259,7 @@ class Flow:
         """The sender learned that ``packet`` was dropped."""
         self.inflight -= 1
         record = self._round(packet.round_index)
+        self._pool.release(packet)
         record.lost += 1
         self.stats.packets_lost += 1
         self.stats.loss_times.append(self._scheduler.now)
@@ -267,5 +290,5 @@ class Flow:
             self.cwnd = min(max(new_window, self._min_window), self._max_window)
             self.stats.rounds_completed += 1
             self.stats.window_samples.append((self._scheduler.now, self.cwnd))
-            del self._rounds[self._decision_round]
+            self._round_free.append(self._rounds.pop(self._decision_round))
             self._decision_round += 1

@@ -2,14 +2,23 @@
 
 Every data packet is one MSS (the model's unit); ACKs are modelled as
 zero-size control messages that only carry timing, so they never queue.
+
+Packets used to be frozen dataclasses allocated once per send — the
+single largest allocation source in long runs. They are now plain
+``__slots__`` objects recycled through a :class:`PacketPool` freelist:
+once a packet's fate is decided (ACK or loss processed) the flow releases
+it back to the pool and the next send rewrites its four fields in place.
+Steady-state packet-level runs therefore allocate O(max inflight) packet
+objects, not O(packets sent). Direct construction still validates its
+arguments (the pool's :meth:`~PacketPool.acquire` skips validation — its
+callers are the simulator's own inner loops).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+__all__ = ["Packet", "PacketPool"]
 
 
-@dataclass(frozen=True)
 class Packet:
     """One MSS-sized data packet.
 
@@ -26,17 +35,75 @@ class Packet:
         per-round loss rates for the protocol's decision.
     """
 
-    flow_id: int
-    sequence: int
-    sent_at: float
-    round_index: int
+    __slots__ = ("flow_id", "sequence", "sent_at", "round_index")
 
-    def __post_init__(self) -> None:
-        if self.flow_id < 0:
-            raise ValueError(f"flow_id must be non-negative, got {self.flow_id}")
-        if self.sequence < 0:
-            raise ValueError(f"sequence must be non-negative, got {self.sequence}")
-        if self.sent_at < 0:
-            raise ValueError(f"sent_at must be non-negative, got {self.sent_at}")
-        if self.round_index < 0:
-            raise ValueError(f"round_index must be non-negative, got {self.round_index}")
+    def __init__(
+        self, flow_id: int, sequence: int, sent_at: float, round_index: int
+    ) -> None:
+        if flow_id < 0:
+            raise ValueError(f"flow_id must be non-negative, got {flow_id}")
+        if sequence < 0:
+            raise ValueError(f"sequence must be non-negative, got {sequence}")
+        if sent_at < 0:
+            raise ValueError(f"sent_at must be non-negative, got {sent_at}")
+        if round_index < 0:
+            raise ValueError(f"round_index must be non-negative, got {round_index}")
+        self.flow_id = flow_id
+        self.sequence = sequence
+        self.sent_at = sent_at
+        self.round_index = round_index
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(flow_id={self.flow_id}, sequence={self.sequence}, "
+            f"sent_at={self.sent_at}, round_index={self.round_index})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return (
+            self.flow_id == other.flow_id
+            and self.sequence == other.sequence
+            and self.sent_at == other.sent_at
+            and self.round_index == other.round_index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.flow_id, self.sequence, self.sent_at, self.round_index))
+
+
+class PacketPool:
+    """A freelist of recycled :class:`Packet` objects.
+
+    ``acquire`` pops a free packet (or allocates one via ``__new__``,
+    bypassing ``__init__`` validation) and overwrites its fields;
+    ``release`` returns a packet whose fate is settled. A released packet
+    must not be referenced afterwards — the simulator guarantees this by
+    releasing only from ``on_ack``/``on_loss`` once the packet's RTT and
+    round accounting are done.
+    """
+
+    __slots__ = ("_free",)
+
+    def __init__(self) -> None:
+        self._free: list[Packet] = []
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(
+        self, flow_id: int, sequence: int, sent_at: float, round_index: int
+    ) -> Packet:
+        """A packet with the given fields, recycled when possible."""
+        free = self._free
+        packet = free.pop() if free else Packet.__new__(Packet)
+        packet.flow_id = flow_id
+        packet.sequence = sequence
+        packet.sent_at = sent_at
+        packet.round_index = round_index
+        return packet
+
+    def release(self, packet: Packet) -> None:
+        """Return ``packet`` to the freelist for reuse."""
+        self._free.append(packet)

@@ -7,6 +7,12 @@ one-way propagation delay, which the scenario wires to the receiver.
 Dropped packets are reported to a drop callback so the sender can learn
 of the loss (the scenario delays that notification by one RTT, standing
 in for duplicate-ACK detection).
+
+Serialization completions are scheduled on a dedicated fixed-delay
+:class:`~repro.packetsim.engine.Rail` (one ``QUEUE_SERVICE`` record per
+packet, no closures), and occupancy sampling goes through a bounded
+:class:`OccupancyRing` instead of an unbounded Python list, so a queue's
+memory footprint no longer grows with run length.
 """
 
 from __future__ import annotations
@@ -16,8 +22,91 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.packetsim.engine import EventScheduler
+import numpy as np
+
+from repro.packetsim.engine import EventKind, EventScheduler
 from repro.packetsim.packet import Packet
+
+_QUEUE_SERVICE = int(EventKind.QUEUE_SERVICE)
+
+#: Default cap on stored occupancy samples (see :class:`OccupancyRing`).
+DEFAULT_SAMPLE_BUDGET = 4096
+
+
+class OccupancyRing:
+    """Bounded, decimating store of ``(time, occupancy)`` samples.
+
+    Holds at most ``budget`` samples in NumPy arrays that grow lazily.
+    While under budget every ``stride``-th observation is kept (stride
+    starts at 1 — keep everything). On hitting the budget the ring keeps
+    the even-indexed half of its samples and doubles the stride, so a run
+    of any length retains between ``budget / 2`` and ``budget`` samples,
+    evenly thinned over the whole run. The decimation is a pure function
+    of the observation sequence — no randomness — so identical runs keep
+    identical samples.
+    """
+
+    __slots__ = ("budget", "_times", "_values", "_count", "stride", "seen")
+
+    def __init__(self, budget: int = DEFAULT_SAMPLE_BUDGET) -> None:
+        if budget < 2:
+            raise ValueError(f"sample budget must be at least 2, got {budget}")
+        # An even budget keeps decimation phase-aligned: surviving samples
+        # sit at observation indices that are multiples of the new stride.
+        self.budget = budget - (budget % 2)
+        initial = min(256, self.budget)
+        self._times = np.empty(initial, dtype=np.float64)
+        self._values = np.empty(initial, dtype=np.int64)
+        self._count = 0
+        self.stride = 1
+        self.seen = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, time: float, value: int) -> None:
+        """Observe one ``(time, occupancy)`` point (O(1) amortized)."""
+        if self.seen % self.stride == 0:
+            count = self._count
+            if count == self.budget:
+                kept = count // 2
+                self._times[:kept] = self._times[0:count:2]
+                self._values[:kept] = self._values[0:count:2]
+                self._count = count = kept
+                self.stride *= 2
+            elif count == len(self._times):
+                grown = min(self.budget, 2 * count)
+                self._times = np.resize(self._times, grown)
+                self._values = np.resize(self._values, grown)
+            self._times[count] = time
+            self._values[count] = value
+            self._count = count + 1
+        self.seen += 1
+
+    def samples(self) -> list[tuple[float, int]]:
+        """The retained samples as ``(time, occupancy)`` tuples, in order."""
+        return list(
+            zip(self._times[: self._count].tolist(), self._values[: self._count].tolist())
+        )
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of the retained sample arrays ``(times, occupancies)``."""
+        return self._times[: self._count].copy(), self._values[: self._count].copy()
+
+    def restore(self, times: np.ndarray, values: np.ndarray,
+                stride: int, seen: int) -> None:
+        """Reload ring contents (cache round-trips use this)."""
+        count = len(times)
+        if count > self.budget:
+            raise ValueError(f"{count} samples exceed budget {self.budget}")
+        if len(self._times) < count:
+            self._times = np.empty(self.budget, dtype=np.float64)
+            self._values = np.empty(self.budget, dtype=np.int64)
+        self._times[:count] = times
+        self._values[:count] = values
+        self._count = count
+        self.stride = int(stride)
+        self.seen = int(seen)
 
 
 @dataclass
@@ -28,13 +117,18 @@ class QueueStats:
     dropped: int = 0
     departed: int = 0
     max_occupancy: int = 0
-    occupancy_samples: list[tuple[float, int]] = field(default_factory=list)
+    occupancy_ring: OccupancyRing | None = field(default=None, repr=False)
 
     @property
     def drop_rate(self) -> float:
         """Fraction of arrivals dropped."""
         arrivals = self.enqueued + self.dropped
         return self.dropped / arrivals if arrivals else 0.0
+
+    @property
+    def occupancy_samples(self) -> list[tuple[float, int]]:
+        """Retained ``(time, occupancy)`` samples (empty if sampling was off)."""
+        return self.occupancy_ring.samples() if self.occupancy_ring else []
 
 
 class BottleneckQueue:
@@ -56,6 +150,10 @@ class BottleneckQueue:
     sample_occupancy:
         Record (time, occupancy) on every change — useful for latency
         analyses, off by default to save memory.
+    sample_budget:
+        Cap on retained occupancy samples; older samples are decimated
+        (evenly thinned) once the budget is hit, so memory stays bounded
+        on arbitrarily long runs.
     """
 
     def __init__(
@@ -66,6 +164,7 @@ class BottleneckQueue:
         on_departure: Callable[[Packet], None],
         on_drop: Callable[[Packet], None],
         sample_occupancy: bool = False,
+        sample_budget: int = DEFAULT_SAMPLE_BUDGET,
     ) -> None:
         if bandwidth <= 0 or not math.isfinite(bandwidth):
             raise ValueError(f"bandwidth must be positive and finite, got {bandwidth}")
@@ -73,13 +172,16 @@ class BottleneckQueue:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self._scheduler = scheduler
         self._service_time = 1.0 / bandwidth
+        self._service_rail = scheduler.rail(self._service_time)
         self.capacity = capacity
         self._on_departure = on_departure
         self._on_drop = on_drop
         self._buffer: deque[Packet] = deque()
         self._busy = False
         self._sample = sample_occupancy
-        self.stats = QueueStats()
+        self.stats = QueueStats(
+            occupancy_ring=OccupancyRing(sample_budget) if sample_occupancy else None
+        )
 
     @property
     def occupancy(self) -> int:
@@ -107,16 +209,14 @@ class BottleneckQueue:
         self._busy = True
         packet = self._buffer.popleft()
         self._record_occupancy()
+        self._service_rail.push(_QUEUE_SERVICE, self, packet)
 
-        def finish() -> None:
-            self.stats.departed += 1
-            self._on_departure(packet)
-            self._start_service()
-
-        self._scheduler.schedule(self._service_time, finish)
+    def _finish_service(self, packet: Packet) -> None:
+        """A packet's serialization finished (dispatched by the engine)."""
+        self.stats.departed += 1
+        self._on_departure(packet)
+        self._start_service()
 
     def _record_occupancy(self) -> None:
         if self._sample:
-            self.stats.occupancy_samples.append(
-                (self._scheduler.now, len(self._buffer))
-            )
+            self.stats.occupancy_ring.push(self._scheduler.now, len(self._buffer))

@@ -29,11 +29,14 @@ import numpy as np
 
 from repro.model import units
 from repro.model.link import Link
-from repro.packetsim.engine import EventScheduler
+from repro.packetsim.engine import EventKind, EventScheduler
 from repro.packetsim.host import Flow, FlowStats
-from repro.packetsim.packet import Packet
+from repro.packetsim.packet import Packet, PacketPool
 from repro.packetsim.queue import BottleneckQueue, QueueStats
 from repro.protocols.base import Protocol
+
+_FLOW_ACK = int(EventKind.FLOW_ACK)
+_FLOW_LOSS = int(EventKind.FLOW_LOSS)
 
 
 @dataclass
@@ -140,28 +143,62 @@ class ScenarioResult:
         return rates[numerator] / rates[denominator]
 
 
-def run_scenario(scenario: PacketScenario) -> ScenarioResult:
-    """Execute a scenario and collect statistics."""
+def run_scenario(scenario: PacketScenario,
+                 use_cache: bool = True) -> ScenarioResult:
+    """Execute a scenario and collect statistics.
+
+    When a :mod:`repro.perf` trace cache is active (``REPRO_SIM_CACHE`` or
+    :func:`repro.perf.configure_cache`) and ``use_cache`` is true, the run
+    is keyed by its canonical inputs and previously archived statistics
+    are reloaded instead of re-simulating.
+    """
+    if use_cache:
+        from repro.perf.cache import active_cache
+
+        cache = active_cache()
+        if cache is not None:
+            from repro.perf import packet_cache
+
+            key = packet_cache.scenario_key(scenario)
+            if key is not None:
+                cached = packet_cache.load_scenario_result(cache, key, scenario)
+                if cached is not None:
+                    return cached
+                result = _run_scenario(scenario)
+                packet_cache.store_scenario_result(cache, key, result)
+                return result
+    return _run_scenario(scenario)
+
+
+def _run_scenario(scenario: PacketScenario) -> ScenarioResult:
+    """The simulation proper (cache-oblivious)."""
     scheduler = EventScheduler()
     link = scenario.link
     theta = link.theta
     rng = np.random.default_rng(scenario.seed)
+    pool = PacketPool()
+
+    # Fixed-delay rails: the ACK round trip, receiver-side random loss
+    # (same delay, distinct FIFO — the (time, seq) tie-break keeps the
+    # merged order identical), and droptail loss notification.
+    ack_rail = scheduler.rail(2 * theta)
+    wire_loss_rail = scheduler.rail(2 * theta)
+    drop_rail = scheduler.rail(link.base_rtt)
 
     flows: list[Flow] = []
+    lossy = scenario.random_loss_rate > 0.0
 
     def deliver(packet: Packet) -> None:
         """Serialization finished: propagate, maybe lose, else ACK back."""
-        flow = flows[packet.flow_id]
-        if scenario.random_loss_rate > 0.0 and rng.random() < scenario.random_loss_rate:
+        if lossy and rng.random() < scenario.random_loss_rate:
             # Non-congestion loss on the wire; sender learns one RTT later.
-            scheduler.schedule(2 * theta, lambda: flow.on_loss(packet))
+            wire_loss_rail.push(_FLOW_LOSS, flows[packet.flow_id], packet)
             return
-        scheduler.schedule(2 * theta, lambda: flow.on_ack(packet))
+        ack_rail.push(_FLOW_ACK, flows[packet.flow_id], packet)
 
     def drop(packet: Packet) -> None:
         """Droptail rejection: sender learns after one base RTT."""
-        flow = flows[packet.flow_id]
-        scheduler.schedule(link.base_rtt, lambda: flow.on_loss(packet))
+        drop_rail.push(_FLOW_LOSS, flows[packet.flow_id], packet)
 
     queue = BottleneckQueue(
         scheduler,
@@ -181,6 +218,7 @@ def run_scenario(scenario: PacketScenario) -> ScenarioResult:
             transmit=queue.arrive,
             initial_window=scenario.initial_window,
             start_time=start_times[index],
+            pool=pool,
         )
         flows.append(flow)
     for flow in flows:

@@ -24,12 +24,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.model.link import Link
-from repro.packetsim.engine import EventScheduler
+from repro.packetsim.engine import EventKind, EventScheduler
 from repro.packetsim.host import Flow, FlowStats
-from repro.packetsim.packet import Packet
+from repro.packetsim.packet import Packet, PacketPool
 from repro.packetsim.queue import BottleneckQueue
 from repro.protocols.base import Protocol
 from repro.protocols.slow_start import SlowStartWrapper
+
+_FLOW_ACK = int(EventKind.FLOW_ACK)
+_FLOW_LOSS = int(EventKind.FLOW_LOSS)
 
 
 @dataclass(frozen=True)
@@ -138,12 +141,17 @@ def run_workload(
     background: list[Protocol] | None = None,
     slow_start: bool = True,
     initial_window: float = 1.0,
+    use_cache: bool = True,
 ) -> WorkloadResult:
     """Run finite flows (plus optional long-lived background flows).
 
     Background flows occupy the final indices and run for the whole
     duration; their stats are excluded from the returned result (their
     role is to load the link).
+
+    Like :func:`repro.packetsim.scenario.run_scenario`, the run is served
+    from the :mod:`repro.perf` trace cache when one is active and
+    ``use_cache`` is true.
     """
     if duration <= 0:
         raise ValueError(f"duration must be positive, got {duration}")
@@ -156,16 +164,52 @@ def run_workload(
                 f"duration {duration}"
             )
     background = background or []
+    if use_cache:
+        from repro.perf.cache import active_cache
+
+        cache = active_cache()
+        if cache is not None:
+            from repro.perf import packet_cache
+
+            key = packet_cache.workload_key(
+                link, specs, duration, background, slow_start, initial_window
+            )
+            if key is not None:
+                cached = packet_cache.load_workload_result(
+                    cache, key, specs, duration
+                )
+                if cached is not None:
+                    return cached
+                result = _run_workload(
+                    link, specs, duration, background, slow_start, initial_window
+                )
+                packet_cache.store_workload_result(cache, key, result)
+                return result
+    return _run_workload(
+        link, specs, duration, background, slow_start, initial_window
+    )
+
+
+def _run_workload(
+    link: Link,
+    specs: list[FlowSpec],
+    duration: float,
+    background: list[Protocol],
+    slow_start: bool,
+    initial_window: float,
+) -> WorkloadResult:
+    """The finite-flow simulation proper (cache-oblivious)."""
     scheduler = EventScheduler()
     flows: list[Flow] = []
+    pool = PacketPool()
+    ack_rail = scheduler.rail(2 * link.theta)
+    drop_rail = scheduler.rail(link.base_rtt)
 
     def deliver(packet: Packet) -> None:
-        flow = flows[packet.flow_id]
-        scheduler.schedule(2 * link.theta, lambda: flow.on_ack(packet))
+        ack_rail.push(_FLOW_ACK, flows[packet.flow_id], packet)
 
     def drop(packet: Packet) -> None:
-        flow = flows[packet.flow_id]
-        scheduler.schedule(link.base_rtt, lambda: flow.on_loss(packet))
+        drop_rail.push(_FLOW_LOSS, flows[packet.flow_id], packet)
 
     queue = BottleneckQueue(
         scheduler,
@@ -189,6 +233,7 @@ def run_workload(
                 initial_window=initial_window,
                 start_time=spec.start_time,
                 size=spec.size,
+                pool=pool,
             )
         )
     for offset, protocol in enumerate(background):
@@ -200,6 +245,7 @@ def run_workload(
                 transmit=queue.arrive,
                 initial_window=initial_window,
                 start_time=0.0,
+                pool=pool,
             )
         )
     for flow in flows:

@@ -8,6 +8,10 @@ them fast without changing a single result:
   simulation traces, keyed by a stable hash of (link, protocols, config,
   steps), so repeated estimator calls reload ``.npz`` archives instead of
   re-simulating;
+- :mod:`repro.perf.packet_cache` — the same idea for packet-level runs:
+  ``PacketScenario``/workload inputs hash to archived
+  ``FlowStats``/``QueueStats`` arrays, so warm Emulab/FCT/Table-2 packet
+  checks skip the discrete-event simulation entirely;
 - :mod:`repro.perf.timing` — a lightweight timing registry the simulator,
   sweep harness and cache all report into, so speedups are measured
   rather than asserted.
@@ -27,6 +31,7 @@ from repro.perf.cache import (
     default_cache_dir,
     simulation_key,
 )
+from repro.perf.packet_cache import scenario_key, workload_key
 from repro.perf.timing import REGISTRY, TimingRegistry, TimingStat, measure
 
 __all__ = [
@@ -40,5 +45,7 @@ __all__ = [
     "deactivate_cache",
     "default_cache_dir",
     "measure",
+    "scenario_key",
     "simulation_key",
+    "workload_key",
 ]

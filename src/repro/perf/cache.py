@@ -222,6 +222,47 @@ class TraceCache:
                     return None
         return path
 
+    def get_arrays(self, key: str) -> dict[str, np.ndarray] | None:
+        """The raw array dict archived under ``key``, or ``None``.
+
+        Packet-level entries (see :mod:`repro.perf.packet_cache`) are
+        free-form array dicts rather than fluid traces; they share the
+        directory, the addressing scheme and the hit/miss counters.
+        """
+        path = self._path(key)
+        with timing.measure("cache.get"):
+            if path.exists():
+                try:
+                    with np.load(path, allow_pickle=False) as data:
+                        arrays = {name: data[name] for name in data.files}
+                except Exception:
+                    # Corrupt or truncated entry: drop it and treat as a miss.
+                    path.unlink(missing_ok=True)
+                else:
+                    self.hits += 1
+                    return arrays
+            self.misses += 1
+            return None
+
+    def put_arrays(self, key: str, arrays: dict[str, np.ndarray]) -> Path | None:
+        """Archive a raw array dict under ``key`` (best-effort, atomic)."""
+        path = self._path(key)
+        with timing.measure("cache.put"):
+            if not path.exists():
+                tmp = path.with_name(f".tmp-{os.getpid()}-{key[:16]}.npz")
+                try:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    with open(tmp, "wb") as handle:
+                        np.savez_compressed(handle, **arrays)
+                    os.replace(tmp, path)
+                except OSError:
+                    try:
+                        tmp.unlink(missing_ok=True)
+                    except OSError:
+                        pass
+                    return None
+        return path
+
     def entries(self) -> list[Path]:
         """All archived entry files, sorted for determinism."""
         if not self.directory.exists():

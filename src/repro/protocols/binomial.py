@@ -50,7 +50,11 @@ class BIN(Protocol):
         if x <= 0.0:
             # a/x**k diverges at zero for k > 0; restart from the additive term.
             return self.a
-        return x + self.a / x**self.k
+        denominator = x**self.k
+        if denominator == 0.0:
+            # x**k underflowed (tiny window, large k): same restart as x == 0.
+            return self.a
+        return x + self.a / denominator
 
     @property
     def name(self) -> str:

@@ -125,6 +125,7 @@ class TestClaims:
             assert any(required in s for s in statements)
 
 
+@pytest.mark.slow
 class TestEmulab:
     def test_hierarchy_agreement(self):
         # One representative cell pair keeps runtime modest; the full grid

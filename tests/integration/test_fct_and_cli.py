@@ -70,8 +70,41 @@ class TestCliExtendedCommands:
         assert "responsiveness" in out
         assert "churn_resilience" in out
 
+    @pytest.mark.slow
     def test_emulab_subcommand_quick(self, capsys):
         exit_code = main(["emulab", "--duration", "4"])
         out = capsys.readouterr().out
         assert exit_code == 0
         assert "Hierarchy agreement" in out
+
+    def test_fct_subcommand(self, capsys):
+        exit_code = main(
+            ["fct", "--duration", "10", "--rate", "1.0", "--mean-size", "30"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "least harmful" in out
+
+    def test_fct_replications_pool_the_workload(self):
+        kwargs = dict(
+            link=Link.from_mbps(20, 42, 100),
+            backgrounds={"none": None},
+            rate_per_s=1.0,
+            arrival_window=6.0,
+            duration=10.0,
+        )
+        one = run_fct_study(**kwargs, replications=1)
+        two = run_fct_study(**kwargs, replications=2)
+        assert two.rows[0].offered > one.rows[0].offered
+
+    def test_fct_parallel_identical_to_serial(self):
+        kwargs = dict(
+            link=Link.from_mbps(20, 42, 100),
+            backgrounds={"none": None, "reno": presets.reno},
+            rate_per_s=1.0,
+            arrival_window=6.0,
+            duration=10.0,
+            replications=2,
+        )
+        assert run_fct_study(**kwargs).rows == \
+            run_fct_study(**kwargs, workers=2).rows

@@ -1,0 +1,317 @@
+"""Frozen pre-refactor packet simulator, kept as a bit-identity oracle.
+
+This module is a verbatim copy (modulo naming) of the packet-level
+simulator as it stood *before* the slotted-engine / packet-pool refactor:
+a closure-based heapq scheduler, a fresh frozen-dataclass ``Packet`` per
+send, and per-round dict records. The property tests in
+``test_prop_packetsim_identity.py`` run the same ``PacketScenario``
+through this reference and through ``repro.packetsim.run_scenario`` and
+require the resulting ``FlowStats``/``QueueStats`` to match bit for bit
+(float arrays compared as raw uint64 patterns).
+
+Do not "improve" this file: its value is that it does NOT change when the
+production simulator is optimised.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+import itertools
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.model.sender import Observation
+from repro.packetsim.host import FlowStats
+from repro.packetsim.scenario import PacketScenario
+from repro.protocols.base import Protocol
+
+
+class ReferenceScheduler:
+    """The seed's closure-based deterministic event loop."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0 or not math.isfinite(delay):
+            raise ValueError(f"delay must be finite and non-negative, got {delay}")
+        heapq.heappush(self._heap, (self._now + delay, next(self._sequence), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        if when < self._now:
+            raise ValueError(f"cannot schedule in the past: {when} < {self._now}")
+        heapq.heappush(self._heap, (when, next(self._sequence), callback))
+
+    def run_until(self, end_time: float, max_events: int | None = None) -> None:
+        if end_time < self._now:
+            raise ValueError(f"end_time {end_time} is before now {self._now}")
+        budget = math.inf if max_events is None else max_events
+        while self._heap and self._heap[0][0] <= end_time:
+            if self._processed >= budget:
+                raise RuntimeError(
+                    f"exceeded max_events={max_events}; possible event storm"
+                )
+            when, _, callback = heapq.heappop(self._heap)
+            self._now = when
+            self._processed += 1
+            callback()
+        self._now = end_time
+
+
+@dataclass(frozen=True)
+class ReferencePacket:
+    flow_id: int
+    sequence: int
+    sent_at: float
+    round_index: int
+
+
+@dataclass
+class ReferenceQueueStats:
+    enqueued: int = 0
+    dropped: int = 0
+    departed: int = 0
+    max_occupancy: int = 0
+
+
+class ReferenceQueue:
+    """The seed's droptail FIFO with closure-scheduled serialization."""
+
+    def __init__(
+        self,
+        scheduler: ReferenceScheduler,
+        bandwidth: float,
+        capacity: int,
+        on_departure: Callable[[ReferencePacket], None],
+        on_drop: Callable[[ReferencePacket], None],
+    ) -> None:
+        self._scheduler = scheduler
+        self._service_time = 1.0 / bandwidth
+        self.capacity = capacity
+        self._on_departure = on_departure
+        self._on_drop = on_drop
+        self._buffer: deque[ReferencePacket] = deque()
+        self._busy = False
+        self.stats = ReferenceQueueStats()
+
+    def arrive(self, packet: ReferencePacket) -> None:
+        if len(self._buffer) >= self.capacity and self._busy:
+            self.stats.dropped += 1
+            self._on_drop(packet)
+            return
+        self.stats.enqueued += 1
+        self._buffer.append(packet)
+        self.stats.max_occupancy = max(self.stats.max_occupancy, len(self._buffer))
+        if not self._busy:
+            self._start_service()
+
+    def _start_service(self) -> None:
+        if not self._buffer:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._buffer.popleft()
+
+        def finish() -> None:
+            self.stats.departed += 1
+            self._on_departure(packet)
+            self._start_service()
+
+        self._scheduler.schedule(self._service_time, finish)
+
+
+@dataclass
+class _ReferenceRound:
+    quota: int
+    sent: int = 0
+    acked: int = 0
+    lost: int = 0
+    rtt_sum: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return self.sent >= self.quota and self.acked + self.lost >= self.sent
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost / self.sent if self.sent else 0.0
+
+    def mean_rtt(self, fallback: float) -> float:
+        return self.rtt_sum / self.acked if self.acked else fallback
+
+
+class ReferenceFlow:
+    """The seed's ACK-clocked sender, verbatim."""
+
+    def __init__(
+        self,
+        flow_id: int,
+        protocol: Protocol,
+        scheduler: ReferenceScheduler,
+        transmit: Callable[[ReferencePacket], None],
+        initial_window: float = 1.0,
+        min_window: float = 1.0,
+        max_window: float = 1e9,
+        start_time: float = 0.0,
+    ) -> None:
+        self.flow_id = flow_id
+        self.protocol = protocol
+        self._scheduler = scheduler
+        self._transmit = transmit
+        self.cwnd = float(initial_window)
+        self._min_window = min_window
+        self._max_window = max_window
+        self.start_time = start_time
+        self.inflight = 0
+        self._next_seq = 0
+        self._send_round = 0
+        self._decision_round = 0
+        self._rounds: dict[int, _ReferenceRound] = {}
+        self._min_rtt = math.inf
+        self._last_rtt = math.nan
+        self.stats = FlowStats()
+
+    def start(self) -> None:
+        self.protocol.reset()
+        self._scheduler.schedule_at(
+            max(self.start_time, self._scheduler.now), self._pump
+        )
+
+    def _quota(self) -> int:
+        return max(1, int(round(self.cwnd)))
+
+    def _round(self, index: int) -> _ReferenceRound:
+        if index not in self._rounds:
+            self._rounds[index] = _ReferenceRound(quota=self._quota())
+        return self._rounds[index]
+
+    def _pump(self) -> None:
+        while self.inflight < int(self.cwnd) or self.inflight == 0:
+            record = self._round(self._send_round)
+            if record.sent >= record.quota:
+                self._send_round += 1
+                continue
+            packet = ReferencePacket(
+                flow_id=self.flow_id,
+                sequence=self._next_seq,
+                sent_at=self._scheduler.now,
+                round_index=self._send_round,
+            )
+            self._next_seq += 1
+            record.sent += 1
+            self.inflight += 1
+            self.stats.packets_sent += 1
+            self._transmit(packet)
+            if self.inflight >= max(1, int(self.cwnd)):
+                break
+
+    def on_ack(self, packet: ReferencePacket) -> None:
+        now = self._scheduler.now
+        rtt = now - packet.sent_at
+        self.inflight -= 1
+        record = self._round(packet.round_index)
+        record.acked += 1
+        record.rtt_sum += rtt
+        self.stats.packets_acked += 1
+        self.stats.ack_times.append(now)
+        self.stats.rtt_samples.append(rtt)
+        self._min_rtt = min(self._min_rtt, rtt)
+        self._last_rtt = rtt
+        self._maybe_close_rounds()
+        self._pump()
+
+    def on_loss(self, packet: ReferencePacket) -> None:
+        self.inflight -= 1
+        record = self._round(packet.round_index)
+        record.lost += 1
+        self.stats.packets_lost += 1
+        self.stats.loss_times.append(self._scheduler.now)
+        self._maybe_close_rounds()
+        self._pump()
+
+    def _maybe_close_rounds(self) -> None:
+        while True:
+            record = self._rounds.get(self._decision_round)
+            if record is None or not record.complete:
+                return
+            fallback = self._last_rtt if math.isfinite(self._last_rtt) else 1.0
+            observation = Observation(
+                step=self._decision_round,
+                window=self.cwnd,
+                loss_rate=record.loss_rate,
+                rtt=record.mean_rtt(fallback),
+                min_rtt=self._min_rtt if math.isfinite(self._min_rtt) else fallback,
+            )
+            new_window = self.protocol.next_window(observation)
+            self.cwnd = min(max(new_window, self._min_window), self._max_window)
+            self.stats.rounds_completed += 1
+            self.stats.window_samples.append((self._scheduler.now, self.cwnd))
+            del self._rounds[self._decision_round]
+            self._decision_round += 1
+
+
+def reference_run_scenario(scenario: PacketScenario):
+    """The seed's ``run_scenario``, returning (flow stats, queue stats, events)."""
+    scheduler = ReferenceScheduler()
+    link = scenario.link
+    theta = link.theta
+    rng = np.random.default_rng(scenario.seed)
+
+    flows: list[ReferenceFlow] = []
+
+    def deliver(packet: ReferencePacket) -> None:
+        flow = flows[packet.flow_id]
+        if scenario.random_loss_rate > 0.0 and rng.random() < scenario.random_loss_rate:
+            scheduler.schedule(2 * theta, lambda: flow.on_loss(packet))
+            return
+        scheduler.schedule(2 * theta, lambda: flow.on_ack(packet))
+
+    def drop(packet: ReferencePacket) -> None:
+        flow = flows[packet.flow_id]
+        scheduler.schedule(link.base_rtt, lambda: flow.on_loss(packet))
+
+    queue = ReferenceQueue(
+        scheduler,
+        bandwidth=link.bandwidth,
+        capacity=int(link.buffer_size),
+        on_departure=deliver,
+        on_drop=drop,
+    )
+
+    start_times = scenario.start_times or [0.0] * len(scenario.protocols)
+    for index, protocol in enumerate(scenario.protocols):
+        flows.append(
+            ReferenceFlow(
+                flow_id=index,
+                protocol=copy.deepcopy(protocol),
+                scheduler=scheduler,
+                transmit=queue.arrive,
+                initial_window=scenario.initial_window,
+                start_time=start_times[index],
+            )
+        )
+    for flow in flows:
+        flow.start()
+
+    scheduler.run_until(scenario.duration)
+    return (
+        [flow.stats for flow in flows],
+        queue.stats,
+        scheduler.processed_events,
+    )

@@ -9,10 +9,15 @@ from hypothesis.extra.numpy import arrays
 from repro.analysis.dominance import dominates, pareto_front
 from repro.analysis.stats import convergence_alpha, jain_index, min_over_max
 
+# Zero is a legitimate throughput, but subnormal values are excluded:
+# scaling a denormal (e.g. 5e-324 * 0.5) underflows to zero and genuinely
+# changes the Jain index, which is float artifact, not unfairness.
 positive_series = arrays(
     dtype=float,
     shape=st.integers(min_value=1, max_value=40),
-    elements=st.floats(min_value=0.0, max_value=1e6),
+    elements=st.one_of(
+        st.just(0.0), st.floats(min_value=1e-6, max_value=1e6)
+    ),
 )
 
 

@@ -2,9 +2,9 @@
 
 import pytest
 
-from repro.packetsim.engine import EventScheduler
-from repro.packetsim.packet import Packet
-from repro.packetsim.queue import BottleneckQueue
+from repro.packetsim.engine import EventKind, EventScheduler
+from repro.packetsim.packet import Packet, PacketPool
+from repro.packetsim.queue import BottleneckQueue, OccupancyRing
 
 
 class TestScheduler:
@@ -83,6 +83,192 @@ class TestScheduler:
             scheduler.schedule(0.5, lambda: None)
         scheduler.run_until(1.0)
         assert scheduler.processed_events == 5
+
+
+class TestRunUntilContract:
+    """The documented ``run_until`` contract and its regression cases."""
+
+    def test_clock_reaches_end_time_with_events_still_pending(self):
+        # The contract: _now advances to end_time even though an event
+        # remains queued beyond the horizon; a later run_until resumes it.
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(5.0, lambda: fired.append(scheduler.now))
+        scheduler.run_until(1.0)
+        assert scheduler.now == 1.0
+        assert scheduler.pending() == 1
+        scheduler.run_until(10.0)
+        assert fired == [5.0]
+        assert scheduler.now == 10.0
+
+    def test_reentrant_run_until_raises(self):
+        scheduler = EventScheduler()
+        caught = []
+
+        def reenter():
+            try:
+                scheduler.run_until(100.0)
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        scheduler.schedule(1.0, reenter)
+        scheduler.run_until(2.0)
+        assert caught and "re-entrant" in caught[0]
+
+    def test_scheduler_usable_after_reentrancy_error(self):
+        scheduler = EventScheduler()
+
+        def reenter():
+            scheduler.run_until(100.0)
+
+        scheduler.schedule(1.0, reenter)
+        with pytest.raises(RuntimeError):
+            scheduler.run_until(2.0)
+        fired = []
+        scheduler.schedule(1.0, lambda: fired.append(True))
+        scheduler.run_until(5.0)
+        assert fired == [True]
+
+
+class TestRails:
+    def test_rail_events_interleave_with_heap_in_time_order(self):
+        scheduler = EventScheduler()
+        rail = scheduler.rail(2.0)
+        order = []
+        scheduler.schedule(1.0, lambda: order.append("heap-1"))
+        rail.push(int(EventKind.CALLBACK), lambda: order.append("rail-2"))
+        scheduler.schedule(3.0, lambda: order.append("heap-3"))
+        scheduler.run_until(5.0)
+        assert order == ["heap-1", "rail-2", "heap-3"]
+
+    def test_equal_time_ties_break_by_push_order_across_structures(self):
+        scheduler = EventScheduler()
+        rail = scheduler.rail(1.0)
+        order = []
+        scheduler.schedule(1.0, lambda: order.append("heap-first"))
+        rail.push(int(EventKind.CALLBACK), lambda: order.append("rail-second"))
+        scheduler.schedule(1.0, lambda: order.append("heap-third"))
+        scheduler.run_until(2.0)
+        assert order == ["heap-first", "rail-second", "heap-third"]
+
+    def test_batch_preempted_by_push_to_other_rail(self):
+        # Regression for the batching guard: while a rail batch drains, a
+        # handler schedules an earlier event on a DIFFERENT rail; the
+        # batch must stop so the new event runs in (time, seq) order.
+        scheduler = EventScheduler()
+        slow = scheduler.rail(10.0)
+        fast = scheduler.rail(0.5)
+        order = []
+
+        def first_slow():
+            order.append("slow-a")
+            # now=10; lands at 10.5, before the batch-mate at time 11.
+            fast.push(int(EventKind.CALLBACK), lambda: order.append("fast"))
+
+        slow.push(int(EventKind.CALLBACK), first_slow)  # fires at 10
+        scheduler.schedule(1.0, lambda: slow.push(
+            int(EventKind.CALLBACK), lambda: order.append("slow-b")
+        ))  # second slow event fires at 11
+        scheduler.run_until(20.0)
+        assert order == ["slow-a", "fast", "slow-b"]
+
+    def test_batch_preempted_by_push_to_heap(self):
+        scheduler = EventScheduler()
+        slow = scheduler.rail(10.0)
+        order = []
+
+        def first_slow():
+            order.append("slow-a")
+            scheduler.schedule(0.5, lambda: order.append("heap"))
+
+        slow.push(int(EventKind.CALLBACK), first_slow)
+        scheduler.schedule(1.0, lambda: slow.push(
+            int(EventKind.CALLBACK), lambda: order.append("slow-b")
+        ))
+        scheduler.run_until(20.0)
+        assert order == ["slow-a", "heap", "slow-b"]
+
+    def test_rail_rejects_invalid_delay(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.rail(-1.0)
+        with pytest.raises(ValueError):
+            scheduler.rail(float("inf"))
+
+    def test_pending_counts_rail_events(self):
+        scheduler = EventScheduler()
+        rail = scheduler.rail(1.0)
+        rail.push(int(EventKind.CALLBACK), lambda: None)
+        scheduler.schedule(1.0, lambda: None)
+        assert scheduler.pending() == 2
+
+
+class TestPacketPool:
+    def test_acquire_recycles_released_packets(self):
+        pool = PacketPool()
+        first = pool.acquire(0, 0, 0.0, 0)
+        pool.release(first)
+        second = pool.acquire(1, 7, 3.0, 2)
+        assert second is first
+        assert (second.flow_id, second.sequence, second.sent_at,
+                second.round_index) == (1, 7, 3.0, 2)
+
+    def test_pool_grows_only_when_empty(self):
+        pool = PacketPool()
+        a = pool.acquire(0, 0, 0.0, 0)
+        b = pool.acquire(0, 1, 0.0, 0)
+        assert a is not b
+        pool.release(a)
+        pool.release(b)
+        assert len(pool) == 2
+
+
+class TestOccupancyRing:
+    def test_under_budget_keeps_everything(self):
+        ring = OccupancyRing(budget=16)
+        for i in range(10):
+            ring.push(float(i), i)
+        assert ring.samples() == [(float(i), i) for i in range(10)]
+
+    def test_over_budget_decimates_and_stays_bounded(self):
+        ring = OccupancyRing(budget=16)
+        for i in range(10_000):
+            ring.push(float(i), i)
+        assert 8 <= len(ring) <= 16
+        samples = ring.samples()
+        # Evenly thinned: retained observation indices step by the stride.
+        times = [t for t, _ in samples]
+        assert times == sorted(times)
+        strides = {round(b - a) for a, b in zip(times, times[1:])}
+        assert len(strides) == 1
+        assert ring.stride >= 10_000 // 16
+
+    def test_decimation_is_deterministic(self):
+        def run():
+            ring = OccupancyRing(budget=8)
+            for i in range(1000):
+                ring.push(i * 0.25, i % 7)
+            return ring.samples()
+
+        assert run() == run()
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            OccupancyRing(budget=1)
+
+    def test_long_sampled_run_respects_budget(self):
+        scheduler = EventScheduler()
+        queue = BottleneckQueue(
+            scheduler, bandwidth=1000.0, capacity=5,
+            on_departure=lambda p: None, on_drop=lambda p: None,
+            sample_occupancy=True, sample_budget=64,
+        )
+        for burst in range(200):
+            for seq in range(3):
+                queue.arrive(Packet(0, burst * 3 + seq, scheduler.now, 0))
+            scheduler.run_until(scheduler.now + 0.1)
+        assert len(queue.stats.occupancy_samples) <= 64
+        assert queue.stats.occupancy_ring.seen > 64
 
 
 def pkt(seq: int, flow: int = 0) -> Packet:
