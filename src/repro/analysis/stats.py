@@ -137,7 +137,9 @@ def loss_free_runs(loss_series: np.ndarray) -> list[tuple[int, int]]:
     runs: list[tuple[int, int]] = []
     start: int | None = None
     for t, value in enumerate(loss_series):
-        if value == 0.0:
+        # Zero-loss steps carry an exact 0.0 from Link.loss_rate, never a
+        # rounded near-zero, so equality is the correct test here.
+        if value == 0.0:  # repro: noqa[REP501] exact by construction
             if start is None:
                 start = t
         else:

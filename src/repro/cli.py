@@ -10,6 +10,7 @@ Usage::
     repro fct [--replications 3]
     repro simulate --protocols "AIMD(1,0.5)" "CUBIC(0.4,0.8)" --steps 2000
     repro cache stats|clear [--dir PATH]
+    repro lint [paths] [--select/--ignore CODES] [--format json|github]
 
 Every subcommand prints the paper-style table to stdout; ``--json`` also
 archives the structured result. The global ``--workers N`` runs experiment
@@ -67,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "processes (default: serial)")
     parser.add_argument("--timing", action="store_true",
                         help="print a wall-time breakdown to stderr")
+    parser.add_argument("--debug-checks", action="store_true",
+                        help="enable runtime invariant assertions in the "
+                        "simulators (same as REPRO_DEBUG_CHECKS=1)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     t1 = subparsers.add_parser("table1", help="protocol characterization (Table 1)")
@@ -147,6 +151,13 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--dir", type=str, default=None,
                        help="cache directory (default: ~/.cache/repro/sim or "
                        "$REPRO_CACHE_DIR)")
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint = subparsers.add_parser(
+        "lint", help="AST-based determinism & contract checks"
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -167,6 +178,10 @@ def _run_cache_command(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.debug_checks:
+        from repro import debug
+
+        debug.enable()
     try:
         return _dispatch(args)
     finally:
@@ -179,6 +194,10 @@ def main(argv: list[str] | None = None) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cache":
         return _run_cache_command(args)
+    if args.command == "lint":
+        from repro.lint.cli import run as run_lint_command
+
+        return run_lint_command(args)
     if args.command == "table1":
         link = _link_from(args)
         result = run_table1(

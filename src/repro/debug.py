@@ -1,0 +1,85 @@
+"""Runtime sanitizer mode: cheap invariant assertions, off by default.
+
+The simulators' correctness rests on invariants the type system cannot
+express — the event clock never runs backwards, queue occupancy and
+windows stay non-negative, every packet that enters the bottleneck is
+accounted for, traces never contain NaN/Inf where the analyses assume
+finite values. This module is the switch that compiles those checks in:
+
+- ``REPRO_DEBUG_CHECKS=1`` in the environment enables them at import;
+- ``repro --debug-checks <command>`` enables them for one CLI run;
+- :func:`enable` / :func:`disable` / :func:`checks` toggle them from code
+  (the test suite turns them on for every test via a conftest fixture).
+
+Checks are *observers*: they never mutate simulator state, so a run with
+checks on is bit-identical to a run with checks off (property-tested in
+``tests/property/test_prop_sanitizer.py``). When off, the hot paths pay
+one local boolean test per event — see ``docs/performance.md`` for why
+they are compiled out by default.
+
+A failed check raises :class:`DebugCheckError` (an ``AssertionError``
+subclass, so ``pytest.raises(AssertionError)`` also catches it) with the
+violated invariant spelled out.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "DebugCheckError",
+    "checks",
+    "disable",
+    "enable",
+    "enabled",
+    "fail",
+]
+
+ENV_VAR = "REPRO_DEBUG_CHECKS"
+
+
+class DebugCheckError(AssertionError):
+    """A runtime invariant of the simulators was violated."""
+
+
+def _from_env() -> bool:
+    return os.environ.get(ENV_VAR, "").strip().lower() not in ("", "0", "false", "off")
+
+
+_enabled: bool = _from_env()
+
+
+def enabled() -> bool:
+    """Whether sanitizer checks are currently active."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn sanitizer checks on for this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn sanitizer checks off for this process."""
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def checks(on: bool = True) -> Iterator[None]:
+    """Scoped enable/disable, restoring the prior state on exit."""
+    global _enabled
+    previous = _enabled
+    _enabled = on
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+def fail(invariant: str, detail: str) -> None:
+    """Raise :class:`DebugCheckError` for a violated ``invariant``."""
+    raise DebugCheckError(f"debug check failed [{invariant}]: {detail}")

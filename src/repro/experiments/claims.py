@@ -27,7 +27,6 @@ from __future__ import annotations
 import functools
 from dataclasses import dataclass, field
 
-from repro.core.metrics.base import EstimatorConfig
 from repro.core.metrics.convergence import convergence_from_trace
 from repro.core.metrics.efficiency import efficiency_from_trace
 from repro.core.metrics.fast_utilization import fast_utilization_from_trace

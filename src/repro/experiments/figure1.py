@@ -26,8 +26,6 @@ from __future__ import annotations
 import functools
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.core.metrics.base import EstimatorConfig
 from repro.core.metrics.efficiency import estimate_efficiency
 from repro.core.metrics.fast_utilization import estimate_fast_utilization

@@ -26,7 +26,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.metrics.base import EstimatorConfig
 from repro.core.metrics.friendliness import friendliness_from_trace
 from repro.experiments.report import Table
 from repro.experiments.sweep import Sweep, workers_sweep_options

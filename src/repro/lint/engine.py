@@ -1,0 +1,187 @@
+"""The lint engine: file discovery, AST parsing, rule dispatch, noqa.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) so it
+can run anywhere the simulators run. It makes two passes:
+
+1. every *file rule* runs on each parsed file independently;
+2. every *project rule* runs once over the whole parsed file set, for
+   cross-file contracts (protocol interface conformance, cache-key
+   exclusion staleness).
+
+Suppressions are trailing comments of the form ``# repro: noqa`` (all
+rules) or ``# repro: noqa[REP101,REP501]`` (listed rules), attached to
+the physical line a finding points at.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import REGISTRY, FileContext, Rule
+
+#: ``# repro: noqa`` with an optional bracketed, comma-separated code list.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+def _noqa_map(source: str) -> dict[int, frozenset[str] | None]:
+    """Per-line suppressions: line -> codes, or ``None`` for "all rules"."""
+    suppressions: dict[int, frozenset[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[lineno] = None
+        else:
+            suppressions[lineno] = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+    return suppressions
+
+
+@dataclass
+class LintResult:
+    """Outcome of one :func:`run_lint` invocation."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int = 0
+    parse_errors: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def all_findings(self) -> list[Finding]:
+        """Findings plus parse errors, in deterministic order."""
+        return sorted(self.findings + self.parse_errors, key=Finding.sort_key)
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                seen.setdefault(candidate, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(seen)
+
+
+def module_path(path: Path) -> str:
+    """The path relative to the package root, e.g. ``repro/packetsim/engine.py``.
+
+    Rule scopes are expressed against this form so they keep matching
+    whether the tree is linted as ``src``, ``src/repro`` or a single file.
+    Files outside a ``repro`` package root keep their path as given.
+    """
+    parts = path.parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return path.as_posix()
+
+
+def select_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """The active rule list after ``--select`` / ``--ignore`` filtering."""
+    chosen = list(REGISTRY.values())
+    if select is not None:
+        wanted = {code.upper() for code in select}
+        unknown = wanted - set(REGISTRY)
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        chosen = [rule for rule in chosen if rule.code in wanted]
+    if ignore is not None:
+        dropped = {code.upper() for code in ignore}
+        unknown = dropped - set(REGISTRY)
+        if unknown:
+            raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        chosen = [rule for rule in chosen if rule.code not in dropped]
+    return chosen
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint ``paths`` with the (filtered) rule registry.
+
+    Returns every unsuppressed finding in deterministic order. Files that
+    fail to parse yield a synthetic ``REP000`` parse-error finding rather
+    than aborting the run.
+    """
+    rules = select_rules(select, ignore)
+    file_rules = [rule for rule in rules if not rule.project]
+    project_rules = [rule for rule in rules if rule.project]
+
+    contexts: list[FileContext] = []
+    parse_errors: list[Finding] = []
+    for path in discover_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            lineno = getattr(exc, "lineno", 1) or 1
+            offset = getattr(exc, "offset", 1) or 1
+            parse_errors.append(
+                Finding(
+                    code="REP000",
+                    message=f"could not parse file: {exc.__class__.__name__}: {exc}",
+                    path=str(path),
+                    line=int(lineno),
+                    col=int(offset),
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        contexts.append(
+            FileContext(
+                path=str(path),
+                module=module_path(path),
+                tree=tree,
+                source=source,
+                noqa=_noqa_map(source),
+            )
+        )
+
+    raw: list[Finding] = []
+    for ctx in contexts:
+        for rule in file_rules:
+            if rule.applies_to(ctx.module):
+                raw.extend(rule.check(ctx))
+    by_module = {ctx.module: ctx for ctx in contexts}
+    for rule in project_rules:
+        raw.extend(rule.check_project(by_module))
+
+    findings: list[Finding] = []
+    suppressed = 0
+    noqa_by_path = {ctx.path: ctx.noqa for ctx in contexts}
+    for finding in raw:
+        codes = noqa_by_path.get(finding.path, {}).get(finding.line, ...)
+        if codes is None or (codes is not ... and finding.code in codes):
+            suppressed += 1
+            continue
+        findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=findings,
+        files_checked=len(contexts) + len(parse_errors),
+        suppressed=suppressed,
+        parse_errors=parse_errors,
+    )

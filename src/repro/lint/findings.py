@@ -1,0 +1,50 @@
+"""Finding and severity types shared by the lint engine and rules."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break a reproducibility contract outright (hidden
+    randomness, a cache key that misses state); ``WARNING`` findings are
+    hygiene hazards that usually bite later (mutable defaults, float
+    equality). Both fail ``repro lint`` — the distinction only affects
+    rendering (GitHub annotation level, human output).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int
+    severity: Severity
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by ``--format json``)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+        }
+
+    def render(self) -> str:
+        """Human one-liner: ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"

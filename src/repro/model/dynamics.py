@@ -18,10 +18,11 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import debug
 from repro.model.events import EventSchedule
 from repro.model.link import Link
 from repro.model.random_loss import BernoulliLoss, LossProcess, NoLoss, combine_loss
-from repro.model.sender import Observation, SenderState
+from repro.model.sender import SenderState
 from repro.model.trace import SimulationTrace
 from repro.perf import timing
 from repro.protocols.base import Protocol
@@ -99,6 +100,29 @@ _PLACEHOLDER_RTT = 1.0
 """RTT shown to loss-based protocols when enforcement is on (arbitrary constant)."""
 
 
+def _validate_trace(trace: SimulationTrace) -> None:
+    """Sanitizer pass over a finished trace (``REPRO_DEBUG_CHECKS=1``).
+
+    Windows may legitimately be NaN (senders that have not started yet),
+    but never Inf; loss rates live in [0, 1]; RTTs and link parameters
+    are positive and finite. Runs only as an observer — it never mutates
+    the trace — so checked and unchecked runs stay bit-identical.
+    """
+    if np.isinf(trace.windows).any():
+        debug.fail("trace-finite", "windows contain Inf")
+    loss = trace.congestion_loss
+    if not np.isfinite(loss).all() or (loss < 0).any() or (loss > 1).any():
+        debug.fail("trace-loss-range", "congestion loss outside [0, 1] or non-finite")
+    observed = trace.observed_loss
+    with np.errstate(invalid="ignore"):
+        if np.isinf(observed).any() or (observed < 0).any() or (observed > 1).any():
+            debug.fail("trace-loss-range", "observed loss outside [0, 1] or Inf")
+    for name in ("rtts", "capacities", "pipe_limits", "base_rtts"):
+        values = getattr(trace, name)
+        if not np.isfinite(values).all() or (values <= 0).any():
+            debug.fail("trace-finite", f"{name} must be positive and finite")
+
+
 class FluidSimulator:
     """Runs the discrete-time dynamics of protocols sharing one link.
 
@@ -161,6 +185,8 @@ class FluidSimulator:
             if key is not None:
                 cached = cache.get(key)
                 if cached is not None:
+                    if debug.enabled():
+                        _validate_trace(cached)
                     return cached
 
         cfg = self.config
@@ -173,6 +199,8 @@ class FluidSimulator:
         else:
             with timing.measure("sim.run.general"):
                 trace = self._run_general(steps)
+        if debug.enabled():
+            _validate_trace(trace)
         if cache is not None and key is not None:
             cache.put(key, trace)
         return trace

@@ -50,6 +50,8 @@ from collections import deque
 from enum import IntEnum
 from typing import Callable
 
+from repro import debug
+
 __all__ = ["EventKind", "EventScheduler", "Rail"]
 
 
@@ -219,6 +221,7 @@ class EventScheduler:
         end_marker = (end_time, math.inf)
         flow_ack, flow_loss = _FLOW_ACK, _FLOW_LOSS
         queue_service, flow_pump = _QUEUE_SERVICE, _FLOW_PUMP
+        sanitize = debug.enabled()
         self._running = True
         try:
             while True:
@@ -239,6 +242,11 @@ class EventScheduler:
                         )
                     pop(heap)
                     when, _, kind, a, b = best
+                    if sanitize and when < self._now:
+                        debug.fail(
+                            "monotonic-clock",
+                            f"heap event at t={when} precedes now={self._now}",
+                        )
                     self._now = when
                     processed += 1
                     if kind == flow_ack:
@@ -272,6 +280,11 @@ class EventScheduler:
                             "possible event storm"
                         )
                     when, _, kind, a, b = popleft()
+                    if sanitize and when < self._now:
+                        debug.fail(
+                            "monotonic-clock",
+                            f"rail event at t={when} precedes now={self._now}",
+                        )
                     self._now = when
                     processed += 1
                     if kind == flow_ack:

@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import debug
 from repro.model.sender import Observation
 from repro.packetsim.engine import EventKind, EventScheduler
 from repro.packetsim.packet import Packet, PacketPool
@@ -237,6 +238,12 @@ class Flow:
         now = self._scheduler.now
         rtt = now - packet.sent_at
         self.inflight -= 1
+        if debug.enabled() and (self.inflight < 0 or rtt < 0):
+            debug.fail(
+                "flow-accounting",
+                f"flow {self.flow_id}: inflight={self.inflight}, rtt={rtt} "
+                "after ACK (packet double-counted or clock ran backwards?)",
+            )
         record = self._round(packet.round_index)
         self._pool.release(packet)
         record.acked += 1
@@ -258,6 +265,12 @@ class Flow:
     def on_loss(self, packet: Packet) -> None:
         """The sender learned that ``packet`` was dropped."""
         self.inflight -= 1
+        if debug.enabled() and self.inflight < 0:
+            debug.fail(
+                "flow-accounting",
+                f"flow {self.flow_id}: inflight={self.inflight} after loss "
+                "(packet double-counted?)",
+            )
         record = self._round(packet.round_index)
         self._pool.release(packet)
         record.lost += 1
@@ -287,6 +300,15 @@ class Flow:
                 min_rtt=self._min_rtt if math.isfinite(self._min_rtt) else fallback,
             )
             new_window = self.protocol.next_window(observation)
+            if debug.enabled() and not (
+                math.isfinite(new_window) and new_window >= 0
+            ):
+                debug.fail(
+                    "window-bounds",
+                    f"flow {self.flow_id}: protocol {self.protocol.name} "
+                    f"proposed window {new_window} for round "
+                    f"{self._decision_round}",
+                )
             self.cwnd = min(max(new_window, self._min_window), self._max_window)
             self.stats.rounds_completed += 1
             self.stats.window_samples.append((self._scheduler.now, self.cwnd))

@@ -24,6 +24,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import debug
 from repro.packetsim.engine import EventKind, EventScheduler
 from repro.packetsim.packet import Packet
 
@@ -201,6 +202,12 @@ class BottleneckQueue:
         self._record_occupancy()
         if not self._busy:
             self._start_service()
+        if debug.enabled() and len(self._buffer) > self.capacity:
+            debug.fail(
+                "queue-occupancy",
+                f"buffer holds {len(self._buffer)} packets, capacity is "
+                f"{self.capacity}",
+            )
 
     def _start_service(self) -> None:
         if not self._buffer:
@@ -214,6 +221,17 @@ class BottleneckQueue:
     def _finish_service(self, packet: Packet) -> None:
         """A packet's serialization finished (dispatched by the engine)."""
         self.stats.departed += 1
+        if debug.enabled():
+            # Packet conservation: at this instant nothing is in service
+            # (the finishing packet was just counted as departed), so every
+            # enqueued packet is either departed or still buffered.
+            waiting = len(self._buffer)
+            if self.stats.enqueued != self.stats.departed + waiting:
+                debug.fail(
+                    "packet-conservation",
+                    f"enqueued={self.stats.enqueued} != departed="
+                    f"{self.stats.departed} + buffered={waiting}",
+                )
         self._on_departure(packet)
         self._start_service()
 

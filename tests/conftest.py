@@ -4,8 +4,22 @@ from __future__ import annotations
 
 import pytest
 
+from repro import debug
 from repro.core.metrics.base import EstimatorConfig
 from repro.model.link import Link
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _sanitizer_checks():
+    """Run the whole suite with the runtime sanitizer on.
+
+    The checks are observers (bit-identity with checks off is itself
+    property-tested), so enabling them suite-wide costs little and turns
+    every existing test into an invariant test as well.
+    """
+    debug.enable()
+    yield
+    debug.disable()
 
 
 @pytest.fixture
