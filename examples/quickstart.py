@@ -11,7 +11,8 @@ Run: ``python examples/quickstart.py``
 
 from __future__ import annotations
 
-from repro import AIMD, CUBIC, FluidSimulator, Link
+from repro import AIMD, CUBIC, Link
+from repro.backends import ScenarioSpec, run_spec
 from repro.core.metrics import EstimatorConfig, estimate_all_metrics
 
 
@@ -22,8 +23,12 @@ def main() -> None:
     print(f"Link: {link.describe()}")
 
     # Two TCP Reno senders (AIMD(1, 0.5)) share the link for 2000 RTTs.
-    sim = FluidSimulator(link, [AIMD(1, 0.5), AIMD(1, 0.5)])
-    trace = sim.run(steps=2000)
+    # A ScenarioSpec describes the scenario once; run_spec lowers it to
+    # the chosen backend (fluid here — try "packet" or "network" too).
+    spec = ScenarioSpec(
+        protocols=[AIMD(1, 0.5), AIMD(1, 0.5)], link=link, steps=2000
+    )
+    trace = run_spec(spec, backend="fluid")
 
     print("\nSteady state (final half of the run):")
     tail = trace.tail(0.5)
@@ -46,6 +51,16 @@ def main() -> None:
     cubic = estimate_all_metrics(CUBIC(0.4, 0.8), link, EstimatorConfig(steps=2000))
     for metric, score in cubic.as_dict().items():
         print(f"  {metric:>18}: {score:.4f}")
+
+    # The same spec runs on the event-driven packet simulator: a
+    # ScenarioSpec with a duration in seconds works on every backend.
+    packet_spec = ScenarioSpec(
+        protocols=[AIMD(1, 0.5), AIMD(1, 0.5)], link=link,
+        duration=10.0, slow_start=True, seed=1,
+    )
+    packet_trace = run_spec(packet_spec, backend="packet")
+    print("\nPacket-level rendition of the same scenario (10 s):")
+    print(f"  utilization: {packet_trace.tail(0.5).utilization().mean():.1%}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,205 @@
+"""The unified trace contract every backend's output is adapted to.
+
+A :class:`UnifiedTrace` *is a* :class:`~repro.model.trace.SimulationTrace`
+(the shape all eight Section-3 metric estimators consume), extended with
+the backend's name, per-flow RTT series and optional wall-clock timestamps.
+Adapters turn each engine's native output into one:
+
+- :func:`from_fluid_trace` — the identity up to annotation: the arrays of
+  the fluid trace are reused as-is, so estimator results are bit-identical
+  to running on the native trace;
+- :func:`from_network_trace` — per-flow loss becomes ``observed_loss``,
+  the worst per-link loss the step's ``congestion_loss``, and the scalar
+  RTT series the across-flow mean;
+- :func:`from_packet_result` — event-level statistics are resampled onto a
+  base-RTT grid: windows as a step function of the flows' decisions, loss
+  rates from per-interval ACK/drop counts, RTTs as per-interval means
+  (forward-filled where an interval saw no ACKs).
+
+Entries for steps before a sender starts are NaN in the per-flow arrays,
+exactly as in fluid traces, so NaN-aware estimators need no special cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.model.trace import SimulationTrace
+
+__all__ = [
+    "UnifiedTrace",
+    "from_fluid_trace",
+    "from_network_trace",
+    "from_packet_result",
+]
+
+
+@dataclass
+class UnifiedTrace(SimulationTrace):
+    """A backend-annotated simulation trace.
+
+    Attributes beyond :class:`~repro.model.trace.SimulationTrace`:
+
+    backend:
+        Name of the backend that produced the trace.
+    flow_rtts:
+        Per-flow RTT series, shape ``(steps, n)``. In the fluid model all
+        flows share the step RTT; packet and network runs measure genuinely
+        per-flow values (NaN before a flow starts).
+    times:
+        Wall-clock seconds of each row for time-resampled (packet) traces;
+        ``None`` when rows are abstract RTT rounds.
+    """
+
+    backend: str = ""
+    flow_rtts: np.ndarray | None = None
+    times: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.flow_rtts is not None:
+            self.flow_rtts = np.asarray(self.flow_rtts, dtype=float)
+            if self.flow_rtts.shape != self.windows.shape:
+                raise ValueError("flow_rtts must match the windows shape")
+        if self.times is not None:
+            self.times = np.asarray(self.times, dtype=float)
+            if self.times.shape != (self.steps,):
+                raise ValueError("times must be a (steps,) array")
+
+    def slice(self, start: int, stop: int) -> "UnifiedTrace":
+        """Steps ``start:stop`` as a new trace, keeping the annotations."""
+        base = super().slice(start, stop)
+        return UnifiedTrace(
+            **{f.name: getattr(base, f.name) for f in fields(SimulationTrace)},
+            backend=self.backend,
+            flow_rtts=(
+                self.flow_rtts[start:stop] if self.flow_rtts is not None else None
+            ),
+            times=self.times[start:stop] if self.times is not None else None,
+        )
+
+
+# ----------------------------------------------------------------------
+# Adapters
+# ----------------------------------------------------------------------
+def from_fluid_trace(trace: SimulationTrace, backend: str = "fluid") -> UnifiedTrace:
+    """Annotate a fluid trace; the underlying arrays are shared, not copied."""
+    return UnifiedTrace(
+        windows=trace.windows,
+        observed_loss=trace.observed_loss,
+        congestion_loss=trace.congestion_loss,
+        rtts=trace.rtts,
+        capacities=trace.capacities,
+        pipe_limits=trace.pipe_limits,
+        base_rtts=trace.base_rtts,
+        backend=backend,
+        flow_rtts=np.repeat(trace.rtts[:, None], trace.n_senders, axis=1),
+    )
+
+
+def from_network_trace(net, bottleneck, backend: str = "network") -> UnifiedTrace:
+    """Flatten a multi-link :class:`~repro.netmodel.trace.NetworkTrace`.
+
+    ``bottleneck`` is the nominal bottleneck :class:`~repro.model.link.Link`
+    whose capacity / pipe limit normalize the utilization series (on the
+    default single-link topology this is exact).
+    """
+    steps = net.windows.shape[0]
+    congestion = net.link_loss.max(axis=1) if net.link_loss.size else np.zeros(steps)
+    return UnifiedTrace(
+        windows=net.windows,
+        observed_loss=net.flow_loss,
+        congestion_loss=congestion,
+        rtts=net.flow_rtts.mean(axis=1),
+        capacities=np.full(steps, bottleneck.capacity),
+        pipe_limits=np.full(steps, bottleneck.pipe_limit),
+        base_rtts=np.full(steps, bottleneck.base_rtt),
+        backend=backend,
+        flow_rtts=net.flow_rtts,
+    )
+
+
+def from_packet_result(result, backend: str = "packet") -> UnifiedTrace:
+    """Resample a packet-level run onto a base-RTT grid of decision rounds.
+
+    Row ``k`` covers wall-clock ``(k*dt, (k+1)*dt]`` with ``dt`` one base
+    RTT (adjusted so the horizon divides evenly): windows are the flows'
+    step-function decisions sampled at the interval end, loss rates are
+    per-interval ``lost / (acked + lost)`` feedback counts, RTTs the
+    per-interval ACK means (forward-filled through idle intervals).
+    """
+    scenario = result.scenario
+    link = scenario.link
+    base = link.base_rtt
+    duration = result.duration
+    n = len(result.flows)
+    steps = max(1, int(round(duration / base)))
+    edges = np.linspace(0.0, duration, steps + 1)
+    times = edges[1:]
+    starts = scenario.start_times or [0.0] * n
+
+    windows = np.full((steps, n), np.nan)
+    observed_loss = np.full((steps, n), np.nan)
+    flow_rtts = np.full((steps, n), np.nan)
+    total_acked = np.zeros(steps)
+    total_lost = np.zeros(steps)
+
+    for i, stats in enumerate(result.flows):
+        active = times >= starts[i]
+
+        # Window step function: the initial window from the flow's start,
+        # then one sample per closed decision round.
+        sample_t = np.array(
+            [starts[i]] + [t for t, _ in stats.window_samples]
+        )
+        sample_w = np.array(
+            [scenario.initial_window] + [w for _, w in stats.window_samples]
+        )
+        idx = np.searchsorted(sample_t, times, side="right") - 1
+        windows[active, i] = sample_w[np.maximum(idx, 0)][active]
+
+        ack_times = np.asarray(stats.ack_times, dtype=float)
+        loss_times = np.asarray(stats.loss_times, dtype=float)
+        acked, _ = np.histogram(ack_times, bins=edges)
+        lost, _ = np.histogram(loss_times, bins=edges)
+        total_acked += acked
+        total_lost += lost
+        feedback = acked + lost
+        loss_rate = np.where(feedback > 0, lost / np.maximum(feedback, 1), 0.0)
+        observed_loss[active, i] = loss_rate[active]
+
+        rtt_sums, _ = np.histogram(
+            ack_times, bins=edges, weights=np.asarray(stats.rtt_samples, dtype=float)
+        )
+        have_acks = acked > 0
+        rtt_mean = np.where(have_acks, rtt_sums / np.maximum(acked, 1), np.nan)
+        # Forward-fill idle intervals; lead-in (no ACK yet) gets the base RTT.
+        last_seen = np.where(have_acks, np.arange(steps), 0)
+        np.maximum.accumulate(last_seen, out=last_seen)
+        filled = rtt_mean[last_seen]
+        filled[np.isnan(filled)] = base
+        flow_rtts[active, i] = filled[active]
+
+    feedback_all = total_acked + total_lost
+    congestion_loss = np.where(
+        feedback_all > 0, total_lost / np.maximum(feedback_all, 1), 0.0
+    )
+    valid = ~np.isnan(flow_rtts)
+    counts = valid.sum(axis=1)
+    sums = np.where(valid, flow_rtts, 0.0).sum(axis=1)
+    rtts = np.where(counts > 0, sums / np.maximum(counts, 1), base)
+
+    return UnifiedTrace(
+        windows=windows,
+        observed_loss=observed_loss,
+        congestion_loss=congestion_loss,
+        rtts=rtts,
+        capacities=np.full(steps, link.capacity),
+        pipe_limits=np.full(steps, link.pipe_limit),
+        base_rtts=np.full(steps, base),
+        backend=backend,
+        flow_rtts=flow_rtts,
+        times=times,
+    )

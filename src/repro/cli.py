@@ -8,6 +8,7 @@ Usage::
     repro claims
     repro emulab [--full]
     repro fct [--replications 3]
+    repro run --backend {fluid,network,packet} --protocols reno cubic
     repro simulate --protocols "AIMD(1,0.5)" "CUBIC(0.4,0.8)" --steps 2000
     repro cache stats|clear [--dir PATH]
     repro lint [paths] [--select/--ignore CODES] [--format json|github]
@@ -118,6 +119,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="independent workload seeds pooled per background")
     fct.add_argument("--seed", type=int, default=42)
 
+    from repro.backends import backend_names
+
+    run_p = subparsers.add_parser(
+        "run", help="run one scenario spec through any simulation backend"
+    )
+    _add_link_arguments(run_p)
+    run_p.add_argument("--backend", choices=backend_names(), default="fluid",
+                       help="simulation backend (default: fluid)")
+    run_p.add_argument("--protocols", nargs="+", required=True,
+                       help="protocol specs, e.g. 'AIMD(1,0.5)' reno cubic")
+    run_p.add_argument("--steps", type=int, default=2000,
+                       help="horizon in RTT steps (ignored when --duration set)")
+    run_p.add_argument("--duration", type=float, default=None,
+                       help="horizon in seconds (overrides --steps)")
+    run_p.add_argument("--loss", type=float, default=0.0,
+                       help="random (non-congestion) loss rate in [0, 1)")
+    run_p.add_argument("--seed", type=int, default=0,
+                       help="seed for randomized dynamics")
+    run_p.add_argument("--slow-start", action="store_true",
+                       help="give every flow a slow-start ramp")
+    run_p.add_argument("--no-cache", action="store_true",
+                       help="bypass the unified trace cache")
+
     sim = subparsers.add_parser("simulate", help="run an ad-hoc fluid simulation")
     _add_link_arguments(sim)
     sim.add_argument("--protocols", nargs="+", required=True,
@@ -163,16 +187,53 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_cache_command(args: argparse.Namespace) -> int:
     from repro.perf.cache import TraceCache, default_cache_dir
+    from repro.perf.store import stats_by_kind
 
     cache = TraceCache(args.dir or default_cache_dir())
+    by_kind = stats_by_kind(cache)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached trace(s) from {cache.directory}")
+        for kind, kind_stats in by_kind.items():
+            print(f"  {kind}: {kind_stats['entries']} entries, "
+                  f"{kind_stats['bytes']} bytes")
         return 0
     stats = cache.stats()
     print(f"cache directory: {stats['directory']}")
     print(f"entries: {stats['entries']}")
     print(f"size: {stats['bytes']} bytes")
+    for kind, kind_stats in by_kind.items():
+        print(f"  {kind}: {kind_stats['entries']} entries, "
+              f"{kind_stats['bytes']} bytes")
+    return 0
+
+
+def _run_run_command(args: argparse.Namespace) -> int:
+    from repro.backends import ScenarioSpec, get_backend, run_spec
+
+    link = _link_from(args)
+    protocols = [make_protocol(spec) for spec in args.protocols]
+    spec = ScenarioSpec(
+        protocols=protocols,
+        link=link,
+        steps=args.steps,
+        duration=args.duration,
+        random_loss_rate=args.loss,
+        slow_start=args.slow_start,
+        seed=args.seed,
+    )
+    backend = get_backend(args.backend)
+    trace = run_spec(spec, args.backend, use_cache=not args.no_cache)
+    print(f"{link.describe()}, backend={backend.name}, "
+          f"{trace.steps} steps (~{spec.horizon_seconds():g}s)")
+    for key, value in trace.summary().items():
+        print(f"  {key}: {value:.4f}")
+    for i, protocol in enumerate(protocols):
+        mean = trace.tail(0.5).mean_windows()[i]
+        print(f"  {protocol.name}: tail mean window {mean:.2f} MSS")
+    key = backend.cache_key(spec)
+    if key is not None:
+        print(f"  cache key: {args.backend}:{key[:16]}…")
     return 0
 
 
@@ -194,6 +255,8 @@ def main(argv: list[str] | None = None) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cache":
         return _run_cache_command(args)
+    if args.command == "run":
+        return _run_run_command(args)
     if args.command == "lint":
         from repro.lint.cli import run as run_lint_command
 

@@ -45,6 +45,7 @@ from repro.core.metrics.loss_avoidance import (
     loss_avoidance_from_trace,
 )
 from repro.core.metrics.robustness import (
+    divergence_from_trace,
     diverges_under_loss,
     estimate_robustness,
     robustness_profile,
@@ -60,6 +61,7 @@ __all__ = [
     "MetricResult",
     "MetricVector",
     "convergence_from_trace",
+    "divergence_from_trace",
     "diverges_under_loss",
     "efficiency_from_trace",
     "estimate_all_metrics",

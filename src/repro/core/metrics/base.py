@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.dynamics import SimulationConfig
 from repro.model.link import Link
 from repro.model.trace import SimulationTrace
 from repro.protocols.base import Protocol
@@ -94,12 +94,21 @@ def run_homogeneous_trace(
     config: EstimatorConfig,
     sim_config: SimulationConfig | None = None,
 ) -> SimulationTrace:
-    """Run ``n_senders`` copies of ``protocol`` on ``link`` per the config."""
+    """Run ``n_senders`` copies of ``protocol`` on ``link`` per the config.
+
+    Routed through the unified backend layer (:mod:`repro.backends`); the
+    fluid lowering is bit-preserving, so traces are identical to driving
+    :class:`~repro.model.dynamics.FluidSimulator` directly.
+    """
+    from repro.backends import ScenarioSpec, run_spec
+
     if sim_config is None:
         sim_config = SimulationConfig(
             initial_windows=initial_windows_for(
                 link, config.n_senders, config.spread_initial_windows
             )
         )
-    sim = FluidSimulator(link, [protocol] * config.n_senders, sim_config)
-    return sim.run(config.steps)
+    spec = ScenarioSpec.from_fluid(
+        link, [protocol] * config.n_senders, config.steps, sim_config
+    )
+    return run_spec(spec, "fluid")

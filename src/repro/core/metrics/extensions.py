@@ -28,7 +28,7 @@ import math
 import numpy as np
 
 from repro.core.metrics.base import MetricResult
-from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.dynamics import SimulationConfig
 from repro.model.events import EventSchedule
 from repro.model.link import Link
 from repro.protocols.base import Protocol
@@ -65,12 +65,16 @@ def estimate_responsiveness(
             f"target {target:.1f} MSS does not exceed the pre-upgrade pipe "
             f"limit {link.pipe_limit:.1f}; raise target_fraction"
         )
+    from repro.backends import ScenarioSpec, run_spec
+
     schedule = EventSchedule().add_link_change(warmup_steps, upgraded)
     config = SimulationConfig(
         initial_windows=[1.0] * n_senders, schedule=schedule
     )
-    sim = FluidSimulator(link, [protocol] * n_senders, config)
-    trace = sim.run(warmup_steps + measure_steps)
+    spec = ScenarioSpec.from_fluid(
+        link, [protocol] * n_senders, warmup_steps + measure_steps, config
+    )
+    trace = run_spec(spec, "fluid")
     total = trace.total_window()[warmup_steps:]
     hit = np.nonzero(total >= target)[0]
     steps_needed = float(hit[0]) if hit.size else math.inf
@@ -104,11 +108,15 @@ def estimate_churn_resilience(
         raise ValueError(f"incumbents must be positive, got {incumbents}")
     if not 0.0 < share_fraction <= 1.0:
         raise ValueError(f"share_fraction must be in (0, 1], got {share_fraction}")
+    from repro.backends import ScenarioSpec, run_spec
+
     n = incumbents + 1
     schedule = EventSchedule().add_sender_start(n - 1, warmup_steps, window=1.0)
     config = SimulationConfig(initial_windows=[1.0] * n, schedule=schedule)
-    sim = FluidSimulator(link, [protocol] * n, config)
-    trace = sim.run(warmup_steps + measure_steps)
+    spec = ScenarioSpec.from_fluid(
+        link, [protocol] * n, warmup_steps + measure_steps, config
+    )
+    trace = run_spec(spec, "fluid")
     joiner = trace.sender_series(n - 1)[warmup_steps:]
     fair_share = link.capacity / n
     target = share_fraction * fair_share

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.analysis.stats import loss_free_runs
 from repro.core.metrics.base import EstimatorConfig, MetricResult
-from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.dynamics import SimulationConfig
 from repro.model.link import Link
 from repro.model.trace import SimulationTrace
 from repro.protocols.base import Protocol
@@ -115,9 +115,13 @@ def estimate_fast_utilization(
     A single sender ensures the loss-free intervals reflect the protocol's
     own probing, not other senders' behaviour.
     """
+    from repro.backends import ScenarioSpec, run_spec
+
     config = config or EstimatorConfig()
-    sim = FluidSimulator(link, [protocol], SimulationConfig(initial_windows=[1.0]))
-    trace = sim.run(config.steps)
+    spec = ScenarioSpec.from_fluid(
+        link, [protocol], config.steps, SimulationConfig(initial_windows=[1.0])
+    )
+    trace = run_spec(spec, "fluid")
     return fast_utilization_from_trace(trace, sender=0, min_interval=min_interval)
 
 
@@ -134,13 +138,15 @@ def estimate_unconstrained_growth(
     The detail dict reports ``alpha_hat`` at half and full horizon so the
     trend is visible.
     """
+    from repro.backends import ScenarioSpec, run_spec
+
     if horizon < 4:
         raise ValueError(f"horizon must be at least 4, got {horizon}")
     link = Link.infinite()
-    sim = FluidSimulator(
-        link, [protocol], SimulationConfig(initial_windows=[start_window])
+    spec = ScenarioSpec.from_fluid(
+        link, [protocol], horizon, SimulationConfig(initial_windows=[start_window])
     )
-    trace = sim.run(horizon)
+    trace = run_spec(spec, "fluid")
     windows = trace.sender_series(0)
     half = witnessed_alpha(windows[: horizon // 2])
     full = witnessed_alpha(windows)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.metrics.base import EstimatorConfig, MetricResult, initial_windows_for
-from repro.model.dynamics import FluidSimulator, SimulationConfig
+from repro.model.dynamics import SimulationConfig
 from repro.model.link import Link
 from repro.model.trace import SimulationTrace
 from repro.protocols.aimd import AIMD
@@ -65,6 +65,8 @@ def estimate_friendliness(
     Q-groups (at least one of each) and reports the minimum witnessed
     alpha.
     """
+    from repro.backends import ScenarioSpec, run_spec
+
     config = config or EstimatorConfig()
     n = max(2, config.n_senders)
     worst = float("inf")
@@ -75,8 +77,8 @@ def estimate_friendliness(
         sim_config = SimulationConfig(
             initial_windows=initial_windows_for(link, n, config.spread_initial_windows)
         )
-        sim = FluidSimulator(link, protocols, sim_config)
-        trace = sim.run(config.steps)
+        spec = ScenarioSpec.from_fluid(link, protocols, config.steps, sim_config)
+        trace = run_spec(spec, "fluid")
         alpha = friendliness_from_trace(
             trace,
             p_senders=list(range(n_p)),

@@ -23,15 +23,37 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.metrics.base import MetricResult
-from repro.model.dynamics import FluidSimulator, SimulationConfig
 from repro.model.link import Link
-from repro.model.random_loss import BernoulliLoss
+from repro.model.trace import SimulationTrace
 from repro.protocols.base import Protocol
 
 METRIC_NAME = "robustness"
 
 DEFAULT_HORIZON = 2000
 DEFAULT_GROWTH_FACTOR = 50.0
+
+
+def divergence_from_trace(
+    trace: SimulationTrace,
+    sender: int = 0,
+    start_window: float = 1.0,
+    growth_factor: float = DEFAULT_GROWTH_FACTOR,
+) -> bool:
+    """The divergence verdict of Metric VI on an existing trace.
+
+    The finite-run proxy for "for every beta there is a T with
+    ``x(t) >= beta``": the final window must exceed
+    ``growth_factor * start_window`` and the final quarter of the series
+    must still be trending upward. Accepts a trace from any backend.
+    """
+    windows = trace.sender_series(sender)
+    horizon = windows.shape[0]
+    if horizon < 8:
+        raise ValueError(f"trace must span at least 8 steps, got {horizon}")
+    if windows[-1] < growth_factor * max(start_window, 1.0):
+        return False
+    quarter = windows[-horizon // 4:]
+    return bool(quarter[-1] > quarter[0])
 
 
 def diverges_under_loss(
@@ -43,27 +65,27 @@ def diverges_under_loss(
 ) -> bool:
     """Does the window grow without bound under constant random loss?
 
-    The finite-run proxy for "for every beta there is a T with
-    ``x(t) >= beta``": the final window must exceed
-    ``growth_factor * start_window`` and the final quarter of the series
-    must still be trending upward.
+    Runs the PCC motivating scenario — one sender, effectively infinite
+    capacity, constant random loss — and applies
+    :func:`divergence_from_trace`.
     """
+    from repro.backends import ScenarioSpec, run_spec
+
     if not 0.0 <= loss_rate <= 1.0:
         raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
     if horizon < 8:
         raise ValueError(f"horizon must be at least 8, got {horizon}")
-    link = Link.infinite()
-    config = SimulationConfig(
+    spec = ScenarioSpec(
+        protocols=[protocol],
+        link=Link.infinite(),
+        steps=horizon,
         initial_windows=[start_window],
-        loss_process=BernoulliLoss(loss_rate, deterministic=True),
+        random_loss_rate=loss_rate,
     )
-    sim = FluidSimulator(link, [protocol], config)
-    trace = sim.run(horizon)
-    windows = trace.sender_series(0)
-    if windows[-1] < growth_factor * max(start_window, 1.0):
-        return False
-    quarter = windows[-horizon // 4:]
-    return bool(quarter[-1] > quarter[0])
+    trace = run_spec(spec, "fluid")
+    return divergence_from_trace(
+        trace, sender=0, start_window=start_window, growth_factor=growth_factor
+    )
 
 
 def estimate_robustness(

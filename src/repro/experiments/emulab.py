@@ -32,7 +32,7 @@ from repro.core.theory import table1
 from repro.experiments.report import Table
 from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model import units
-from repro.packetsim.scenario import PacketScenario, run_scenario
+from repro.packetsim.scenario import run_scenario
 from repro.protocols import presets
 from repro.protocols.base import Protocol
 
@@ -174,22 +174,22 @@ def measure_cell(
     testbed do), so multiplicative-increase protocols reach the operating
     point within the run.
     """
-    from repro.protocols.slow_start import SlowStartWrapper
-
-    def ramped(p: Protocol) -> Protocol:
-        return SlowStartWrapper(p)
+    from repro.backends import ScenarioSpec
 
     # Stagger flow starts by a second each: synchronized starts are a
     # measure-zero artifact the paper's testbed never sees, and they mask
     # MIMD's ratio-preserving unfairness (late MIMD joiners stay starved;
     # AIMD/CUBIC converge toward equal shares).
     stagger = [i * 1.0 for i in range(n)]
-    homogeneous = run_scenario(
-        PacketScenario.from_mbps(
-            bandwidth_mbps, rtt_ms, buffer_mss, [ramped(protocol)] * n,
-            duration=duration, start_times=stagger,
-        )
+    homogeneous_spec = ScenarioSpec.from_mbps(
+        bandwidth_mbps, rtt_ms, buffer_mss, [protocol] * n,
+        duration=duration, start_times=stagger, slow_start=True, seed=1,
     )
+    # The metrics here (goodput ratios, per-flow window samples) come from
+    # the raw event statistics, so run the native scenario the packet
+    # backend lowers to — same engine, same cache entry as
+    # ``run_spec(spec, "packet")`` would warm.
+    homogeneous = run_scenario(homogeneous_spec.lower_packet())
     throughputs = homogeneous.throughputs()
     start, stop = homogeneous.measurement_window()
     convergence_scores = []
@@ -197,16 +197,17 @@ def measure_cell(
         tail_windows = [w for t, w in flow.window_samples if start <= t < stop]
         if tail_windows:
             convergence_scores.append(convergence_alpha(np.asarray(tail_windows)))
-    mixed = run_scenario(
-        PacketScenario.from_mbps(
-            bandwidth_mbps,
-            rtt_ms,
-            buffer_mss,
-            [ramped(protocol)] * (n - 1) + [ramped(presets.reno())],
-            duration=duration,
-            start_times=stagger,
-        )
+    mixed_spec = ScenarioSpec.from_mbps(
+        bandwidth_mbps,
+        rtt_ms,
+        buffer_mss,
+        [protocol] * (n - 1) + [presets.reno()],
+        duration=duration,
+        start_times=stagger,
+        slow_start=True,
+        seed=1,
     )
+    mixed = run_scenario(mixed_spec.lower_packet())
     mixed_rates = mixed.throughputs()
     reno_rate = mixed_rates[-1]
     protocol_rate = max(mixed_rates[:-1])

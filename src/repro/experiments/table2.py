@@ -26,10 +26,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.backends import ScenarioSpec, run_spec
 from repro.core.metrics.friendliness import friendliness_from_trace
 from repro.experiments.report import Table
 from repro.experiments.sweep import Sweep, workers_sweep_options
-from repro.model.dynamics import FluidSimulator, SimulationConfig
 from repro.model.link import Link
 from repro.protocols import presets
 from repro.protocols.base import Protocol
@@ -64,10 +64,13 @@ def measure_friendliness(
         raise ValueError(f"need at least 2 senders, got {n_senders}")
     link = Link.from_mbps(bandwidth_mbps, rtt_ms, buffer_mss)
     protocols: list[Protocol] = [protocol] * (n_senders - 1) + [presets.reno()]
-    sim = FluidSimulator(
-        link, protocols, SimulationConfig(initial_windows=[1.0] * n_senders)
+    spec = ScenarioSpec(
+        protocols=protocols,
+        link=link,
+        steps=steps,
+        initial_windows=[1.0] * n_senders,
     )
-    trace = sim.run(steps)
+    trace = run_spec(spec, "fluid")
     return friendliness_from_trace(
         trace,
         p_senders=list(range(n_senders - 1)),
@@ -194,17 +197,19 @@ def measure_friendliness_packet(
     testbed do) and friendliness is measured on tail goodput, which is
     what the Emulab experiments report.
     """
-    from repro.packetsim.scenario import PacketScenario, run_scenario
-    from repro.protocols.slow_start import SlowStartWrapper
+    from repro.packetsim.scenario import run_scenario
 
     if n_senders < 2:
         raise ValueError(f"need at least 2 senders, got {n_senders}")
-    flows: list[Protocol] = [SlowStartWrapper(protocol)] * (n_senders - 1)
-    flows.append(SlowStartWrapper(presets.reno()))
-    scenario = PacketScenario.from_mbps(
-        bandwidth_mbps, rtt_ms, buffer_mss, flows, duration=duration
+    flows: list[Protocol] = [protocol] * (n_senders - 1) + [presets.reno()]
+    spec = ScenarioSpec.from_mbps(
+        bandwidth_mbps, rtt_ms, buffer_mss, flows,
+        duration=duration, slow_start=True, seed=1,
     )
-    result = run_scenario(scenario)
+    # Friendliness is a goodput ratio of the raw event statistics, so run
+    # the native scenario the packet backend lowers to (same engine, same
+    # cache entry as `run_spec(spec, "packet")` would warm).
+    result = run_scenario(spec.lower_packet())
     rates = result.throughputs()
     reno_rate = rates[-1]
     worst_protocol_rate = max(rates[:-1])

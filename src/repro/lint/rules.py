@@ -576,6 +576,112 @@ def _check_vectorized_signature(
 
 
 # ----------------------------------------------------------------------
+# REP303 — backend registration and deterministic cache keys
+# ----------------------------------------------------------------------
+#: Call origins that make a cache key depend on something other than the
+#: scenario content (host entropy, wall clock, process identity). A key
+#: derived from any of these aliases differently across runs, defeating
+#: the content-addressed store.
+_NONDETERMINISTIC_KEY_CALLS = (
+    _WALL_CLOCK
+    | _UNSEEDED_CALLS
+    | _SEEDABLE_CTORS
+    | frozenset({
+        "uuid.uuid1", "uuid.uuid3", "uuid.uuid4", "uuid.uuid5",
+        "os.urandom", "os.getpid",
+        "secrets.token_hex", "secrets.token_bytes", "secrets.token_urlsafe",
+        "secrets.randbits", "secrets.randbelow", "secrets.choice",
+        "id", "hash",
+    })
+)
+
+
+def _subclasses_of(root: str, classes: dict[str, _ClassInfo]) -> set[str]:
+    """Names of classes transitively derived from ``root`` (excluded)."""
+    family = {root}
+    changed = True
+    while changed:
+        changed = False
+        for name, info in classes.items():
+            if name not in family and any(b in family for b in info.bases):
+                family.add(name)
+                changed = True
+    family.discard(root)
+    return family
+
+
+def _module_registers(ctx: FileContext, class_name: str) -> bool:
+    """Does the module register ``class_name`` via register_backend(...)?"""
+    for stmt in ctx.tree.body:
+        calls: list[ast.expr] = []
+        if isinstance(stmt, ast.Expr):
+            calls = [stmt.value]
+        elif isinstance(stmt, ast.Assign):
+            calls = [stmt.value]
+        for value in calls:
+            if not isinstance(value, ast.Call):
+                continue
+            if _base_name(value.func) != "register_backend":
+                continue
+            arguments = list(value.args) + [kw.value for kw in value.keywords]
+            for argument in arguments:
+                for inner in ast.walk(argument):
+                    if isinstance(inner, ast.Name) and inner.id == class_name:
+                        return True
+    return False
+
+
+@rule(
+    "REP303",
+    "backend-contract",
+    Severity.ERROR,
+    "Backend implementations must be registered with register_backend(...) "
+    "at module level and must derive cache keys without nondeterministic "
+    "constructs (wall clock, RNG, uuid, id()/hash())",
+    scope=("repro/backends",),
+    project=True,
+)
+def _check_backend_contract(
+    rule_: Rule, contexts: dict[str, FileContext]
+) -> Iterator[Finding]:
+    classes = _collect_classes(contexts)
+    for name in sorted(_subclasses_of("Backend", classes)):
+        info = classes[name]
+        if info.abstract:
+            continue
+        if not _module_registers(info.ctx, name):
+            yield _make(
+                rule_, info.ctx, info.node,
+                f"backend class '{name}' is never passed to register_backend; "
+                "unregistered backends are invisible to run_spec and the CLI",
+            )
+        chain = _ancestry(name, classes)
+        found = _lookup_method(chain, "cache_key")
+        if found is None:
+            yield _make(
+                rule_, info.ctx, info.node,
+                f"backend class '{name}' does not implement cache_key (and "
+                "inherits no concrete implementation)",
+            )
+            continue
+        owner, method = found
+        if owner is not info:
+            continue  # inherited implementation was checked on its owner
+        imports = _import_map(owner.ctx.tree)
+        for inner in ast.walk(method):
+            if not isinstance(inner, ast.Call):
+                continue
+            dotted = _dotted(inner.func, imports)
+            if dotted in _NONDETERMINISTIC_KEY_CALLS:
+                yield _make(
+                    rule_, owner.ctx, inner,
+                    f"'{name}.cache_key' calls '{dotted}': cache keys must be "
+                    "pure functions of the scenario spec, or entries alias "
+                    "across runs",
+                )
+
+
+# ----------------------------------------------------------------------
 # REP401 — __slots__ on hot-path record classes
 # ----------------------------------------------------------------------
 _ENUM_BASES = frozenset({"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"})

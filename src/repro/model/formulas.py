@@ -1,0 +1,79 @@
+"""The closed-form link formulas of Section 2, shared by every simulator.
+
+The paper's Eq. (1) RTT and the droptail loss-rate function used to be
+implemented twice — once inside :class:`repro.model.link.Link` for the
+single-bottleneck fluid model and once inline in
+:mod:`repro.netmodel.dynamics` for the multi-link extension. Both now
+delegate here, so there is exactly one float-for-float definition of each
+formula (property-tested to be bit-identical to the historical
+expressions at both call sites).
+
+All helpers are pure functions of plain floats; validation of the inputs
+(positive bandwidth, non-negative windows, ...) stays with the callers,
+which know what the quantities mean.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "droptail_loss_rate",
+    "eq1_rtt",
+    "path_loss",
+    "queue_occupancy",
+    "queueing_delay",
+]
+
+
+def droptail_loss_rate(total_window: float, pipe_limit: float) -> float:
+    """The droptail loss rate ``L(X)`` of a link with pipe limit ``C + tau``.
+
+    Zero while the aggregate fits in pipe plus buffer; otherwise the
+    excess fraction ``1 - (C + tau)/X``.
+    """
+    if total_window <= pipe_limit:
+        return 0.0
+    return 1.0 - pipe_limit / total_window
+
+
+def eq1_rtt(
+    total_window: float,
+    capacity: float,
+    bandwidth: float,
+    base_rtt: float,
+    pipe_limit: float,
+    timeout_rtt: float,
+) -> float:
+    """The paper's Eq. (1): the RTT-step duration given aggregate traffic.
+
+    For ``X < C + tau`` the RTT is the base RTT plus queueing delay
+    ``(X - C)/B`` (floored at the base RTT); at or beyond the pipe limit
+    the step ends with loss and the RTT is the timeout cap ``Delta``.
+    """
+    if total_window < pipe_limit:
+        return max(base_rtt, (total_window - capacity) / bandwidth + base_rtt)
+    return timeout_rtt
+
+
+def queue_occupancy(total_window: float, capacity: float, buffer_size: float) -> float:
+    """Standing queue (MSS) implied by aggregate traffic, clamped to the buffer."""
+    return min(max(0.0, total_window - capacity), buffer_size)
+
+
+def queueing_delay(
+    total_window: float, capacity: float, buffer_size: float, bandwidth: float
+) -> float:
+    """Per-link queueing delay: the standing queue drained at link rate."""
+    return queue_occupancy(total_window, capacity, buffer_size) / bandwidth
+
+
+def path_loss(link_losses: list[float]) -> float:
+    """A path's loss rate: its links drop independently.
+
+    The survival probability is the left-fold product of the per-link
+    survivals in path order (the multi-link engine's historical loop),
+    so multi-link traces stay bit-identical to the pre-refactor ones.
+    """
+    survival = 1.0
+    for loss in link_losses:
+        survival *= 1.0 - loss
+    return 1.0 - survival

@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, replace
 
-from repro.model import units
+from repro.model import formulas, units
 
 
 @dataclass(frozen=True)
@@ -148,10 +148,15 @@ class Link:
         """
         if total_window < 0:
             raise ValueError(f"total window must be non-negative, got {total_window}")
-        if total_window < self.pipe_limit:
-            return max(self.base_rtt, (total_window - self.capacity) / self.bandwidth + self.base_rtt)
         assert self.timeout_rtt is not None
-        return self.timeout_rtt
+        return formulas.eq1_rtt(
+            total_window,
+            self.capacity,
+            self.bandwidth,
+            self.base_rtt,
+            self.pipe_limit,
+            self.timeout_rtt,
+        )
 
     def loss_rate(self, total_window: float) -> float:
         """The droptail loss rate ``L(X)`` experienced by every sender.
@@ -161,9 +166,7 @@ class Link:
         """
         if total_window < 0:
             raise ValueError(f"total window must be non-negative, got {total_window}")
-        if total_window <= self.pipe_limit:
-            return 0.0
-        return 1.0 - self.pipe_limit / total_window
+        return formulas.droptail_loss_rate(total_window, self.pipe_limit)
 
     def mark_fraction(self, total_window: float) -> float:
         """Fraction of the step's traffic carrying an ECN mark.
@@ -188,7 +191,7 @@ class Link:
         """Standing queue (MSS) implied by aggregate traffic ``X``, clamped to the buffer."""
         if total_window < 0:
             raise ValueError(f"total window must be non-negative, got {total_window}")
-        return min(max(0.0, total_window - self.capacity), self.buffer_size)
+        return formulas.queue_occupancy(total_window, self.capacity, self.buffer_size)
 
     def with_bandwidth(self, bandwidth: float) -> "Link":
         """A copy of this link with a different bandwidth (for mid-run link changes)."""

@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.model import formulas
 from repro.model.dynamics import DEFAULT_MAX_WINDOW
 from repro.model.random_loss import LossProcess, NoLoss, combine_loss
 from repro.model.sender import Observation
@@ -103,7 +104,9 @@ class NetworkFluidSimulator:
                 link.loss_rate(load[i]) for i, link in enumerate(links)
             ])
             queue_delay = np.array([
-                link.queue_occupancy(load[i]) / link.bandwidth
+                formulas.queueing_delay(
+                    load[i], link.capacity, link.buffer_size, link.bandwidth
+                )
                 for i, link in enumerate(links)
             ])
 
@@ -112,10 +115,7 @@ class NetworkFluidSimulator:
             out_windows[t] = windows
 
             for flow, cols in enumerate(self._path_columns):
-                survival = 1.0
-                for col in cols:
-                    survival *= 1.0 - link_loss[col]
-                loss = 1.0 - survival
+                loss = formulas.path_loss([link_loss[col] for col in cols])
                 loss = combine_loss(loss, self.loss_process.rate(t, flow))
                 if any(link_loss[col] > 0.0 for col in cols):
                     rtt = timeout_caps[flow]

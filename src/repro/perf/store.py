@@ -1,0 +1,150 @@
+"""The unified content-addressed store behind every backend.
+
+:mod:`repro.perf.cache` (fluid traces) and :mod:`repro.perf.packet_cache`
+(packet statistics) already share one on-disk :class:`TraceCache`
+directory; this module completes the collapse into a single store:
+
+- :func:`unified_key` keys a run by ``(backend.name, canonical spec)`` —
+  the one addressing scheme :func:`repro.backends.run_spec` uses for all
+  backends (the native layers keep their own keys and keep working; a
+  unified entry is just one more kind in the same directory);
+- :func:`store_unified_trace` / :func:`load_unified_trace` archive the
+  :class:`~repro.backends.trace.UnifiedTrace` a backend produced, so a
+  cached ``run_spec`` is bit-identical to an uncached one;
+- :func:`classify_entry` / :func:`stats_by_kind` break the directory down
+  per entry kind (fluid / packet / unified-per-backend), which is what
+  ``repro cache stats`` prints and ``repro cache clear`` reports.
+
+Like every key in :mod:`repro.perf.cache`, an input that cannot be
+canonically keyed makes the run uncacheable (``None``) rather than wrongly
+cacheable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.perf.cache import CacheKeyError, TraceCache, _canonical
+
+__all__ = [
+    "unified_key",
+    "store_unified_trace",
+    "load_unified_trace",
+    "classify_entry",
+    "stats_by_kind",
+]
+
+#: Bump when the spec canonicalization or the stored layout changes.
+_KEY_VERSION = 1
+_FORMAT_VERSION = 1
+
+_TRACE_FIELDS = (
+    "windows",
+    "observed_loss",
+    "congestion_loss",
+    "rtts",
+    "capacities",
+    "pipe_limits",
+    "base_rtts",
+)
+
+
+# ----------------------------------------------------------------------
+# Keys
+# ----------------------------------------------------------------------
+def unified_key(backend_name: str, spec) -> str | None:
+    """A stable content hash of ``(backend, spec)``, or ``None``.
+
+    The spec is canonicalized exactly like the native cache inputs
+    (floats by bit pattern, protocols by their reset attribute dict), so
+    two specs collide iff they describe the same simulation on the same
+    backend.
+    """
+    try:
+        payload = {
+            "kind": "unified",
+            "version": _KEY_VERSION,
+            "backend": str(backend_name),
+            "spec": _canonical(spec),
+        }
+    except CacheKeyError:
+        return None
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# UnifiedTrace <-> arrays
+# ----------------------------------------------------------------------
+def store_unified_trace(cache: TraceCache, key: str, trace) -> None:
+    """Archive a :class:`~repro.backends.trace.UnifiedTrace` under ``key``."""
+    arrays: dict[str, np.ndarray] = {
+        "unified_format": np.int64(_FORMAT_VERSION),
+        "unified_backend": np.array(trace.backend),
+    }
+    for name in _TRACE_FIELDS:
+        arrays[name] = getattr(trace, name)
+    if trace.flow_rtts is not None:
+        arrays["flow_rtts"] = trace.flow_rtts
+    if trace.times is not None:
+        arrays["times"] = trace.times
+    cache.put_arrays(key, arrays)
+
+
+def load_unified_trace(cache: TraceCache, key: str):
+    """The cached UnifiedTrace for ``key``, or ``None`` on a miss."""
+    from repro.backends.trace import UnifiedTrace
+
+    arrays = cache.get_arrays(key)
+    if arrays is None:
+        return None
+    if int(arrays.get("unified_format", -1)) != _FORMAT_VERSION:
+        return None
+    return UnifiedTrace(
+        **{name: arrays[name] for name in _TRACE_FIELDS},
+        backend=str(arrays["unified_backend"]),
+        flow_rtts=arrays.get("flow_rtts"),
+        times=arrays.get("times"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Per-kind accounting
+# ----------------------------------------------------------------------
+def classify_entry(path: Path) -> str:
+    """The kind of one cache entry file, from its member names.
+
+    Kinds: ``fluid`` (native fluid traces), ``packet`` (native packet
+    statistics), ``unified:<backend>`` (unified-store traces), and
+    ``unknown`` for anything unreadable or unrecognized. Only member
+    names — and, for unified entries, the one-string backend member —
+    are read, never the payload arrays.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            names = set(data.files)
+            if "unified_backend" in names:
+                return f"unified:{data['unified_backend']}"
+            if "format_version" in names and "windows" in names:
+                return "fluid"
+            if "format" in names and "meta" in names:
+                return "packet"
+    except Exception:
+        pass
+    return "unknown"
+
+
+def stats_by_kind(cache: TraceCache) -> dict[str, dict[str, Any]]:
+    """Entry counts and on-disk bytes per entry kind, sorted by kind."""
+    breakdown: dict[str, dict[str, Any]] = {}
+    for path in cache.entries():
+        kind = classify_entry(path)
+        bucket = breakdown.setdefault(kind, {"entries": 0, "bytes": 0})
+        bucket["entries"] += 1
+        bucket["bytes"] += path.stat().st_size
+    return dict(sorted(breakdown.items()))

@@ -5,11 +5,15 @@ unsynchronized, per-packet feedback (the paper's Emulab role). These tests
 pin the qualitative agreements the reproduction rests on.
 """
 
+import numpy as np
 import pytest
 
+from repro.backends import ScenarioSpec, run_spec
 from repro.core.metrics.base import EstimatorConfig
 from repro.core.metrics.efficiency import estimate_efficiency
+from repro.core.metrics.fairness import fairness_from_trace
 from repro.core.metrics.friendliness import estimate_tcp_friendliness
+from repro.core.metrics.loss_avoidance import loss_avoidance_from_trace
 from repro.model.link import Link
 from repro.packetsim.scenario import PacketScenario, run_scenario
 from repro.protocols import presets
@@ -69,6 +73,71 @@ class TestFriendlinessAgreement:
                                                   duration=20.0))
         assert fluid_gap > 1.5
         assert packet_gap > 1.5
+
+
+class TestUnifiedBackendAgreement:
+    """Axiom scores computed through the unified layer must agree across
+    backends on the Table 1 default scenario (20 Mbps / 42 ms / 100 MSS).
+
+    Documented tolerances (absolute, fluid vs packet):
+
+    - efficiency (tail-mean utilization, capped at 1): 0.05 — the
+      desynchronized packet backoffs keep the pipe slightly less full
+      than the synchronized fluid sawtooth;
+    - fairness (min/max tail-average windows): 0.15 — per-packet feedback
+      adds jitter the deterministic fluid split does not have;
+    - loss avoidance (max tail congestion loss): 0.05 — the packet trace
+      reports a pooled loss rate, the fluid trace a per-step series; both
+      must sit in the same small-loss band.
+
+    The same ``ScenarioSpec`` (modulo the horizon encoding) drives both
+    backends, and the same ``*_from_trace`` estimators consume both
+    ``UnifiedTrace`` results — this is the acceptance test that any axiom
+    score can be computed from any backend.
+    """
+
+    TOLERANCES = {"efficiency": 0.05, "fairness": 0.15, "loss_avoidance": 0.05}
+
+    @pytest.fixture(
+        scope="class",
+        params=[("aimd", lambda: AIMD(1.0, 0.5)),
+                ("robust_aimd", presets.robust_aimd_paper)],
+        ids=["aimd", "robust-aimd"],
+    )
+    def traces(self, request):
+        _, factory = request.param
+        link = Link.from_mbps(20, 42, 100)
+        fluid = run_spec(
+            ScenarioSpec(protocols=[factory(), factory()], link=link,
+                         steps=2500),
+            "fluid",
+        )
+        packet = run_spec(
+            ScenarioSpec(protocols=[factory(), factory()], link=link,
+                         duration=25.0, slow_start=True, seed=1),
+            "packet",
+        )
+        return fluid, packet
+
+    def test_efficiency_agrees(self, traces):
+        fluid, packet = traces
+        scores = [
+            float(np.minimum(1.0, t.tail(0.5).total_window()
+                             / t.tail(0.5).capacities).mean())
+            for t in (fluid, packet)
+        ]
+        assert abs(scores[0] - scores[1]) < self.TOLERANCES["efficiency"]
+
+    def test_fairness_agrees(self, traces):
+        fluid, packet = traces
+        scores = [fairness_from_trace(t).score for t in (fluid, packet)]
+        assert abs(scores[0] - scores[1]) < self.TOLERANCES["fairness"]
+
+    def test_loss_avoidance_agrees(self, traces):
+        fluid, packet = traces
+        scores = [loss_avoidance_from_trace(t).score for t in (fluid, packet)]
+        assert abs(scores[0] - scores[1]) < self.TOLERANCES["loss_avoidance"]
+        assert all(0.0 <= s < 0.1 for s in scores)
 
 
 class TestRobustnessAgreement:

@@ -1,0 +1,88 @@
+"""Bit-identity of the shared Section 2 formulas with their historical forms.
+
+``repro.model.formulas`` deduplicates the Eq. (1) RTT and droptail loss
+expressions that used to live inline in ``repro.model.link.Link`` and
+``repro.netmodel.dynamics``. These tests pin the shared helpers to the
+exact float expressions they replaced — ``==`` on floats, no tolerances —
+so the dedup can never drift either caller's dynamics.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model import formulas
+from repro.model.link import Link
+
+links = st.builds(
+    Link,
+    bandwidth=st.floats(min_value=1.0, max_value=1e6),
+    theta=st.floats(min_value=1e-4, max_value=1.0),
+    buffer_size=st.floats(min_value=0.0, max_value=1e4),
+)
+windows = st.floats(min_value=0.0, max_value=1e9)
+losses = st.floats(min_value=0.0, max_value=1.0, exclude_max=True)
+
+
+def _historical_loss_rate(link: Link, x: float) -> float:
+    # The pre-dedup body of Link.loss_rate.
+    if x <= link.pipe_limit:
+        return 0.0
+    return 1.0 - link.pipe_limit / x
+
+
+def _historical_rtt(link: Link, x: float) -> float:
+    # The pre-dedup body of Link.rtt.
+    if x < link.pipe_limit:
+        return max(link.base_rtt, (x - link.capacity) / link.bandwidth + link.base_rtt)
+    return link.timeout_rtt
+
+
+def _historical_queue(link: Link, x: float) -> float:
+    # The pre-dedup body of Link.queue_occupancy.
+    return min(max(0.0, x - link.capacity), link.buffer_size)
+
+
+def _historical_path_loss(link_losses: list[float]) -> float:
+    # The pre-dedup inline loop of NetworkFluidSimulator._run.
+    survival = 1.0
+    for loss in link_losses:
+        survival *= 1.0 - loss
+    return 1.0 - survival
+
+
+@given(link=links, x=windows)
+def test_droptail_loss_bit_identical(link, x):
+    expected = _historical_loss_rate(link, x)
+    assert formulas.droptail_loss_rate(x, link.pipe_limit) == expected
+    assert link.loss_rate(x) == expected
+
+
+@given(link=links, x=windows)
+def test_eq1_rtt_bit_identical(link, x):
+    expected = _historical_rtt(link, x)
+    assert formulas.eq1_rtt(
+        x, link.capacity, link.bandwidth, link.base_rtt,
+        link.pipe_limit, link.timeout_rtt,
+    ) == expected
+    assert link.rtt(x) == expected
+
+
+@given(link=links, x=windows)
+def test_queue_occupancy_bit_identical(link, x):
+    expected = _historical_queue(link, x)
+    assert formulas.queue_occupancy(x, link.capacity, link.buffer_size) == expected
+    assert link.queue_occupancy(x) == expected
+
+
+@given(link=links, x=windows)
+def test_queueing_delay_bit_identical(link, x):
+    # The pre-dedup netmodel expression: queue occupancy over bandwidth.
+    expected = _historical_queue(link, x) / link.bandwidth
+    assert formulas.queueing_delay(
+        x, link.capacity, link.buffer_size, link.bandwidth
+    ) == expected
+
+
+@given(link_losses=st.lists(losses, min_size=0, max_size=6))
+def test_path_loss_bit_identical(link_losses):
+    assert formulas.path_loss(link_losses) == _historical_path_loss(link_losses)

@@ -1,0 +1,261 @@
+"""Unit coverage for the unified backend layer (repro.backends).
+
+Spec validation, lowering errors, the backend registry, the spec-level
+parallel jobs, and the unified trace adapters. The bit-identity of
+lowering and caching is property-tested in
+``tests/property/test_prop_backends.py``; these tests pin the contract
+edges (what raises, what registers, what the adapters expose).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    Backend,
+    LoweringError,
+    ScenarioSpec,
+    UnifiedTrace,
+    backend_names,
+    get_backend,
+    register_backend,
+    run_spec,
+    run_specs,
+)
+from repro.model.dynamics import FluidSimulator
+from repro.model.events import EventSchedule
+from repro.model.link import Link
+from repro.model.random_loss import GilbertElliottLoss
+from repro.netmodel.topology import dumbbell
+from repro.protocols.aimd import AIMD
+from repro.protocols.slow_start import SlowStartWrapper
+
+
+@pytest.fixture
+def link() -> Link:
+    return Link.from_mbps(20, 42, 100)
+
+
+@pytest.fixture
+def spec(link) -> ScenarioSpec:
+    return ScenarioSpec(protocols=[AIMD(1, 0.5)] * 2, link=link, steps=64)
+
+
+class TestSpecValidation:
+    def test_requires_protocols(self, link):
+        with pytest.raises(ValueError, match="at least one sender"):
+            ScenarioSpec(protocols=[], link=link)
+
+    def test_rejects_nonpositive_steps(self, link):
+        with pytest.raises(ValueError, match="steps"):
+            ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link, steps=0)
+
+    def test_rejects_nonpositive_duration(self, link):
+        with pytest.raises(ValueError, match="duration"):
+            ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link, duration=0.0)
+
+    def test_rejects_loss_rate_of_one(self, link):
+        with pytest.raises(ValueError, match="random_loss_rate"):
+            ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link,
+                         random_loss_rate=1.0)
+
+    def test_rejects_mismatched_initial_windows(self, link):
+        with pytest.raises(ValueError, match="initial windows"):
+            ScenarioSpec(protocols=[AIMD(1, 0.5)] * 2, link=link,
+                         initial_windows=[1.0])
+
+    def test_rejects_mismatched_start_times(self, link):
+        with pytest.raises(ValueError, match="start times"):
+            ScenarioSpec(protocols=[AIMD(1, 0.5)] * 2, link=link,
+                         start_times=[0.0])
+
+    def test_rejects_negative_start_times(self, link):
+        with pytest.raises(ValueError, match="finite"):
+            ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link,
+                         start_times=[-1.0])
+
+    def test_start_times_and_schedule_are_exclusive(self, link):
+        with pytest.raises(ValueError, match="not both"):
+            ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link,
+                         start_times=[1.0], schedule=EventSchedule())
+
+    def test_loss_rate_and_loss_process_are_exclusive(self, link):
+        with pytest.raises(ValueError, match="not both"):
+            ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link,
+                         random_loss_rate=0.01,
+                         loss_process=GilbertElliottLoss(0.1, 0.5, 0.1))
+
+    def test_horizon_defaults_to_steps_worth_of_rtts(self, spec, link):
+        assert spec.horizon_seconds() == pytest.approx(64 * link.base_rtt)
+        timed = ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link, duration=7.5)
+        assert timed.horizon_seconds() == 7.5
+
+    def test_slow_start_wraps_every_sender(self, link):
+        spec = ScenarioSpec(protocols=[AIMD(1, 0.5)] * 2, link=link,
+                            slow_start=True)
+        wrapped = spec.resolved_protocols()
+        assert all(isinstance(p, SlowStartWrapper) for p in wrapped)
+        assert len(wrapped) == 2
+
+
+class TestLoweringErrors:
+    def test_fluid_rejects_topology(self, link):
+        spec = ScenarioSpec(protocols=[AIMD(1, 0.5)] * 3, link=link,
+                            topology=dumbbell(link, link, 3))
+        with pytest.raises(LoweringError, match="single-link"):
+            spec.lower_fluid()
+
+    def test_network_rejects_start_times(self, link):
+        spec = ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link,
+                            start_times=[1.0])
+        with pytest.raises(LoweringError, match="staggered starts"):
+            spec.lower_network()
+
+    def test_network_rejects_integer_windows(self, link):
+        spec = ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link,
+                            integer_windows=True)
+        with pytest.raises(LoweringError, match="integer-window"):
+            spec.lower_network()
+
+    def test_packet_rejects_loss_process(self, link):
+        spec = ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link,
+                            loss_process=GilbertElliottLoss(0.1, 0.5, 0.1))
+        with pytest.raises(LoweringError, match="random_loss_rate"):
+            spec.lower_packet()
+
+    def test_packet_rejects_schedule(self, link):
+        spec = ScenarioSpec(
+            protocols=[AIMD(1, 0.5)], link=link,
+            schedule=EventSchedule().add_sender_start(0, 10, window=1.0),
+        )
+        with pytest.raises(LoweringError, match="start_times"):
+            spec.lower_packet()
+
+    def test_packet_rejects_window_clamps(self, link):
+        spec = ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link,
+                            max_window=500.0)
+        with pytest.raises(LoweringError, match="clamps"):
+            spec.lower_packet()
+
+    def test_packet_rejects_nonuniform_initial_windows(self, link):
+        spec = ScenarioSpec(protocols=[AIMD(1, 0.5)] * 2, link=link,
+                            initial_windows=[1.0, 4.0])
+        with pytest.raises(LoweringError, match="uniform"):
+            spec.lower_packet()
+
+    def test_network_lowering_defaults_to_single_link_topology(self, spec):
+        topology, protocols, kwargs, steps = spec.lower_network()
+        assert topology.n_flows == 2
+        assert len(protocols) == 2
+        assert steps == 64
+        assert kwargs["loss_process"] is None
+
+
+class TestRegistry:
+    def test_builtin_backends_are_registered(self):
+        assert backend_names() == ["fluid", "network", "packet"]
+        for name in backend_names():
+            assert get_backend(name).name == name
+
+    def test_unknown_backend_lists_alternatives(self):
+        with pytest.raises(ValueError, match="fluid"):
+            get_backend("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(get_backend("fluid"))
+
+    def test_replace_allows_reregistration(self):
+        backend = get_backend("fluid")
+        register_backend(backend, replace=True)
+        assert get_backend("fluid") is backend
+
+    def test_rejects_non_backend_objects(self):
+        with pytest.raises(TypeError):
+            register_backend(object())
+
+    def test_rejects_unnamed_backends(self):
+        class Anonymous(Backend):
+            def run(self, spec):  # pragma: no cover - never called
+                return None
+
+            def cache_key(self, spec):  # pragma: no cover - never called
+                return None
+
+        with pytest.raises(ValueError, match="name"):
+            register_backend(Anonymous())
+
+
+class TestUnifiedTraces:
+    def test_fluid_trace_carries_annotations(self, spec):
+        trace = run_spec(spec, "fluid", use_cache=False)
+        assert isinstance(trace, UnifiedTrace)
+        assert trace.backend == "fluid"
+        assert trace.flow_rtts.shape == trace.windows.shape
+        tail = trace.tail(0.25)
+        assert isinstance(tail, UnifiedTrace)
+        assert tail.backend == "fluid"
+        assert tail.flow_rtts.shape == tail.windows.shape
+
+    def test_packet_trace_resamples_to_rtt_grid(self, link):
+        spec = ScenarioSpec(protocols=[AIMD(1, 0.5)] * 2, link=link,
+                            duration=5.0, seed=1)
+        trace = run_spec(spec, "packet", use_cache=False)
+        expected_steps = max(1, int(round(5.0 / link.base_rtt)))
+        assert trace.steps == expected_steps
+        assert trace.times.shape == (expected_steps,)
+        assert np.all(np.diff(trace.times) > 0)
+        assert np.all(trace.windows >= 0)
+        assert np.all(trace.flow_rtts >= link.base_rtt)
+
+    def test_metrics_accept_any_backend_trace(self, spec, link):
+        from repro.core.metrics import (
+            convergence_from_trace,
+            divergence_from_trace,
+            efficiency_from_trace,
+            fairness_from_trace,
+            fast_utilization_from_trace,
+            friendliness_from_trace,
+            latency_from_trace,
+            loss_avoidance_from_trace,
+        )
+
+        packet_spec = ScenarioSpec(protocols=[AIMD(1, 0.5)] * 2, link=link,
+                                   duration=6.0, seed=1)
+        for name in ("fluid", "network", "packet"):
+            trace = run_spec(packet_spec if name == "packet" else spec,
+                             name, use_cache=False)
+            scores = {
+                "efficiency": efficiency_from_trace(trace).score,
+                "fast_utilization": fast_utilization_from_trace(trace).score,
+                "loss_avoidance": loss_avoidance_from_trace(trace).score,
+                "fairness": fairness_from_trace(trace).score,
+                "convergence": convergence_from_trace(trace).score,
+                "friendliness": friendliness_from_trace(
+                    trace, p_senders=[0], q_senders=[1]
+                ),
+                "latency": latency_from_trace(trace).score,
+            }
+            assert all(np.isfinite(s) for s in scores.values()), (name, scores)
+            assert isinstance(divergence_from_trace(trace), bool)
+
+
+class TestRunSpecs:
+    def test_serial_and_parallel_agree(self, link):
+        specs = [
+            ScenarioSpec(protocols=[AIMD(1, b)], link=link, steps=48)
+            for b in (0.5, 0.8)
+        ]
+        serial = run_specs(specs, backend="fluid")
+        parallel = run_specs(specs, backend="fluid", workers=2)
+        assert len(serial) == len(parallel) == 2
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.windows, b.windows)
+            assert a.backend == b.backend == "fluid"
+
+    def test_matches_direct_engine_run(self, link):
+        spec = ScenarioSpec(protocols=[AIMD(1, 0.5)], link=link, steps=48)
+        [trace] = run_specs([spec], backend="fluid")
+        reference = FluidSimulator(link, [AIMD(1, 0.5)]).run(48)
+        assert np.array_equal(trace.windows, reference.windows)

@@ -108,3 +108,55 @@ class TestMain:
         assert "entries: 0" in out
         assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
         assert "removed 0" in capsys.readouterr().out
+
+    def test_cache_stats_reports_per_backend_kinds(self, capsys, tmp_path,
+                                                   monkeypatch):
+        from repro.perf import cache as cache_mod
+
+        monkeypatch.setenv(cache_mod.CACHE_ENV, str(tmp_path))
+        monkeypatch.setattr(cache_mod, "_active", None)
+        for backend in ("fluid", "packet"):
+            assert main(["run", "--backend", backend, "--protocols", "reno",
+                         "--steps", "60"]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "unified:fluid: 1 entries" in out
+        assert "unified:packet: 1 entries" in out
+        # The engines' native caches warm alongside the unified store.
+        assert "\n  fluid: 1 entries" in out
+        assert "\n  packet: 1 entries" in out
+
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 4" in out
+        assert "unified:fluid" in out
+
+
+class TestRunCommand:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--protocols", "reno"])
+        assert args.backend == "fluid"
+        assert args.steps == 2000
+        assert args.duration is None
+        assert not args.no_cache
+
+    def test_run_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--backend", "quantum", "--protocols", "reno"]
+            )
+
+    @pytest.mark.parametrize("backend", ["fluid", "network", "packet"])
+    def test_run_prints_summary_on_every_backend(self, capsys, backend):
+        exit_code = main([
+            "run", "--backend", backend, "--protocols", "AIMD(1,0.5)", "reno",
+            "--steps", "80", "--no-cache",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert f"backend={backend}" in captured.out
+        assert "mean_utilization" in captured.out
+        assert "tail mean window" in captured.out
+        assert "cache key" in captured.out

@@ -84,6 +84,27 @@ CASES = [
         ),
     ),
     (
+        "REP303",
+        "repro/backends/custom.py",
+        (
+            "import uuid\n"
+            "from repro.backends.base import Backend, register_backend\n\n"
+            "class WobblyBackend(Backend):\n"
+            "    name = 'wobbly'\n"
+            "    def run(self, spec):\n        return None\n"
+            "    def cache_key(self, spec):\n        return str(uuid.uuid4())\n\n"
+            "register_backend(WobblyBackend())\n"
+        ),
+        (
+            "from repro.backends.base import Backend, register_backend\n\n"
+            "class SteadyBackend(Backend):\n"
+            "    name = 'steady'\n"
+            "    def run(self, spec):\n        return None\n"
+            "    def cache_key(self, spec):\n        return 'steady:' + spec\n\n"
+            "register_backend(SteadyBackend())\n"
+        ),
+    ),
+    (
         "REP401",
         "repro/packetsim/packet.py",
         "class Record:\n    def __init__(self):\n        self.a = 1\n",
@@ -180,6 +201,50 @@ def test_inherited_protocol_methods_are_accepted(tmp_path):
     assert run_lint([root]).findings == []
 
 
+def test_rep303_unregistered_and_missing_cache_key(tmp_path):
+    root = _write_tree(tmp_path / "bad", {
+        "repro/backends/ghost.py": (
+            "from repro.backends.base import Backend\n\n"
+            "class GhostBackend(Backend):\n"
+            "    name = 'ghost'\n"
+            "    def run(self, spec):\n        return None\n"
+        ),
+    })
+    findings = run_lint([root]).findings
+    assert [f.code for f in findings] == ["REP303", "REP303"]
+    messages = " | ".join(f.message for f in findings)
+    assert "register_backend" in messages
+    assert "cache_key" in messages
+
+    # A subclass inheriting both registration-worthy methods from a
+    # registered concrete base only needs its own registration call.
+    clean_root = _write_tree(tmp_path / "clean", {
+        "repro/backends/family.py": (
+            "from repro.backends.base import Backend, register_backend\n\n"
+            "class BaseBackend(Backend):\n"
+            "    name = 'base'\n"
+            "    def run(self, spec):\n        return None\n"
+            "    def cache_key(self, spec):\n        return 'base'\n\n"
+            "class ChildBackend(BaseBackend):\n"
+            "    name = 'child'\n\n"
+            "register_backend(BaseBackend())\n"
+            "register_backend(ChildBackend())\n"
+        ),
+    })
+    assert run_lint([clean_root]).findings == []
+
+    # The scope is repro/backends — identical code elsewhere is not flagged.
+    elsewhere = _write_tree(tmp_path / "elsewhere", {
+        "repro/experiments/ghost.py": (
+            "from repro.backends.base import Backend\n\n"
+            "class GhostBackend(Backend):\n"
+            "    name = 'ghost'\n"
+            "    def run(self, spec):\n        return None\n"
+        ),
+    })
+    assert run_lint([elsewhere]).findings == []
+
+
 def test_select_and_ignore_filter_rules(tmp_path):
     root = _write_tree(tmp_path, {
         "repro/packetsim/mixed.py": (
@@ -207,7 +272,7 @@ def test_parse_error_is_reported_not_fatal(tmp_path):
 def test_registry_covers_all_contract_families():
     codes = set(REGISTRY)
     assert {"REP101", "REP102", "REP103", "REP201", "REP202",
-            "REP301", "REP302", "REP401", "REP402", "REP501"} <= codes
+            "REP301", "REP302", "REP303", "REP401", "REP402", "REP501"} <= codes
     for rule in REGISTRY.values():
         assert rule.code.startswith("REP")
         assert rule.description

@@ -1,0 +1,107 @@
+"""The unified store (repro.perf.store): keys, round-trips, accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import ScenarioSpec, run_spec
+from repro.model.link import Link
+from repro.perf.cache import TraceCache, cache_enabled
+from repro.perf.store import (
+    classify_entry,
+    load_unified_trace,
+    stats_by_kind,
+    store_unified_trace,
+    unified_key,
+)
+from repro.protocols.aimd import AIMD
+
+
+@pytest.fixture
+def spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        protocols=[AIMD(1, 0.5)] * 2, link=Link.from_mbps(20, 42, 100),
+        steps=48,
+    )
+
+
+class TestUnifiedKey:
+    def test_deterministic_and_backend_scoped(self, spec):
+        a = unified_key("fluid", spec)
+        b = unified_key("fluid", spec)
+        assert a == b
+        assert isinstance(a, str) and len(a) == 64
+        assert unified_key("packet", spec) != a
+
+    def test_key_sees_every_dynamics_knob(self, spec):
+        base = unified_key("fluid", spec)
+        tweaked = ScenarioSpec(
+            protocols=spec.protocols, link=spec.link, steps=48, seed=7
+        )
+        assert unified_key("fluid", tweaked) != base
+
+    def test_uncanonicalizable_spec_is_uncacheable(self, spec):
+        spec.topology = object()  # no fields, no clone: cannot be keyed
+        assert unified_key("network", spec) is None
+
+
+class TestStoreRoundTrip:
+    @pytest.mark.parametrize("backend", ["fluid", "network", "packet"])
+    def test_round_trip_is_bit_identical(self, tmp_path, spec, backend):
+        run_input = spec
+        if backend == "packet":
+            run_input = ScenarioSpec(
+                protocols=spec.protocols, link=spec.link, duration=4.0, seed=1
+            )
+        trace = run_spec(run_input, backend, use_cache=False)
+        cache = TraceCache(tmp_path)
+        key = unified_key(backend, run_input)
+        store_unified_trace(cache, key, trace)
+        loaded = load_unified_trace(cache, key)
+        assert loaded is not None
+        assert loaded.backend == backend
+        for name in ("windows", "observed_loss", "congestion_loss", "rtts",
+                     "capacities", "pipe_limits", "base_rtts", "flow_rtts"):
+            assert np.array_equal(
+                getattr(loaded, name), getattr(trace, name), equal_nan=True
+            ), name
+        if trace.times is None:
+            assert loaded.times is None
+        else:
+            assert np.array_equal(loaded.times, trace.times)
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        assert load_unified_trace(cache, "0" * 64) is None
+
+
+class TestAccounting:
+    def test_classify_and_stats_by_kind(self, tmp_path, spec):
+        with cache_enabled(tmp_path) as cache:
+            run_spec(spec, "fluid")
+            run_spec(
+                ScenarioSpec(protocols=spec.protocols, link=spec.link,
+                             duration=4.0, seed=1),
+                "packet",
+            )
+            breakdown = stats_by_kind(cache)
+            kinds = {
+                classify_entry(path) for path in cache.entries()
+            }
+        # run_spec stores unified entries; the engines warm their native
+        # caches alongside, all in the same directory.
+        assert {"unified:fluid", "unified:packet", "fluid", "packet"} <= kinds
+        for kind in ("unified:fluid", "unified:packet"):
+            assert breakdown[kind]["entries"] == 1
+            assert breakdown[kind]["bytes"] > 0
+        assert sum(b["entries"] for b in breakdown.values()) == len(kinds)
+        assert list(breakdown) == sorted(breakdown)
+
+    def test_unknown_entry_kind(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        bogus = tmp_path / "ab" / ("ab" + "0" * 62 + ".npz")
+        bogus.parent.mkdir(parents=True, exist_ok=True)
+        bogus.write_bytes(b"not an npz archive")
+        assert classify_entry(bogus) == "unknown"
+        assert stats_by_kind(cache).get("unknown", {}).get("entries") == 1
