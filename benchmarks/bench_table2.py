@@ -54,3 +54,45 @@ def test_table2_packet_spot_check(benchmark, results_dir):
         save_result(result, results_dir / "table2_packet.json")
     assert result.all_friendlier
     assert result.min_improvement > 1.5
+
+
+def test_table2_batched_speedup(results_dir, monkeypatch):
+    """Batched vs serial Table 2 grid: identical cells, recorded speedup.
+
+    Uses the ``MIMD(1.01, 0.99)`` PCC bound as the stand-in so *every*
+    cell is batch-compatible (the default ``PccLike`` is stateful and
+    would fall back serially — correct, but not a kernel benchmark).
+    """
+    import time
+
+    from _support import record_summary
+    from repro.protocols import presets
+
+    monkeypatch.delenv("REPRO_SIM_CACHE", raising=False)  # time real runs
+    t0 = time.perf_counter()
+    batched = run_table2(senders=PAPER_SENDERS,
+                         bandwidths_mbps=PAPER_BANDWIDTHS_MBPS,
+                         pcc=presets.pcc_bound(), steps=4000, batch=True)
+    t_batched = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    serial = run_table2(senders=PAPER_SENDERS,
+                        bandwidths_mbps=PAPER_BANDWIDTHS_MBPS,
+                        pcc=presets.pcc_bound(), steps=4000)
+    t_serial = time.perf_counter() - t0
+
+    assert len(serial.cells) == len(batched.cells)
+    for s, b in zip(serial.cells, batched.cells):
+        assert (s.n_senders, s.bandwidth_mbps) == (b.n_senders, b.bandwidth_mbps)
+        assert s.friendliness_robust_aimd == b.friendliness_robust_aimd
+        assert s.friendliness_pcc == b.friendliness_pcc
+    speedup = t_serial / t_batched
+    record_summary(
+        "table2_batched",
+        cells=len(serial.cells),
+        serial_s=round(t_serial, 4),
+        batched_s=round(t_batched, 4),
+        speedup=round(speedup, 2),
+    )
+    print(f"\ntable2 grid: serial {t_serial:.2f}s, batched {t_batched:.2f}s "
+          f"({speedup:.1f}x)")
+    assert speedup > 1.0

@@ -34,6 +34,7 @@ from repro.backends.trace import (
 from repro.backends import fluid as _fluid  # noqa: E402,F401
 from repro.backends import network as _network  # noqa: E402,F401
 from repro.backends import packet as _packet  # noqa: E402,F401
+from repro.backends.batch import plan_batches, run_specs_batched
 from repro.backends.jobs import run_specs, spec_job
 
 __all__ = [
@@ -46,8 +47,10 @@ __all__ = [
     "from_network_trace",
     "from_packet_result",
     "get_backend",
+    "plan_batches",
     "register_backend",
     "run_spec",
     "run_specs",
+    "run_specs_batched",
     "spec_job",
 ]

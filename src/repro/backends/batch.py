@@ -1,0 +1,440 @@
+"""Batch planning and scheduling for the fluid backend.
+
+This module is the bridge between :func:`repro.backends.jobs.run_specs`
+and the batched kernel in :mod:`repro.model.batch`:
+
+- :func:`plan_batches` sorts a list of ScenarioSpecs into *batch groups*
+  — specs sharing (per-column protocol classes, horizon, flow count,
+  loss-based enforcement) whose dynamics the kernel can advance together
+  — and a *fallback* list for everything else (stateful protocols,
+  schedules, ECN, lowering failures, ...), which runs per-spec through
+  the ordinary serial path;
+- :func:`run_specs_batched` executes a plan: cached specs are served from
+  the unified store without touching a kernel, each group runs through
+  one kernel call (or, for large groups with ``workers > 1``, through the
+  shared-memory chunk scheduler), per-spec traces are extracted via
+  :func:`repro.perf.store.extract_batch_trace` and cached individually so
+  warm reruns stay content-addressed, and fallback specs run serially.
+
+The shared-memory scheduler replaces per-job pickling for batch results:
+the parent allocates ``multiprocessing.shared_memory`` buffers for the
+group's stacked output arrays, workers advance disjoint row chunks of the
+batch and write directly into the buffers, and only tiny failure maps
+travel back over the pool. Chunk size is autotuned from the measured
+kernel throughput in :data:`repro.perf.timing.REGISTRY` (section
+``batch.kernel``). Batched, chunked and serial execution all produce
+bit-identical traces; a spec that fails mid-batch is rerun serially so
+callers see the exact serial exception (or ``None`` with
+``skip_errors=True``), and never poisons the other rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.backends.base import run_spec
+from repro.backends.spec import ScenarioSpec
+from repro.model.batch import BatchInputs, BatchResult, kernel_cells, run_batch_kernel
+from repro.model.random_loss import BernoulliLoss, NoLoss
+from repro.perf import timing
+
+__all__ = [
+    "BatchGroup",
+    "BatchPlan",
+    "autotune_chunk_rows",
+    "plan_batches",
+    "run_specs_batched",
+]
+
+#: Chunk size used before any kernel throughput has been measured.
+_DEFAULT_CHUNK_ROWS = 64
+#: Autotuning target: chunks sized to roughly this much kernel time, so
+#: scheduling overhead stays small without starving the pool of work.
+_TARGET_CHUNK_SECONDS = 0.25
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+@dataclass
+class _Lowered:
+    """One spec's batch-eligible lowered form."""
+
+    index: int
+    link: object
+    protocols: list
+    steps: int
+    initial: list[float]
+    random_rate: float
+    min_window: float
+    max_window: float
+    enforce_loss_based: bool
+
+
+@dataclass
+class BatchGroup:
+    """Specs the kernel advances together: original indices plus inputs."""
+
+    indices: list[int]
+    inputs: BatchInputs
+
+
+@dataclass
+class BatchPlan:
+    """The outcome of planning: kernel groups plus per-spec fallbacks."""
+
+    groups: list[BatchGroup]
+    fallback: list[int]
+
+
+def _lower_for_batch(index: int, spec: ScenarioSpec) -> _Lowered | None:
+    """``spec``'s batch-eligible form, or ``None`` to fall back per-spec.
+
+    The conditions mirror the serial engine's vectorized-fast-path
+    eligibility, extended batch-wise: synchronized feedback (no
+    unsynchronized loss, no ECN), real-valued windows, no scheduled
+    events, a constant non-congestion loss rate, and every flow's
+    protocol opting into :meth:`~repro.protocols.base.Protocol.batched_next`
+    with its instance state fully captured by ``batch_param_names``.
+    Anything the kernel cannot express — including a spec that fails to
+    lower at all — runs serially instead, where it reproduces the exact
+    serial behaviour (or the exact serial error).
+    """
+    try:
+        link, protocols, config, steps = spec.lower_fluid()
+    except Exception:
+        return None
+    if not config.allow_vectorized:
+        return None
+    if config.unsynchronized_loss or config.integer_windows:
+        return None
+    if config.schedule.sender_starts or config.schedule.link_changes:
+        return None
+    if link.ecn_threshold is not None:
+        return None
+    lp = config.loss_process
+    if isinstance(lp, NoLoss):
+        random_rate = 0.0
+    elif isinstance(lp, BernoulliLoss) and lp.deterministic:
+        random_rate = lp.p
+    else:
+        return None
+    for protocol in protocols:
+        cls = type(protocol)
+        if not getattr(cls, "supports_batched", False):
+            return None
+        try:
+            if set(vars(protocol)) != set(cls.batch_param_names):
+                return None
+        except TypeError:
+            return None
+    initial = (
+        list(config.initial_windows)
+        if config.initial_windows is not None
+        else [1.0] * len(protocols)
+    )
+    if len(initial) != len(protocols):
+        return None
+    if not all(math.isfinite(w) and w >= 0 for w in initial):
+        return None
+    return _Lowered(
+        index=index,
+        link=link,
+        protocols=list(protocols),
+        steps=steps,
+        initial=[float(w) for w in initial],
+        random_rate=float(random_rate),
+        min_window=config.min_window,
+        max_window=config.max_window,
+        enforce_loss_based=config.enforce_loss_based,
+    )
+
+
+def _build_inputs(rows: list[_Lowered]) -> BatchInputs:
+    """Stack one group's lowered specs into kernel inputs."""
+    first = rows[0]
+    column_classes = tuple(type(p) for p in first.protocols)
+    column_params = tuple(
+        {
+            name: np.array(
+                [getattr(row.protocols[j], name) for row in rows], dtype=float
+            )
+            for name in cls.batch_param_names
+        }
+        for j, cls in enumerate(column_classes)
+    )
+    return BatchInputs(
+        steps=first.steps,
+        column_classes=column_classes,
+        column_params=column_params,
+        initial=np.array([row.initial for row in rows], dtype=float),
+        capacity=np.array([row.link.capacity for row in rows], dtype=float),
+        bandwidth=np.array([row.link.bandwidth for row in rows], dtype=float),
+        base_rtt=np.array([row.link.base_rtt for row in rows], dtype=float),
+        pipe_limit=np.array([row.link.pipe_limit for row in rows], dtype=float),
+        timeout_rtt=np.array(
+            [row.link.timeout_rtt for row in rows], dtype=float
+        ),
+        random_rate=np.array([row.random_rate for row in rows], dtype=float),
+        min_window=np.array([row.min_window for row in rows], dtype=float),
+        max_window=np.array([row.max_window for row in rows], dtype=float),
+        enforce_loss_based=first.enforce_loss_based,
+    )
+
+
+def plan_batches(
+    specs: Sequence[ScenarioSpec],
+    indices: Sequence[int] | None = None,
+) -> BatchPlan:
+    """Group ``specs`` (or the subset named by ``indices``) for the kernel.
+
+    Specs batch together when they share the per-column protocol class
+    tuple (which fixes the flow count), the horizon, and loss-based
+    enforcement; everything per-scenario beyond that — link parameters,
+    protocol parameters, initial windows, clamps, random loss rate —
+    varies along the batch axis. Grouping preserves submission order
+    within each group, and a singleton group is simply a batch of one.
+    """
+    if indices is None:
+        indices = range(len(specs))
+    grouped: dict[tuple, list[_Lowered]] = {}
+    fallback: list[int] = []
+    with timing.measure("batch.plan"):
+        for index in indices:
+            lowered = _lower_for_batch(index, specs[index])
+            if lowered is None:
+                fallback.append(index)
+                continue
+            key = (
+                tuple(type(p) for p in lowered.protocols),
+                lowered.steps,
+                lowered.enforce_loss_based,
+            )
+            grouped.setdefault(key, []).append(lowered)
+        groups = [
+            BatchGroup(
+                indices=[row.index for row in rows],
+                inputs=_build_inputs(rows),
+            )
+            for rows in grouped.values()
+        ]
+    return BatchPlan(groups=groups, fallback=fallback)
+
+
+# ----------------------------------------------------------------------
+# Execution: serial kernel or shared-memory chunk scheduler
+# ----------------------------------------------------------------------
+def autotune_chunk_rows(steps: int) -> int:
+    """Rows per chunk targeting ~``_TARGET_CHUNK_SECONDS`` of kernel time.
+
+    Uses the measured throughput of previous kernel calls (the
+    ``batch.kernel`` section of :data:`repro.perf.timing.REGISTRY` over
+    :func:`repro.model.batch.kernel_cells`); before any measurement
+    exists, a fixed default applies.
+    """
+    cells = kernel_cells()
+    spent = timing.REGISTRY.total("batch.kernel")
+    if cells <= 0 or spent <= 0.0:
+        return _DEFAULT_CHUNK_ROWS
+    seconds_per_cell = spent / cells
+    rows = int(_TARGET_CHUNK_SECONDS / max(seconds_per_cell * steps, 1e-12))
+    return max(1, min(rows, 4096))
+
+
+def _kernel_chunk(
+    shm_names: dict[str, str],
+    steps: int,
+    total_rows: int,
+    n_senders: int,
+    chunk: BatchInputs,
+    lo: int,
+    hi: int,
+) -> dict[int, int]:
+    """Worker: advance rows ``lo:hi`` writing into the shared buffers.
+
+    Only the (typically empty) failure map is returned through the pool;
+    all array output lands in shared memory, which is the point.
+    """
+    from multiprocessing import shared_memory
+
+    segments = []
+    try:
+        out: dict[str, np.ndarray] = {}
+        for name, shm_name in shm_names.items():
+            shm = shared_memory.SharedMemory(name=shm_name)
+            segments.append(shm)
+            if name == "windows":
+                full = np.ndarray(
+                    (steps, total_rows, n_senders), dtype=np.float64, buffer=shm.buf
+                )
+                out[name] = full[:, lo:hi, :]
+            else:
+                full = np.ndarray(
+                    (steps, total_rows), dtype=np.float64, buffer=shm.buf
+                )
+                out[name] = full[:, lo:hi]
+        result = run_batch_kernel(chunk, out=out)
+        failed = {lo + row: step for row, step in result.failed.items()}
+        # Drop every view into the buffers before closing the segments.
+        del result, out, full
+        return failed
+    finally:
+        for shm in segments:
+            try:
+                shm.close()
+            except BufferError:
+                pass  # released at worker exit
+
+
+def _run_group_shm(
+    inputs: BatchInputs, workers: int, chunk_rows: int
+) -> BatchResult | None:
+    """Chunk the batch across a process pool via shared-memory buffers.
+
+    Returns ``None`` when shared memory or a pool is unavailable on this
+    platform, in which case the caller runs the kernel in-process. The
+    result is bit-identical either way: chunks are disjoint row ranges of
+    the same elementwise recurrence.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import shared_memory
+
+    steps, b, n = inputs.steps, inputs.batch_size, inputs.n_senders
+    shapes = {
+        "windows": (steps, b, n),
+        "observed_loss": (steps, b),
+        "congestion_loss": (steps, b),
+        "rtts": (steps, b),
+    }
+    segments: dict[str, object] = {}
+    try:
+        try:
+            for name, shape in shapes.items():
+                nbytes = int(np.prod(shape)) * 8
+                segments[name] = shared_memory.SharedMemory(
+                    create=True, size=max(nbytes, 1)
+                )
+        except OSError:
+            return None
+        chunks = [(lo, min(lo + chunk_rows, b)) for lo in range(0, b, chunk_rows)]
+        shm_names = {name: seg.name for name, seg in segments.items()}
+        failed: dict[int, int] = {}
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+        except (OSError, ValueError, RuntimeError):
+            return None
+        with timing.measure("batch.scheduler"), pool:
+            futures = [
+                pool.submit(
+                    _kernel_chunk,
+                    shm_names,
+                    steps,
+                    b,
+                    n,
+                    inputs.rows(lo, hi),
+                    lo,
+                    hi,
+                )
+                for lo, hi in chunks
+            ]
+            for future in futures:
+                failed.update(future.result())
+        arrays = {}
+        for name, seg in segments.items():
+            view = np.ndarray(shapes[name], dtype=np.float64, buffer=seg.buf)
+            arrays[name] = view.copy()
+            del view
+        return BatchResult(failed=failed, **arrays)
+    finally:
+        for seg in segments.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except (BufferError, FileNotFoundError, OSError):
+                pass
+
+
+def _run_group(
+    inputs: BatchInputs,
+    workers: int | None = None,
+    chunk_rows: int | None = None,
+) -> BatchResult:
+    """Run one group: chunked over shared memory when it pays, else inline."""
+    if workers is not None and workers > 1 and inputs.batch_size > 1:
+        rows = chunk_rows if chunk_rows is not None else autotune_chunk_rows(inputs.steps)
+        if inputs.batch_size > rows:
+            result = _run_group_shm(inputs, workers, rows)
+            if result is not None:
+                return result
+    return run_batch_kernel(inputs)
+
+
+# ----------------------------------------------------------------------
+# The batched run_specs path
+# ----------------------------------------------------------------------
+def run_specs_batched(
+    specs: Sequence[ScenarioSpec],
+    use_cache: bool = True,
+    skip_errors: bool = False,
+    workers: int | None = None,
+    chunk_rows: int | None = None,
+) -> list:
+    """Run every spec on the fluid backend, batching compatible ones.
+
+    Results are :class:`~repro.backends.trace.UnifiedTrace` objects in
+    spec order, bit-identical to ``run_spec(spec, "fluid")`` for every
+    spec regardless of which path — cache hit, batch kernel, chunked
+    kernel, or serial fallback — produced it. With ``skip_errors`` a
+    failing spec yields ``None`` instead of raising; other specs are
+    unaffected either way.
+    """
+    from repro.perf import store
+    from repro.perf.cache import active_cache
+
+    specs = list(specs)
+    results: list = [None] * len(specs)
+    cache = active_cache() if use_cache else None
+    keys: list[str | None] = [None] * len(specs)
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            keys[i] = store.unified_key("fluid", spec)
+            if keys[i] is not None:
+                hit = store.load_unified_trace(cache, keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    continue
+        pending.append(i)
+
+    plan = plan_batches(specs, pending)
+    serial = list(plan.fallback)
+    for group in plan.groups:
+        result = _run_group(group.inputs, workers=workers, chunk_rows=chunk_rows)
+        for pos, index in enumerate(group.indices):
+            if pos in result.failed:
+                # Recompute serially to raise the exact serial error.
+                serial.append(index)
+                continue
+            trace = store.extract_batch_trace(
+                result,
+                pos,
+                capacity=float(group.inputs.capacity[pos]),
+                pipe_limit=float(group.inputs.pipe_limit[pos]),
+                base_rtt=float(group.inputs.base_rtt[pos]),
+            )
+            results[index] = trace
+            if cache is not None and keys[index] is not None:
+                store.store_unified_trace(cache, keys[index], trace)
+
+    for index in sorted(serial):
+        try:
+            results[index] = run_spec(specs[index], "fluid", use_cache=use_cache)
+        except Exception:
+            if not skip_errors:
+                raise
+            results[index] = None
+    return results

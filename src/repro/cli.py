@@ -3,14 +3,14 @@
 Usage::
 
     repro table1 [--bw 20 --rtt 42 --buffer 100 --steps 4000 --json out.json]
-    repro table2 [--packet] [--pcc-bound]
-    repro figure1
+    repro table2 [--packet] [--pcc-bound] [--batch]
+    repro figure1 [--batch]
     repro claims
     repro emulab [--full]
     repro fct [--replications 3]
-    repro run --backend {fluid,network,packet} --protocols reno cubic
+    repro run --backend {fluid,network,packet} --protocols reno cubic [--batch]
     repro simulate --protocols "AIMD(1,0.5)" "CUBIC(0.4,0.8)" --steps 2000
-    repro cache stats|clear [--dir PATH]
+    repro cache stats|clear|prune [--dir PATH] [--max-mb N]
     repro lint [paths] [--select/--ignore CODES] [--format json|github]
 
 Every subcommand prints the paper-style table to stdout; ``--json`` also
@@ -88,8 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
     t2.add_argument("--pcc-bound", action="store_true",
                     help="use the MIMD(1.01,0.99) aggressiveness bound as the "
                     "PCC stand-in")
+    t2.add_argument("--batch", action="store_true",
+                    help="evaluate compatible cells through the batched fluid "
+                    "kernel (one NumPy pass per step for the whole grid)")
 
-    subparsers.add_parser("figure1", help="Pareto frontier surface (Figure 1)")
+    fig1 = subparsers.add_parser(
+        "figure1", help="Pareto frontier surface (Figure 1)"
+    )
+    fig1.add_argument("--batch", action="store_true",
+                      help="evaluate the empirical grid through the batched "
+                      "fluid kernel")
 
     claims = subparsers.add_parser(
         "claims", help="Claim 1 and Theorems 1-5 demonstrations"
@@ -141,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="give every flow a slow-start ramp")
     run_p.add_argument("--no-cache", action="store_true",
                        help="bypass the unified trace cache")
+    run_p.add_argument("--batch", action="store_true",
+                       help="route through the batched fluid kernel "
+                       "(fluid backend only; falls back serially when the "
+                       "scenario is not batch-compatible)")
 
     sim = subparsers.add_parser("simulate", help="run an ad-hoc fluid simulation")
     _add_link_arguments(sim)
@@ -171,10 +183,14 @@ def build_parser() -> argparse.ArgumentParser:
     cache = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk simulation cache"
     )
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("action", choices=("stats", "clear", "prune"))
     cache.add_argument("--dir", type=str, default=None,
                        help="cache directory (default: ~/.cache/repro/sim or "
                        "$REPRO_CACHE_DIR)")
+    cache.add_argument("--max-mb", type=float, default=None,
+                       help="with 'prune': evict oldest entries until the "
+                       "cache fits in this many MB (default: "
+                       "$REPRO_CACHE_MAX_MB)")
 
     from repro.lint.cli import add_lint_arguments
 
@@ -187,10 +203,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_cache_command(args: argparse.Namespace) -> int:
     from repro.perf.cache import TraceCache, default_cache_dir
-    from repro.perf.store import stats_by_kind
+    from repro.perf.store import prune_cache, stats_by_kind
 
     cache = TraceCache(args.dir or default_cache_dir())
     by_kind = stats_by_kind(cache)
+    if args.action == "prune":
+        max_bytes = None
+        if args.max_mb is not None:
+            max_bytes = int(args.max_mb * 1024 * 1024)
+        report = prune_cache(cache, max_bytes=max_bytes)
+        print(f"pruned {report['removed']} cached trace(s), reclaimed "
+              f"{report['reclaimed_bytes']} bytes from {cache.directory}")
+        print(f"remaining: {report['remaining_entries']} entries, "
+              f"{report['remaining_bytes']} bytes")
+        return 0
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached trace(s) from {cache.directory}")
@@ -198,10 +224,15 @@ def _run_cache_command(args: argparse.Namespace) -> int:
             print(f"  {kind}: {kind_stats['entries']} entries, "
                   f"{kind_stats['bytes']} bytes")
         return 0
+    from repro.perf.store import size_cap_bytes
+
     stats = cache.stats()
     print(f"cache directory: {stats['directory']}")
     print(f"entries: {stats['entries']}")
     print(f"size: {stats['bytes']} bytes")
+    cap = size_cap_bytes()
+    if cap is not None:
+        print(f"size cap: {cap} bytes ($REPRO_CACHE_MAX_MB)")
     for kind, kind_stats in by_kind.items():
         print(f"  {kind}: {kind_stats['entries']} entries, "
               f"{kind_stats['bytes']} bytes")
@@ -209,7 +240,7 @@ def _run_cache_command(args: argparse.Namespace) -> int:
 
 
 def _run_run_command(args: argparse.Namespace) -> int:
-    from repro.backends import ScenarioSpec, get_backend, run_spec
+    from repro.backends import ScenarioSpec, get_backend, run_spec, run_specs
 
     link = _link_from(args)
     protocols = [make_protocol(spec) for spec in args.protocols]
@@ -223,7 +254,12 @@ def _run_run_command(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     backend = get_backend(args.backend)
-    trace = run_spec(spec, args.backend, use_cache=not args.no_cache)
+    if args.batch:
+        trace = run_specs(
+            [spec], args.backend, batch=True, use_cache=not args.no_cache
+        )[0]
+    else:
+        trace = run_spec(spec, args.backend, use_cache=not args.no_cache)
     print(f"{link.describe()}, backend={backend.name}, "
           f"{trace.steps} steps (~{spec.horizon_seconds():g}s)")
     for key, value in trace.summary().items():
@@ -274,10 +310,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         if args.packet:
             result = run_table2_packet(pcc=pcc, workers=args.workers)
         else:
-            result = run_table2(pcc=pcc, steps=args.steps, workers=args.workers)
+            result = run_table2(pcc=pcc, steps=args.steps, workers=args.workers,
+                                batch=args.batch)
         print(render_table2(result, markdown=args.markdown))
     elif args.command == "figure1":
-        result = run_figure1(workers=args.workers)
+        result = run_figure1(workers=args.workers, batch=args.batch)
         print(render_figure1(result, markdown=args.markdown))
     elif args.command == "claims":
         result = run_claims(_link_from(args), steps=args.steps,

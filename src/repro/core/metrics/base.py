@@ -88,6 +88,31 @@ def initial_windows_for(link: Link, n: int, spread: bool) -> list[float]:
     return [big] + [1.0] * (n - 1)
 
 
+def homogeneous_spec(
+    protocol: Protocol,
+    link: Link,
+    config: EstimatorConfig,
+    sim_config: SimulationConfig | None = None,
+):
+    """The :class:`~repro.backends.spec.ScenarioSpec` of one homogeneous run.
+
+    Factored out of :func:`run_homogeneous_trace` so batched sweep drivers
+    can stack the *same* spec a serial estimator would run — identical
+    spec, identical cache key, identical (bit-for-bit) trace.
+    """
+    from repro.backends import ScenarioSpec
+
+    if sim_config is None:
+        sim_config = SimulationConfig(
+            initial_windows=initial_windows_for(
+                link, config.n_senders, config.spread_initial_windows
+            )
+        )
+    return ScenarioSpec.from_fluid(
+        link, [protocol] * config.n_senders, config.steps, sim_config
+    )
+
+
 def run_homogeneous_trace(
     protocol: Protocol,
     link: Link,
@@ -100,15 +125,6 @@ def run_homogeneous_trace(
     fluid lowering is bit-preserving, so traces are identical to driving
     :class:`~repro.model.dynamics.FluidSimulator` directly.
     """
-    from repro.backends import ScenarioSpec, run_spec
+    from repro.backends import run_spec
 
-    if sim_config is None:
-        sim_config = SimulationConfig(
-            initial_windows=initial_windows_for(
-                link, config.n_senders, config.spread_initial_windows
-            )
-        )
-    spec = ScenarioSpec.from_fluid(
-        link, [protocol] * config.n_senders, config.steps, sim_config
-    )
-    return run_spec(spec, "fluid")
+    return run_spec(homogeneous_spec(protocol, link, config, sim_config), "fluid")

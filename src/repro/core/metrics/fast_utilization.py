@@ -104,6 +104,21 @@ def fast_utilization_from_trace(
     )
 
 
+def fast_utilization_spec(
+    protocol: Protocol, link: Link, config: EstimatorConfig | None = None
+):
+    """The single-probing-sender spec :func:`estimate_fast_utilization` runs.
+
+    Exposed so batched sweep drivers stack the identical scenario.
+    """
+    from repro.backends import ScenarioSpec
+
+    config = config or EstimatorConfig()
+    return ScenarioSpec.from_fluid(
+        link, [protocol], config.steps, SimulationConfig(initial_windows=[1.0])
+    )
+
+
 def estimate_fast_utilization(
     protocol: Protocol,
     link: Link,
@@ -115,13 +130,9 @@ def estimate_fast_utilization(
     A single sender ensures the loss-free intervals reflect the protocol's
     own probing, not other senders' behaviour.
     """
-    from repro.backends import ScenarioSpec, run_spec
+    from repro.backends import run_spec
 
-    config = config or EstimatorConfig()
-    spec = ScenarioSpec.from_fluid(
-        link, [protocol], config.steps, SimulationConfig(initial_windows=[1.0])
-    )
-    trace = run_spec(spec, "fluid")
+    trace = run_spec(fast_utilization_spec(protocol, link, config), "fluid")
     return fast_utilization_from_trace(trace, sender=0, min_interval=min_interval)
 
 

@@ -53,6 +53,34 @@ def friendliness_from_trace(
     return worst if np.isfinite(worst) else float("inf")
 
 
+def friendliness_mix_specs(
+    protocol: Protocol,
+    toward: Protocol,
+    link: Link,
+    config: EstimatorConfig | None = None,
+) -> list[tuple[int, "object"]]:
+    """``(n_p, spec)`` for every P/Q split the friendliness estimator runs.
+
+    Exposed so batched sweep drivers stack the identical mixed scenarios;
+    scoring a mix's trace uses ``p_senders=range(n_p)``,
+    ``q_senders=range(n_p, n)`` exactly as :func:`estimate_friendliness`.
+    """
+    from repro.backends import ScenarioSpec
+
+    config = config or EstimatorConfig()
+    n = max(2, config.n_senders)
+    specs = []
+    for n_p in range(1, n):
+        protocols: list[Protocol] = [protocol] * n_p + [toward] * (n - n_p)
+        sim_config = SimulationConfig(
+            initial_windows=initial_windows_for(link, n, config.spread_initial_windows)
+        )
+        specs.append(
+            (n_p, ScenarioSpec.from_fluid(link, protocols, config.steps, sim_config))
+        )
+    return specs
+
+
 def estimate_friendliness(
     protocol: Protocol,
     toward: Protocol,
@@ -65,19 +93,14 @@ def estimate_friendliness(
     Q-groups (at least one of each) and reports the minimum witnessed
     alpha.
     """
-    from repro.backends import ScenarioSpec, run_spec
+    from repro.backends import run_spec
 
     config = config or EstimatorConfig()
     n = max(2, config.n_senders)
     worst = float("inf")
     per_mix: dict[str, float] = {}
-    for n_p in range(1, n):
+    for n_p, spec in friendliness_mix_specs(protocol, toward, link, config):
         n_q = n - n_p
-        protocols: list[Protocol] = [protocol] * n_p + [toward] * n_q
-        sim_config = SimulationConfig(
-            initial_windows=initial_windows_for(link, n, config.spread_initial_windows)
-        )
-        spec = ScenarioSpec.from_fluid(link, protocols, config.steps, sim_config)
         trace = run_spec(spec, "fluid")
         alpha = friendliness_from_trace(
             trace,

@@ -27,9 +27,17 @@ import functools
 from dataclasses import dataclass, field
 
 from repro.core.metrics.base import EstimatorConfig
-from repro.core.metrics.efficiency import estimate_efficiency
-from repro.core.metrics.fast_utilization import estimate_fast_utilization
-from repro.core.metrics.friendliness import estimate_tcp_friendliness
+from repro.core.metrics.efficiency import efficiency_from_trace, estimate_efficiency
+from repro.core.metrics.fast_utilization import (
+    estimate_fast_utilization,
+    fast_utilization_from_trace,
+    fast_utilization_spec,
+)
+from repro.core.metrics.friendliness import (
+    estimate_tcp_friendliness,
+    friendliness_from_trace,
+    friendliness_mix_specs,
+)
 from repro.core.theory.pareto import (
     Figure1Point,
     figure1_surface,
@@ -131,6 +139,69 @@ def measure_aimd_point(
     )
 
 
+def measure_aimd_points_batched(
+    points: list[tuple[float, float]],
+    link: Link,
+    config: EstimatorConfig,
+    workers: int | None = None,
+    use_cache: bool = True,
+) -> list[EmpiricalFrontierPoint]:
+    """All grid points' frontier coordinates through the batched kernel.
+
+    Builds, for every ``(alpha, beta)``, the *same* three estimator
+    scenarios :func:`measure_aimd_point` runs — the probing sender, the
+    homogeneous efficiency run, and the P/Q friendliness mixes — stacks
+    them through ``run_specs(batch=True)``, and scores the traces with the
+    same ``*_from_trace`` reducers. Traces are bit-identical to the serial
+    path, so the scores are equal floats; only the wall-clock differs.
+    """
+    from repro.backends import run_specs
+    from repro.core.metrics.base import homogeneous_spec
+
+    n = max(2, config.n_senders)
+    specs = []
+    layout = []  # per point: (fast index, efficiency index, [(n_p, mix index)])
+    for alpha, beta in points:
+        protocol = AIMD(alpha, beta)
+        fast_at = len(specs)
+        specs.append(fast_utilization_spec(protocol, link, config))
+        eff_at = len(specs)
+        specs.append(homogeneous_spec(protocol, link, config))
+        mixes = []
+        for n_p, spec in friendliness_mix_specs(protocol, AIMD(1.0, 0.5), link, config):
+            mixes.append((n_p, len(specs)))
+            specs.append(spec)
+        layout.append((fast_at, eff_at, mixes))
+
+    traces = run_specs(specs, batch=True, workers=workers, use_cache=use_cache)
+    results = []
+    for (alpha, beta), (fast_at, eff_at, mixes) in zip(points, layout):
+        fast = fast_utilization_from_trace(traces[fast_at], sender=0).score
+        efficiency = efficiency_from_trace(
+            traces[eff_at], config.tail_fraction
+        ).detail["capped_score"]
+        friendliness = min(
+            friendliness_from_trace(
+                traces[at],
+                p_senders=list(range(n_p)),
+                q_senders=list(range(n_p, n)),
+                tail_fraction=config.tail_fraction,
+            )
+            for n_p, at in mixes
+        )
+        results.append(
+            EmpiricalFrontierPoint(
+                alpha=alpha,
+                beta=beta,
+                predicted_friendliness=frontier_friendliness(alpha, beta),
+                measured_fast_utilization=fast,
+                measured_efficiency=efficiency,
+                measured_friendliness=friendliness,
+            )
+        )
+    return results
+
+
 def run_figure1(
     alphas: list[float] | None = None,
     betas: list[float] | None = None,
@@ -139,24 +210,34 @@ def run_figure1(
     link: Link | None = None,
     config: EstimatorConfig | None = None,
     workers: int | None = None,
+    batch: bool = False,
 ) -> Figure1Result:
     """Generate the Figure 1 surface and its empirical validation points.
 
     The empirical (alpha, beta) grid cells are independent simulations;
-    ``workers > 1`` fans them out over a process pool.
+    ``workers > 1`` fans them out over a process pool. With ``batch``
+    the whole grid instead runs through the batched fluid kernel
+    (:func:`measure_aimd_points_batched`) — same results, one NumPy pass
+    per step for all cells.
     """
     surface = figure1_surface(alphas, betas)
     link = link or Link.from_mbps(20, 42, 100)
     config = config or EstimatorConfig(steps=4000, n_senders=2)
     empirical_alphas = empirical_alphas or [0.5, 1.0, 2.0]
     empirical_betas = empirical_betas or [0.3, 0.5, 0.8]
-    sweep = Sweep(
-        axes={"alpha": empirical_alphas, "beta": empirical_betas},
-        measure=functools.partial(measure_aimd_point, link=link, config=config),
-    )
-    empirical = [
-        row.value for row in sweep.run(**workers_sweep_options(workers))
-    ]
+    if batch:
+        points = [(a, b) for a in empirical_alphas for b in empirical_betas]
+        empirical = measure_aimd_points_batched(
+            points, link, config, workers=workers
+        )
+    else:
+        sweep = Sweep(
+            axes={"alpha": empirical_alphas, "beta": empirical_betas},
+            measure=functools.partial(measure_aimd_point, link=link, config=config),
+        )
+        empirical = [
+            row.value for row in sweep.run(**workers_sweep_options(workers))
+        ]
     return Figure1Result(
         surface=surface,
         mutually_non_dominated=surface_is_mutually_non_dominated(surface),

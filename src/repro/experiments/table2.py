@@ -45,6 +45,31 @@ PAPER_MEAN_IMPROVEMENT = 1.92
 PAPER_MIN_IMPROVEMENT = 1.5
 
 
+def friendliness_spec(
+    protocol: Protocol,
+    n_senders: int,
+    bandwidth_mbps: float,
+    steps: int = 4000,
+    rtt_ms: float = PAPER_RTT_MS,
+    buffer_mss: int = PAPER_BUFFER_MSS,
+) -> ScenarioSpec:
+    """The scenario of one Table 2 cell for one protocol under test.
+
+    Factored out of :func:`measure_friendliness` so the batched driver
+    stacks the identical specs (identical cache keys, identical traces).
+    """
+    if n_senders < 2:
+        raise ValueError(f"need at least 2 senders, got {n_senders}")
+    link = Link.from_mbps(bandwidth_mbps, rtt_ms, buffer_mss)
+    protocols: list[Protocol] = [protocol] * (n_senders - 1) + [presets.reno()]
+    return ScenarioSpec(
+        protocols=protocols,
+        link=link,
+        steps=steps,
+        initial_windows=[1.0] * n_senders,
+    )
+
+
 def measure_friendliness(
     protocol: Protocol,
     n_senders: int,
@@ -60,15 +85,8 @@ def measure_friendliness(
     senders; the result is the Reno sender's tail-average window over the
     worst protocol sender's.
     """
-    if n_senders < 2:
-        raise ValueError(f"need at least 2 senders, got {n_senders}")
-    link = Link.from_mbps(bandwidth_mbps, rtt_ms, buffer_mss)
-    protocols: list[Protocol] = [protocol] * (n_senders - 1) + [presets.reno()]
-    spec = ScenarioSpec(
-        protocols=protocols,
-        link=link,
-        steps=steps,
-        initial_windows=[1.0] * n_senders,
+    spec = friendliness_spec(
+        protocol, n_senders, bandwidth_mbps, steps, rtt_ms, buffer_mss
     )
     trace = run_spec(spec, "fluid")
     return friendliness_from_trace(
@@ -152,6 +170,44 @@ def _table2_cell(
     )
 
 
+def _table2_cells_batched(
+    cells: list[tuple[int, float]],
+    robust_aimd: Protocol,
+    pcc: Protocol,
+    steps: int,
+    workers: int | None,
+    tail_fraction: float = 0.5,
+) -> list[tuple[float, float]]:
+    """All cells' (robust, pcc) friendliness pairs via the batched kernel.
+
+    Stacks the same specs :func:`measure_friendliness` runs. Robust-AIMD
+    scenarios batch by (protocol tuple, steps) group; the PCC stand-in is
+    stateful, so its specs fall back to the serial path inside
+    ``run_specs`` — correctness is unaffected, only those cells miss the
+    batching speedup.
+    """
+    from repro.backends import run_specs
+
+    specs = []
+    for n, bw in cells:
+        specs.append(friendliness_spec(robust_aimd, n, bw, steps))
+        specs.append(friendliness_spec(pcc, n, bw, steps))
+    traces = run_specs(specs, batch=True, workers=workers)
+    pairs = []
+    for at, (n, _bw) in enumerate(cells):
+        scores = tuple(
+            friendliness_from_trace(
+                traces[2 * at + offset],
+                p_senders=list(range(n - 1)),
+                q_senders=[n - 1],
+                tail_fraction=tail_fraction,
+            )
+            for offset in (0, 1)
+        )
+        pairs.append(scores)
+    return pairs
+
+
 def run_table2(
     senders: tuple[int, ...] = PAPER_SENDERS,
     bandwidths_mbps: tuple[float, ...] = PAPER_BANDWIDTHS_MBPS,
@@ -159,11 +215,30 @@ def run_table2(
     robust_aimd: Protocol | None = None,
     steps: int = 4000,
     workers: int | None = None,
+    batch: bool = False,
 ) -> Table2Result:
-    """Measure every Table 2 cell (over a process pool when ``workers > 1``)."""
+    """Measure every Table 2 cell (over a process pool when ``workers > 1``).
+
+    With ``batch`` the grid runs through the batched fluid kernel instead:
+    all batch-compatible cells advance in one NumPy pass per step, the
+    rest (e.g. the stateful PCC stand-in) fall back serially.
+    """
     pcc = pcc or presets.pcc_like()
     robust_aimd = robust_aimd or presets.robust_aimd_paper()
     result = Table2Result(pcc_standin=pcc.name)
+    if batch:
+        cells = [(n, bw) for n in senders for bw in bandwidths_mbps]
+        pairs = _table2_cells_batched(cells, robust_aimd, pcc, steps, workers)
+        for (n, bw), (f_robust, f_pcc) in zip(cells, pairs):
+            result.cells.append(
+                Table2Cell(
+                    n_senders=n,
+                    bandwidth_mbps=bw,
+                    friendliness_robust_aimd=f_robust,
+                    friendliness_pcc=f_pcc,
+                )
+            )
+        return result
     sweep = Sweep(
         axes={"n": list(senders), "bw": list(bandwidths_mbps)},
         measure=functools.partial(

@@ -776,6 +776,58 @@ def _check_mutable_defaults(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
 
 
 # ----------------------------------------------------------------------
+# REP403 — batched kernels must stay branch-free over their inputs
+# ----------------------------------------------------------------------
+def _argument_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            names.append(extra.arg)
+    return frozenset(names)
+
+
+def _names_in(node: ast.expr) -> set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+@rule(
+    "REP403",
+    "batched-kernel-branch",
+    Severity.ERROR,
+    "a 'batched_*' kernel advances every scenario of the batch in one "
+    "array pass; a Python if/while/ternary on its inputs evaluates one "
+    "truth value for the whole batch (or raises on arrays) — encode "
+    "per-element branches with numpy.where instead",
+    scope=("repro/protocols", "repro/model", "repro/backends"),
+)
+def _check_batched_kernel_branches(
+    rule_: Rule, ctx: FileContext
+) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not node.name.startswith("batched_"):
+            continue
+        params = _argument_names(node)
+        for inner in ast.walk(node):
+            if isinstance(inner, (ast.If, ast.While, ast.IfExp)):
+                tainted = sorted(_names_in(inner.test) & params)
+                if tainted:
+                    kind = {
+                        ast.If: "if",
+                        ast.While: "while",
+                        ast.IfExp: "conditional expression",
+                    }[type(inner)]
+                    yield _make(
+                        rule_, ctx, inner,
+                        f"'{node.name}' branches on batch input(s) "
+                        f"{', '.join(tainted)} with a Python {kind}; use "
+                        "numpy.where so every scenario keeps its own branch",
+                    )
+
+
+# ----------------------------------------------------------------------
 # REP501 — float equality
 # ----------------------------------------------------------------------
 def _is_floatish(node: ast.expr) -> bool:

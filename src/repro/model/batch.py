@@ -1,0 +1,253 @@
+"""The batched fluid kernel: advance many scenarios in one NumPy pass.
+
+The Figure 1 frontier and the Table 2 design sweeps evaluate thousands of
+near-identical fluid scenarios — same horizon and flow count, different
+protocol parameters or link speeds. Run serially, each scenario pays the
+full Python per-step overhead of :class:`~repro.model.dynamics.FluidSimulator`
+even on its vectorized fast path. This module stacks ``B`` compatible
+scenarios along a leading batch axis and advances *all* of them with one
+NumPy expression per step: windows become a ``(B, flows)`` array, the
+Eq. (1) RTT / droptail loss / combined loss evaluate through the
+``*_array`` variants in :mod:`repro.model.formulas` and
+:mod:`repro.model.random_loss`, and the protocol updates go through the
+branch-free :meth:`~repro.protocols.base.Protocol.batched_next` maps with
+per-scenario parameter arrays.
+
+Bit-identity is the contract, exactly as for the serial fast path: every
+float64 operation mirrors the serial engine element by element — the
+aggregate is the same left-fold column sum, scalar branches become
+``numpy.where`` selects over the same conditions, and the clamp is the
+same ``clip`` — so slicing row ``i`` out of a batch result reproduces the
+serial trace of scenario ``i`` bit for bit (property-tested in
+``tests/property/test_prop_batch.py``).
+
+Scenario *compatibility* (same flow count, horizon and per-column protocol
+classes; synchronized feedback; no schedules, ECN or stateful loss) is
+decided by the planner in :mod:`repro.backends.batch`; this module only
+sees already-stacked inputs. A scenario that produces a non-finite window
+mid-batch is frozen at a placeholder value and reported in
+``BatchResult.failed`` — rows are independent under elementwise
+arithmetic, so the rest of the batch is unaffected, and the caller reruns
+the failed scenario serially to surface the exact serial error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.dynamics import _PLACEHOLDER_RTT
+from repro.model.formulas import droptail_loss_rate_array, eq1_rtt_array
+from repro.model.random_loss import combine_loss_array
+from repro.perf import timing
+
+__all__ = ["BatchInputs", "BatchResult", "kernel_cells", "run_batch_kernel"]
+
+#: Total scenario-steps the kernel has advanced in this process, for
+#: throughput-based chunk autotuning (with ``timing.REGISTRY``'s
+#: ``batch.kernel`` total; see :func:`kernel_cells`).
+_KERNEL_CELLS = 0
+
+
+@dataclass
+class BatchInputs:
+    """Stacked per-scenario inputs for one batched kernel call.
+
+    All arrays are float64 with one entry per scenario (``B`` rows).
+    ``column_classes[j]`` is the protocol class driving flow column ``j``
+    in *every* scenario of the batch (the planner's grouping guarantee),
+    and ``column_params[j]`` stacks that column's constructor parameters —
+    the names in ``column_classes[j].batch_param_names`` — into ``(B,)``
+    arrays, so parameters may vary freely across scenarios.
+    """
+
+    steps: int
+    column_classes: tuple[type, ...]
+    column_params: tuple[dict[str, np.ndarray], ...]
+    initial: np.ndarray  # (B, flows) initial windows, finite and >= 0
+    capacity: np.ndarray  # (B,) link C
+    bandwidth: np.ndarray  # (B,) link B
+    base_rtt: np.ndarray  # (B,) 2 * Theta
+    pipe_limit: np.ndarray  # (B,) C + tau
+    timeout_rtt: np.ndarray  # (B,) Delta
+    random_rate: np.ndarray  # (B,) constant non-congestion loss rate
+    min_window: np.ndarray  # (B,)
+    max_window: np.ndarray  # (B,)
+    enforce_loss_based: bool = True
+
+    @property
+    def batch_size(self) -> int:
+        return self.initial.shape[0]
+
+    @property
+    def n_senders(self) -> int:
+        return self.initial.shape[1]
+
+    def rows(self, lo: int, hi: int) -> "BatchInputs":
+        """Scenarios ``lo:hi`` as a new (view-backed) batch, for chunking."""
+        return BatchInputs(
+            steps=self.steps,
+            column_classes=self.column_classes,
+            column_params=tuple(
+                {name: values[lo:hi] for name, values in params.items()}
+                for params in self.column_params
+            ),
+            initial=self.initial[lo:hi],
+            capacity=self.capacity[lo:hi],
+            bandwidth=self.bandwidth[lo:hi],
+            base_rtt=self.base_rtt[lo:hi],
+            pipe_limit=self.pipe_limit[lo:hi],
+            timeout_rtt=self.timeout_rtt[lo:hi],
+            random_rate=self.random_rate[lo:hi],
+            min_window=self.min_window[lo:hi],
+            max_window=self.max_window[lo:hi],
+            enforce_loss_based=self.enforce_loss_based,
+        )
+
+
+@dataclass
+class BatchResult:
+    """The stacked outputs of one kernel call.
+
+    Row ``i`` of every array is scenario ``i``'s trace data: ``windows``
+    is ``(steps, B, flows)``; the per-step link series are ``(steps, B)``
+    (all flows of a scenario share the synchronized feedback, exactly as
+    in the serial engine). ``failed`` maps a scenario row to the first
+    step at which its protocol produced a non-finite window; such rows
+    carry placeholder data from that step on and must be rerun serially.
+    """
+
+    windows: np.ndarray
+    observed_loss: np.ndarray
+    congestion_loss: np.ndarray
+    rtts: np.ndarray
+    failed: dict[int, int] = field(default_factory=dict)
+
+
+def kernel_cells() -> int:
+    """Scenario-steps advanced by the kernel so far in this process.
+
+    Dividing ``timing.REGISTRY.total("batch.kernel")`` by this gives the
+    measured seconds per scenario-step, which the shared-memory chunk
+    scheduler uses to autotune its chunk size.
+    """
+    return _KERNEL_CELLS
+
+
+def _column_groups(
+    inputs: BatchInputs,
+) -> list[tuple[type, list[int], dict[str, np.ndarray], bool]]:
+    """Columns grouped by protocol class, with ``(B, k)``-stacked params.
+
+    One ``batched_next`` call per class per step covers every column the
+    class drives; parameters broadcast across the group's columns.
+    """
+    order: list[type] = []
+    by_class: dict[type, list[int]] = {}
+    for j, cls in enumerate(inputs.column_classes):
+        if cls not in by_class:
+            order.append(cls)
+            by_class[cls] = []
+        by_class[cls].append(j)
+    groups = []
+    for cls in order:
+        cols = by_class[cls]
+        params = {
+            name: np.stack(
+                [inputs.column_params[j][name] for j in cols], axis=1
+            )
+            for name in cls.batch_param_names
+        }
+        use_placeholder = inputs.enforce_loss_based and cls.loss_based
+        groups.append((cls, cols, params, use_placeholder))
+    return groups
+
+
+def run_batch_kernel(
+    inputs: BatchInputs,
+    out: dict[str, np.ndarray] | None = None,
+) -> BatchResult:
+    """Advance every scenario of ``inputs`` through all steps at once.
+
+    ``out`` optionally supplies preallocated output arrays (keys
+    ``windows``, ``observed_loss``, ``congestion_loss``, ``rtts`` with the
+    shapes of :class:`BatchResult`) — the shared-memory scheduler passes
+    views into its result buffers so chunk outputs need no pickling.
+    """
+    global _KERNEL_CELLS
+    steps = inputs.steps
+    b, n = inputs.initial.shape
+    if out is None:
+        out = {
+            "windows": np.full((steps, b, n), np.nan),
+            "observed_loss": np.empty((steps, b)),
+            "congestion_loss": np.empty((steps, b)),
+            "rtts": np.empty((steps, b)),
+        }
+    windows_out = out["windows"]
+    observed_out = out["observed_loss"]
+    congestion_out = out["congestion_loss"]
+    rtts_out = out["rtts"]
+
+    groups = _column_groups(inputs)
+    min_w = inputs.min_window[:, None]
+    max_w = inputs.max_window[:, None]
+    placeholder_rtt = np.full(b, _PLACEHOLDER_RTT)
+    failed: dict[int, int] = {}
+
+    # Suppress warnings from rows frozen after a failure (and from the
+    # unselected halves of where-selects); values are unaffected.
+    with timing.measure("batch.kernel"), np.errstate(
+        over="ignore", invalid="ignore", divide="ignore"
+    ):
+        # Same clamp the serial engine applies to x_i(0).
+        current = np.clip(inputs.initial, min_w, max_w)
+        for t in range(steps):
+            # Left-fold column sum in flow order, matching the serial
+            # engines' running Python sum (pairwise summation would
+            # round differently).
+            total = np.zeros(b)
+            for j in range(n):
+                total = total + current[:, j]
+            loss = droptail_loss_rate_array(total, inputs.pipe_limit)
+            rtt = eq1_rtt_array(
+                total,
+                inputs.capacity,
+                inputs.bandwidth,
+                inputs.base_rtt,
+                inputs.pipe_limit,
+                inputs.timeout_rtt,
+            )
+            seen = combine_loss_array(loss, inputs.random_rate)
+
+            windows_out[t] = current
+            observed_out[t] = seen
+            congestion_out[t] = loss
+            rtts_out[t] = rtt
+
+            proposed = np.empty_like(current)
+            seen_col = seen[:, None]
+            for cls, cols, params, use_placeholder in groups:
+                rtt_obs = placeholder_rtt if use_placeholder else rtt
+                proposed[:, cols] = cls.batched_next(
+                    current[:, cols], seen_col, rtt_obs[:, None], params
+                )
+            finite = np.isfinite(proposed).all(axis=1)
+            if not finite.all():
+                for row in np.nonzero(~finite)[0].tolist():
+                    failed.setdefault(row, t)
+                # Freeze the bad rows at a safe value so the rest of the
+                # batch keeps computing cleanly; their outputs from here
+                # on are placeholders the caller discards.
+                proposed[~finite] = 1.0
+            current = np.clip(proposed, min_w, max_w)
+    _KERNEL_CELLS += b * steps
+
+    return BatchResult(
+        windows=windows_out,
+        observed_loss=observed_out,
+        congestion_loss=congestion_out,
+        rtts=rtts_out,
+        failed=failed,
+    )

@@ -11,13 +11,25 @@ expressions at both call sites).
 All helpers are pure functions of plain floats; validation of the inputs
 (positive bandwidth, non-negative windows, ...) stays with the callers,
 which know what the quantities mean.
+
+The ``*_array`` variants evaluate the same formulas over whole batches of
+scenarios at once (one element per scenario, everything broadcastable).
+They replace the scalar branches with elementwise ``numpy.where`` selects
+over the *same* conditions and the same float64 operations, so each
+element is bit-identical to the scalar helper applied to that scenario —
+the contract the batched fluid kernel (:mod:`repro.model.batch`) is
+property-tested against.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = [
     "droptail_loss_rate",
+    "droptail_loss_rate_array",
     "eq1_rtt",
+    "eq1_rtt_array",
     "path_loss",
     "queue_occupancy",
     "queueing_delay",
@@ -33,6 +45,21 @@ def droptail_loss_rate(total_window: float, pipe_limit: float) -> float:
     if total_window <= pipe_limit:
         return 0.0
     return 1.0 - pipe_limit / total_window
+
+
+def droptail_loss_rate_array(
+    total_window: np.ndarray, pipe_limit: np.ndarray
+) -> np.ndarray:
+    """Elementwise :func:`droptail_loss_rate` over a batch of scenarios.
+
+    ``1 - pipe/X`` is evaluated everywhere (guarding the ``X == 0`` rows,
+    which the select discards) and masked by the same ``X <= pipe``
+    condition the scalar helper branches on.
+    """
+    safe_total = np.where(total_window > 0.0, total_window, 1.0)
+    return np.where(
+        total_window <= pipe_limit, 0.0, 1.0 - pipe_limit / safe_total
+    )
 
 
 def eq1_rtt(
@@ -52,6 +79,23 @@ def eq1_rtt(
     if total_window < pipe_limit:
         return max(base_rtt, (total_window - capacity) / bandwidth + base_rtt)
     return timeout_rtt
+
+
+def eq1_rtt_array(
+    total_window: np.ndarray,
+    capacity: np.ndarray,
+    bandwidth: np.ndarray,
+    base_rtt: np.ndarray,
+    pipe_limit: np.ndarray,
+    timeout_rtt: np.ndarray,
+) -> np.ndarray:
+    """Elementwise :func:`eq1_rtt` over a batch of scenarios.
+
+    ``np.maximum`` matches Python's ``max`` for finite float64 inputs, so
+    each element equals the scalar formula bit for bit.
+    """
+    queued = np.maximum(base_rtt, (total_window - capacity) / bandwidth + base_rtt)
+    return np.where(total_window < pipe_limit, queued, timeout_rtt)
 
 
 def queue_occupancy(total_window: float, capacity: float, buffer_size: float) -> float:

@@ -34,6 +34,18 @@ def combine_loss(congestion: float, random_loss: float) -> float:
     return 1.0 - (1.0 - congestion) * (1.0 - random_loss)
 
 
+def combine_loss_array(
+    congestion: np.ndarray, random_loss: np.ndarray
+) -> np.ndarray:
+    """Elementwise :func:`combine_loss` over a batch of scenarios.
+
+    The survival-product formula is branch-free, so the array form is the
+    same float64 expression; callers validate ranges up front (the batch
+    planner only admits rates already checked by the loss processes).
+    """
+    return 1.0 - (1.0 - congestion) * (1.0 - random_loss)
+
+
 class LossProcess(ABC):
     """A source of per-step, per-sender non-congestion loss."""
 

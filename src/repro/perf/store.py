@@ -13,7 +13,15 @@ directory; this module completes the collapse into a single store:
   cached ``run_spec`` is bit-identical to an uncached one;
 - :func:`classify_entry` / :func:`stats_by_kind` break the directory down
   per entry kind (fluid / packet / unified-per-backend), which is what
-  ``repro cache stats`` prints and ``repro cache clear`` reports.
+  ``repro cache stats`` prints and ``repro cache clear`` reports;
+- :func:`extract_batch_trace` slices one scenario's per-spec
+  :class:`~repro.backends.trace.UnifiedTrace` out of a stacked
+  :class:`~repro.model.batch.BatchResult`, so batched runs populate the
+  same content-addressed entries a serial ``run_spec`` would;
+- :func:`prune_cache` bounds the directory: entries are evicted oldest
+  first until the store fits under a byte cap (``--max-mb`` on the CLI,
+  or the ``REPRO_CACHE_MAX_MB`` environment default), reporting how many
+  bytes were reclaimed.
 
 Like every key in :mod:`repro.perf.cache`, an input that cannot be
 canonically keyed makes the run uncacheable (``None``) rather than wrongly
@@ -24,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Any
 
@@ -35,9 +44,15 @@ __all__ = [
     "unified_key",
     "store_unified_trace",
     "load_unified_trace",
+    "extract_batch_trace",
     "classify_entry",
     "stats_by_kind",
+    "prune_cache",
+    "size_cap_bytes",
 ]
+
+#: Environment variable holding the default size cap in megabytes.
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
 
 #: Bump when the spec canonicalization or the stored layout changes.
 _KEY_VERSION = 1
@@ -111,6 +126,95 @@ def load_unified_trace(cache: TraceCache, key: str):
         flow_rtts=arrays.get("flow_rtts"),
         times=arrays.get("times"),
     )
+
+
+# ----------------------------------------------------------------------
+# Batch-result extraction
+# ----------------------------------------------------------------------
+def extract_batch_trace(
+    result,
+    row: int,
+    capacity: float,
+    pipe_limit: float,
+    base_rtt: float,
+    backend: str = "fluid",
+):
+    """Scenario ``row``'s :class:`~repro.backends.trace.UnifiedTrace` from
+    a stacked :class:`~repro.model.batch.BatchResult`.
+
+    The per-flow arrays are copied out of the batch (so the trace owns its
+    data once the batch buffers are released), and the shared per-step
+    feedback is expanded across flows exactly as the serial engine records
+    it — the extracted trace is field-for-field what ``run_spec`` on the
+    serial path returns for the same scenario.
+    """
+    from repro.backends.trace import UnifiedTrace
+
+    steps, _, n = result.windows.shape
+    rtts = np.ascontiguousarray(result.rtts[:, row])
+    return UnifiedTrace(
+        windows=np.ascontiguousarray(result.windows[:, row, :]),
+        observed_loss=np.repeat(result.observed_loss[:, row][:, None], n, axis=1),
+        congestion_loss=np.ascontiguousarray(result.congestion_loss[:, row]),
+        rtts=rtts,
+        capacities=np.full(steps, capacity),
+        pipe_limits=np.full(steps, pipe_limit),
+        base_rtts=np.full(steps, base_rtt),
+        backend=backend,
+        flow_rtts=np.repeat(rtts[:, None], n, axis=1),
+    )
+
+
+# ----------------------------------------------------------------------
+# Size cap / pruning
+# ----------------------------------------------------------------------
+def size_cap_bytes() -> int | None:
+    """The ``REPRO_CACHE_MAX_MB`` cap in bytes, or ``None`` when unset."""
+    raw = os.environ.get(CACHE_MAX_MB_ENV)
+    if not raw:
+        return None
+    try:
+        mb = float(raw)
+    except ValueError:
+        return None
+    if mb < 0:
+        return None
+    return int(mb * 1024 * 1024)
+
+
+def prune_cache(cache: TraceCache, max_bytes: int | None = None) -> dict[str, int]:
+    """Evict entries, oldest first, until the store fits ``max_bytes``.
+
+    ``max_bytes`` defaults to the ``REPRO_CACHE_MAX_MB`` environment cap;
+    with neither set the call is a no-op. Age is the entry file's mtime
+    (write time — entries are immutable once written), with the path as a
+    deterministic tie-break. Returns the number of entries removed, the
+    bytes reclaimed, and what remains.
+    """
+    if max_bytes is None:
+        max_bytes = size_cap_bytes()
+    entries = [(path, path.stat()) for path in cache.entries()]
+    total = sum(stat.st_size for _, stat in entries)
+    removed = 0
+    reclaimed = 0
+    if max_bytes is not None:
+        for path, stat in sorted(
+            entries, key=lambda item: (item[1].st_mtime, str(item[0]))
+        ):
+            if total - reclaimed <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            reclaimed += stat.st_size
+    return {
+        "removed": removed,
+        "reclaimed_bytes": reclaimed,
+        "remaining_entries": len(entries) - removed,
+        "remaining_bytes": total - reclaimed,
+    }
 
 
 # ----------------------------------------------------------------------

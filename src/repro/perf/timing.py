@@ -53,10 +53,21 @@ class TimingStat:
 
 
 class TimingRegistry:
-    """Accumulates named wall-clock sections; cheap enough for hot paths."""
+    """Accumulates named wall-clock sections; cheap enough for hot paths.
+
+    Nested :meth:`measure` regions attribute time to the *innermost*
+    region: a parent's recorded duration is its elapsed time minus the
+    elapsed time of every timed region that ran inside it. Totals across
+    the registry therefore add up to real wall time instead of counting
+    the same seconds once per nesting level (the batch scheduler runs
+    inside sweep drivers, which would otherwise double-count).
+    """
 
     def __init__(self) -> None:
         self._stats: dict[str, TimingStat] = {}
+        # One accumulator per currently open measure() region: seconds
+        # consumed by timed child regions, to subtract from the parent.
+        self._child_seconds: list[float] = []
 
     def add(self, name: str, seconds: float) -> None:
         """Record one duration under ``name``."""
@@ -67,12 +78,19 @@ class TimingRegistry:
 
     @contextmanager
     def measure(self, name: str) -> Iterator[None]:
-        """Time the enclosed block and record it under ``name``."""
+        """Time the enclosed block and record its *self* time under ``name``."""
         start = time.perf_counter()
+        self._child_seconds.append(0.0)
         try:
             yield
         finally:
-            self.add(name, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            # The stack can only be empty here if reset() ran inside the
+            # region; attribute the full elapsed time in that case.
+            children = self._child_seconds.pop() if self._child_seconds else 0.0
+            self.add(name, max(0.0, elapsed - children))
+            if self._child_seconds:
+                self._child_seconds[-1] += elapsed
 
     def stats(self) -> dict[str, TimingStat]:
         """A snapshot of the accumulated statistics, sorted by name."""
@@ -85,6 +103,7 @@ class TimingRegistry:
 
     def reset(self) -> None:
         self._stats.clear()
+        self._child_seconds.clear()
 
     def render(self) -> str:
         """Human-readable timing table (empty string when nothing recorded)."""

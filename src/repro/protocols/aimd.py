@@ -26,6 +26,8 @@ class AIMD(Protocol):
 
     loss_based = True
     supports_vectorized = True
+    supports_batched = True
+    batch_param_names = ("a", "b")
 
     def __init__(self, a: float = 1.0, b: float = 0.5) -> None:
         if a <= 0:
@@ -43,6 +45,17 @@ class AIMD(Protocol):
         if loss_rate > 0.0:
             return windows * self.b
         return windows + self.a
+
+    @staticmethod
+    def batched_next(
+        windows: np.ndarray,
+        loss_rate: np.ndarray,
+        rtt: np.ndarray,
+        params: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        return np.where(
+            loss_rate > 0.0, windows * params["b"], windows + params["a"]
+        )
 
     @property
     def name(self) -> str:

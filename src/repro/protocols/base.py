@@ -22,6 +22,17 @@ once with numpy broadcasting. The contract is strict: the vectorized map
 must be bit-identical, element by element, to ``next_window`` (same
 float64 operations in the same order), and must not read or write any
 internal state, observation history, ``min_rtt`` or ECN feedback.
+
+The batched fluid kernel (:mod:`repro.model.batch`) goes one step
+further: it advances many *scenarios* at once, so protocol parameters
+vary along the batch axis (an ``AIMD(alpha, beta)`` grid is one kernel
+call). Protocols opt in by setting :attr:`Protocol.supports_batched`,
+declaring :attr:`Protocol.batch_param_names`, and implementing the
+static :meth:`Protocol.batched_next`, which receives the per-scenario
+parameters as arrays and must be *branch-free* over them — selection via
+``numpy.where`` on the same conditions ``vectorized_next`` branches on,
+never Python ``if`` (the REP403 lint rule enforces this) — so each batch
+element is bit-identical to the serial fast path for that scenario.
 """
 
 from __future__ import annotations
@@ -41,6 +52,13 @@ class Protocol(ABC):
 
     #: Whether :meth:`vectorized_next` is implemented (see module docstring).
     supports_vectorized: bool = False
+
+    #: Whether :meth:`batched_next` is implemented (see module docstring).
+    supports_batched: bool = False
+
+    #: Constructor-parameter attribute names :meth:`batched_next` consumes,
+    #: in the order the batch planner stacks them into per-scenario arrays.
+    batch_param_names: tuple[str, ...] = ()
 
     @abstractmethod
     def next_window(self, obs: Observation) -> float:
@@ -63,6 +81,25 @@ class Protocol(ABC):
         raise NotImplementedError(
             f"{type(self).__name__} does not implement the vectorized fast path"
         )
+
+    @staticmethod
+    def batched_next(
+        windows: np.ndarray,
+        loss_rate: np.ndarray,
+        rtt: np.ndarray,
+        params: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        """One sender column's next windows across a whole batch of scenarios.
+
+        Every argument carries one element per scenario: ``windows`` the
+        column's current windows, ``loss_rate``/``rtt`` the per-scenario
+        synchronized feedback, and ``params`` the stacked constructor
+        parameters named by :attr:`batch_param_names`. Implementations
+        are static (no instance state to leak), pure, and branch-free
+        over the arrays; element ``i`` must equal
+        ``vectorized_next`` of scenario ``i``'s protocol, bit for bit.
+        """
+        raise NotImplementedError("this protocol does not implement the batched path")
 
     def reset(self) -> None:
         """Return to the initial state. Default: stateless, nothing to do."""

@@ -30,6 +30,8 @@ class RobustAIMD(Protocol):
 
     loss_based = True
     supports_vectorized = True
+    supports_batched = True
+    batch_param_names = ("a", "b", "epsilon")
 
     def __init__(self, a: float = 1.0, b: float = 0.8, epsilon: float = 0.01) -> None:
         if a <= 0:
@@ -50,6 +52,19 @@ class RobustAIMD(Protocol):
         if loss_rate >= self.epsilon:
             return windows * self.b
         return windows + self.a
+
+    @staticmethod
+    def batched_next(
+        windows: np.ndarray,
+        loss_rate: np.ndarray,
+        rtt: np.ndarray,
+        params: dict[str, np.ndarray],
+    ) -> np.ndarray:
+        return np.where(
+            loss_rate >= params["epsilon"],
+            windows * params["b"],
+            windows + params["a"],
+        )
 
     @property
     def name(self) -> str:

@@ -1,0 +1,163 @@
+"""Batch planning and error isolation (repro.backends.batch)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import ScenarioSpec, run_spec, run_specs_batched
+from repro.backends.batch import (
+    _DEFAULT_CHUNK_ROWS,
+    autotune_chunk_rows,
+    plan_batches,
+)
+from repro.backends.spec import LoweringError
+from repro.model.link import Link
+from repro.perf import timing
+from repro.protocols.aimd import AIMD
+from repro.protocols.mimd import MIMD
+from repro.protocols.presets import pcc_like
+
+
+def _aimd_spec(a=1.0, b=0.5, bw=20.0, steps=100, n=2):
+    return ScenarioSpec(
+        protocols=[AIMD(a, b)] * n,
+        link=Link.from_mbps(bw, 42, 100),
+        steps=steps,
+        initial_windows=[1.0] * n,
+    )
+
+
+def _multilink_spec():
+    """A spec only the network backend can run: fluid lowering raises."""
+    from repro.netmodel.topology import single_link
+
+    return ScenarioSpec(
+        protocols=[AIMD(1.0, 0.5)],
+        link=Link.from_mbps(20, 42, 100),
+        steps=50,
+        topology=single_link(Link.from_mbps(20, 42, 100), 1),
+    )
+
+
+class TestPlanBatches:
+    def test_singleton_spec_is_a_batch_of_one(self):
+        plan = plan_batches([_aimd_spec()])
+        assert plan.fallback == []
+        assert len(plan.groups) == 1
+        assert plan.groups[0].indices == [0]
+        assert plan.groups[0].inputs.batch_size == 1
+
+    def test_groups_by_class_tuple_and_horizon(self):
+        specs = [
+            _aimd_spec(steps=100),
+            _aimd_spec(steps=200),
+            _aimd_spec(a=2.0, steps=100),  # params differ, class+steps match
+            _aimd_spec(steps=100, n=3),    # flow count differs
+        ]
+        plan = plan_batches(specs)
+        assert plan.fallback == []
+        groups = {tuple(g.indices) for g in plan.groups}
+        assert groups == {(0, 2), (1,), (3,)}
+
+    def test_stateful_protocol_falls_back(self):
+        specs = [
+            _aimd_spec(),
+            ScenarioSpec(
+                protocols=[pcc_like(), AIMD(1.0, 0.5)],
+                link=Link.from_mbps(20, 42, 100),
+                steps=100,
+                initial_windows=[1.0, 1.0],
+            ),
+        ]
+        plan = plan_batches(specs)
+        assert plan.fallback == [1]
+        assert [g.indices for g in plan.groups] == [[0]]
+
+    def test_unlowerable_spec_falls_back(self):
+        plan = plan_batches([_aimd_spec(), _multilink_spec()])
+        assert plan.fallback == [1]
+
+    def test_indices_subset_restricts_planning(self):
+        specs = [_aimd_spec(), _aimd_spec(a=2.0), _aimd_spec(a=3.0)]
+        plan = plan_batches(specs, indices=[0, 2])
+        assert plan.groups[0].indices == [0, 2]
+
+
+class TestErrorIsolation:
+    def test_fallback_error_raises_the_serial_exception(self):
+        with pytest.raises(LoweringError):
+            run_specs_batched([_aimd_spec(), _multilink_spec()], use_cache=False)
+
+    def test_skip_errors_yields_none_without_poisoning_the_batch(self):
+        good = [_aimd_spec(a=1.0), _aimd_spec(a=2.0)]
+        results = run_specs_batched(
+            [good[0], _multilink_spec(), good[1]], use_cache=False,
+            skip_errors=True,
+        )
+        assert results[1] is None
+        for spec, trace in ((good[0], results[0]), (good[1], results[2])):
+            reference = run_spec(spec, "fluid", use_cache=False)
+            assert np.array_equal(trace.windows, reference.windows)
+
+    @pytest.mark.filterwarnings("ignore:overflow encountered")
+    def test_nonfinite_row_is_isolated_and_raises_serially(self):
+        """A diverging scenario reruns serially; batchmates are unharmed."""
+        # An unbounded-buffer link never signals loss, so the huge additive
+        # increase overflows float64 on the second step — exactly the
+        # "protocol produced a non-finite window" error the serial engine
+        # raises.
+        diverging = ScenarioSpec(
+            protocols=[AIMD(1e308, 0.5)],
+            link=Link.from_mbps(20, 42, float("inf")),
+            steps=30,
+            initial_windows=[1e308],
+            max_window=float("inf"),
+        )
+        healthy = ScenarioSpec(
+            protocols=[AIMD(1.0, 0.5)],
+            link=Link.from_mbps(30, 42, 100),
+            steps=30,
+            initial_windows=[1.0],
+            max_window=float("inf"),
+        )
+        plan = plan_batches([diverging, healthy])
+        assert plan.fallback == []  # same group: isolation happens in-kernel
+        with pytest.raises(ValueError, match="non-finite"):
+            run_specs_batched([diverging, healthy], use_cache=False)
+        results = run_specs_batched(
+            [diverging, healthy], use_cache=False, skip_errors=True
+        )
+        assert results[0] is None
+        reference = run_spec(healthy, "fluid", use_cache=False)
+        assert np.array_equal(results[1].windows, reference.windows)
+
+
+class TestChunkAutotune:
+    def test_default_before_any_measurement(self, monkeypatch):
+        monkeypatch.setattr(timing, "REGISTRY", timing.TimingRegistry())
+        import repro.model.batch as model_batch
+
+        monkeypatch.setattr(model_batch, "_KERNEL_CELLS", 0)
+        assert autotune_chunk_rows(100) == _DEFAULT_CHUNK_ROWS
+
+    def test_tunes_rows_from_measured_throughput(self, monkeypatch):
+        registry = timing.TimingRegistry()
+        registry.add("batch.kernel", 1.0)  # 1 s over 1e6 cells = 1 µs/cell
+        monkeypatch.setattr(timing, "REGISTRY", registry)
+        import repro.model.batch as model_batch
+
+        monkeypatch.setattr(model_batch, "_KERNEL_CELLS", 1_000_000)
+        # 0.25 s target / (1 µs * 1000 steps) = 250 rows.
+        assert autotune_chunk_rows(1000) == 250
+        assert autotune_chunk_rows(10) == 4096  # clamped above
+        assert autotune_chunk_rows(10**9) == 1  # clamped below
+
+    def test_batched_run_feeds_the_autotuner(self, monkeypatch):
+        # timing.measure is bound to the process-wide registry, so compare
+        # its before/after totals instead of swapping the registry out.
+        import repro.model.batch as model_batch
+
+        monkeypatch.setattr(model_batch, "_KERNEL_CELLS", 0)
+        spent_before = timing.REGISTRY.total("batch.kernel")
+        run_specs_batched([_aimd_spec(), _aimd_spec(a=2.0)], use_cache=False)
+        assert model_batch.kernel_cells() == 2 * 100
+        assert timing.REGISTRY.total("batch.kernel") > spent_before

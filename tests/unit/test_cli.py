@@ -52,6 +52,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cache", "frobnicate"])
 
+    def test_cache_prune_flags(self):
+        args = build_parser().parse_args(["cache", "prune", "--max-mb", "64"])
+        assert args.action == "prune"
+        assert args.max_mb == 64.0
+        args = build_parser().parse_args(["cache", "prune"])
+        assert args.max_mb is None
+
+    def test_batch_flags(self):
+        assert build_parser().parse_args(["table2", "--batch"]).batch
+        assert build_parser().parse_args(["figure1", "--batch"]).batch
+        args = build_parser().parse_args(
+            ["run", "--protocols", "reno", "--batch"]
+        )
+        assert args.batch
+        assert not build_parser().parse_args(["figure1"]).batch
+
 
 class TestMain:
     def test_simulate_prints_summary(self, capsys):
@@ -132,6 +148,36 @@ class TestMain:
         out = capsys.readouterr().out
         assert "removed 4" in out
         assert "unified:fluid" in out
+
+    def test_cache_prune_reports_reclaimed_bytes(self, capsys, tmp_path,
+                                                 monkeypatch):
+        from repro.perf import cache as cache_mod
+
+        monkeypatch.setenv(cache_mod.CACHE_ENV, str(tmp_path))
+        monkeypatch.setattr(cache_mod, "_active", None)
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        assert main(["run", "--protocols", "reno", "--steps", "60"]) == 0
+        capsys.readouterr()
+
+        # --max-mb 0 evicts everything and reports the reclaimed bytes.
+        assert main(["cache", "prune", "--dir", str(tmp_path),
+                     "--max-mb", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "reclaimed" in out
+        assert "remaining: 0 entries" in out
+
+        # Without a cap (flag or env) pruning is a no-op.
+        assert main(["cache", "prune", "--dir", str(tmp_path)]) == 0
+        assert "pruned 0" in capsys.readouterr().out
+
+    def test_run_batch_matches_serial(self, capsys):
+        argv = ["run", "--protocols", "AIMD(1,0.5)", "reno",
+                "--steps", "80", "--no-cache"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--batch"]) == 0
+        batched_out = capsys.readouterr().out
+        assert batched_out == serial_out
 
 
 class TestRunCommand:

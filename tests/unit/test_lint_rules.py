@@ -117,6 +117,21 @@ CASES = [
         "def run(grid=None):\n    return grid or []\n",
     ),
     (
+        "REP403",
+        "repro/model/kernels.py",
+        (
+            "def batched_next(windows, loss_rate, rtt):\n"
+            "    if loss_rate > 0:\n"
+            "        return windows * 0.5\n"
+            "    return windows + 1.0\n"
+        ),
+        (
+            "import numpy as np\n\n"
+            "def batched_next(windows, loss_rate, rtt):\n"
+            "    return np.where(loss_rate > 0.0, windows * 0.5, windows + 1.0)\n"
+        ),
+    ),
+    (
         "REP501",
         "repro/core/compare.py",
         "def same(a, b):\n    return a == b / 2\n",

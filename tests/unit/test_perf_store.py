@@ -105,3 +105,107 @@ class TestAccounting:
         bogus.write_bytes(b"not an npz archive")
         assert classify_entry(bogus) == "unknown"
         assert stats_by_kind(cache).get("unknown", {}).get("entries") == 1
+
+
+class TestPruneCache:
+    def _fill(self, tmp_path, count=4):
+        import os
+        import time
+
+        from repro.perf.store import store_unified_trace as store
+
+        cache = TraceCache(tmp_path)
+        keys = []
+        for i in range(count):
+            spec_i = ScenarioSpec(
+                protocols=[AIMD(1 + i, 0.5)] * 2,
+                link=Link.from_mbps(20, 42, 100), steps=32,
+            )
+            trace = run_spec(spec_i, "fluid", use_cache=False)
+            key = unified_key("fluid", spec_i)
+            store(cache, key, trace)
+            # Distinct mtimes so eviction order (oldest first) is observable.
+            stamp = time.time() - (count - i) * 100
+            path = cache._path(key)
+            os.utime(path, (stamp, stamp))
+            keys.append(key)
+        return cache, keys
+
+    def test_prunes_oldest_first_and_reports_reclaimed(self, tmp_path):
+        from repro.perf.store import prune_cache
+
+        cache, keys = self._fill(tmp_path)
+        sizes = [path.stat().st_size for path in cache.entries()]
+        keep = sum(sizes) - min(sizes)  # forces out at least one entry
+        report = prune_cache(cache, max_bytes=keep)
+        assert report["removed"] >= 1
+        assert report["reclaimed_bytes"] > 0
+        assert report["remaining_bytes"] <= keep
+        assert report["remaining_entries"] == len(list(cache.entries()))
+        # The oldest entry went; the newest survived.
+        assert load_unified_trace(cache, keys[0]) is None
+        assert load_unified_trace(cache, keys[-1]) is not None
+
+    def test_zero_cap_empties_the_store(self, tmp_path):
+        from repro.perf.store import prune_cache
+
+        cache, _ = self._fill(tmp_path, count=2)
+        report = prune_cache(cache, max_bytes=0)
+        assert report["remaining_entries"] == 0
+        assert list(cache.entries()) == []
+
+    def test_no_cap_is_a_noop(self, tmp_path, monkeypatch):
+        from repro.perf.store import CACHE_MAX_MB_ENV, prune_cache
+
+        monkeypatch.delenv(CACHE_MAX_MB_ENV, raising=False)
+        cache, _ = self._fill(tmp_path, count=2)
+        before = len(list(cache.entries()))
+        report = prune_cache(cache)
+        assert report["removed"] == 0
+        assert len(list(cache.entries())) == before
+
+    def test_env_cap_applies_by_default(self, tmp_path, monkeypatch):
+        from repro.perf.store import CACHE_MAX_MB_ENV, prune_cache
+
+        cache, _ = self._fill(tmp_path, count=2)
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "0")
+        report = prune_cache(cache)
+        assert report["remaining_entries"] == 0
+
+    def test_size_cap_parsing(self, monkeypatch):
+        from repro.perf.store import CACHE_MAX_MB_ENV, size_cap_bytes
+
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "2")
+        assert size_cap_bytes() == 2 * 1024 * 1024
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "not-a-number")
+        assert size_cap_bytes() is None
+        monkeypatch.setenv(CACHE_MAX_MB_ENV, "-1")
+        assert size_cap_bytes() is None
+        monkeypatch.delenv(CACHE_MAX_MB_ENV)
+        assert size_cap_bytes() is None
+
+
+class TestExtractBatchTrace:
+    def test_extracted_row_round_trips_through_the_cache(self, tmp_path):
+        from repro.backends import run_specs_batched
+        from repro.perf.store import extract_batch_trace  # noqa: F401 (API)
+
+        specs = [
+            ScenarioSpec(protocols=[AIMD(1 + i, 0.5)] * 2,
+                         link=Link.from_mbps(20, 42, 100), steps=32)
+            for i in range(3)
+        ]
+        with cache_enabled(tmp_path) as cache:
+            batched = run_specs_batched(specs)
+            assert cache.stats()["entries"] >= len(specs)
+            # Warm rerun: serial run_spec reads the batched runs' entries.
+            for spec_i, trace in zip(specs, batched):
+                again = run_spec(spec_i, "fluid")
+                for name in ("windows", "observed_loss", "congestion_loss",
+                             "rtts", "capacities", "pipe_limits", "base_rtts",
+                             "flow_rtts"):
+                    a = np.ascontiguousarray(getattr(trace, name))
+                    b = np.ascontiguousarray(getattr(again, name))
+                    assert np.array_equal(
+                        a.view(np.uint64), b.view(np.uint64)
+                    ), name

@@ -73,3 +73,56 @@ class TestTimingRegistry:
         text = registry.render()
         assert "sim.run" in text
         assert "count" in text
+
+
+class TestNestedAttribution:
+    """Nested measure() regions attribute elapsed time to the innermost."""
+
+    def test_inner_time_is_not_double_counted(self):
+        registry = TimingRegistry()
+        with registry.measure("outer"):
+            with registry.measure("inner"):
+                time.sleep(0.02)
+        inner = registry.total("inner")
+        outer = registry.total("outer")
+        assert inner >= 0.01
+        # The outer section keeps only its own overhead, not inner's sleep.
+        assert outer < inner
+
+    def test_sequential_siblings_both_attributed(self):
+        registry = TimingRegistry()
+        with registry.measure("outer"):
+            with registry.measure("a"):
+                time.sleep(0.01)
+            with registry.measure("b"):
+                time.sleep(0.01)
+        assert registry.total("a") >= 0.005
+        assert registry.total("b") >= 0.005
+        assert registry.total("outer") < registry.total("a") + registry.total("b")
+
+    def test_three_levels_deep(self):
+        registry = TimingRegistry()
+        with registry.measure("l1"):
+            with registry.measure("l2"):
+                with registry.measure("l3"):
+                    time.sleep(0.02)
+        assert registry.total("l3") >= 0.01
+        assert registry.total("l2") < registry.total("l3")
+        assert registry.total("l1") < registry.total("l3")
+
+    def test_same_name_nested_does_not_go_negative(self):
+        registry = TimingRegistry()
+        with registry.measure("work"):
+            with registry.measure("work"):
+                time.sleep(0.01)
+        stats = registry.stats()["work"]
+        assert stats.count == 2
+        assert stats.min >= 0.0
+
+    def test_reset_during_open_region_is_safe(self):
+        registry = TimingRegistry()
+        with registry.measure("outer"):
+            registry.reset()
+            with registry.measure("inner"):
+                pass
+        assert "inner" in registry.stats()
