@@ -73,6 +73,27 @@ def run_benchmark(path: Path, skip_slow: bool = False,
     return {"status": status, "wall_s": round(wall, 3)}
 
 
+def _environment() -> dict:
+    """Kernel attribution for the recorded numbers.
+
+    Whether numba was importable, its version, and whether the JIT
+    switch was on — so a summary.json number is traceable to the
+    compiled or interpreted kernel path that produced it.
+    """
+    import numpy
+
+    sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+    from repro.model import kernels
+
+    return {
+        "python": sys.version.split()[0],
+        "numpy_version": numpy.__version__,
+        "numba_available": kernels.numba_version() is not None,
+        "numba_version": kernels.numba_version(),
+        "jit_enabled": kernels.jit_enabled(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--only", nargs="*", default=None,
@@ -96,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
         print("no benchmarks selected", file=sys.stderr)
         return 2
 
+    record_summary("environment", **_environment())
     baselines = load_baselines()
     failures = 0
     for path in benchmarks:

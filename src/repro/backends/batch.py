@@ -4,11 +4,13 @@ This module is the bridge between :func:`repro.backends.jobs.run_specs`
 and the batched kernel in :mod:`repro.model.batch`:
 
 - :func:`plan_batches` sorts a list of ScenarioSpecs into *batch groups*
-  — specs sharing (per-column protocol classes, horizon, flow count,
-  loss-based enforcement) whose dynamics the kernel can advance together
-  — and a *fallback* list for everything else (stateful protocols,
-  schedules, ECN, lowering failures, ...), which runs per-spec through
-  the ordinary serial path;
+  — specs sharing (flow count, horizon, loss-based enforcement) whose
+  dynamics the kernel can advance together; protocol *classes* may vary
+  freely across scenarios and flows, because the kernel dispatches
+  per cell through a protocol-id table (see
+  :mod:`repro.model.batch`) — and a *fallback* list for everything else
+  (stateful protocols, schedules, ECN, lowering failures, ...), which
+  runs per-spec through the ordinary serial path;
 - :func:`run_specs_batched` executes a plan: cached specs are served from
   the unified store without touching a kernel, each group runs through
   one kernel call (or, for large groups with ``workers > 1``, through the
@@ -47,6 +49,7 @@ __all__ = [
     "BatchPlan",
     "autotune_chunk_rows",
     "plan_batches",
+    "run_packet_specs_batched",
     "run_specs_batched",
 ]
 
@@ -155,22 +158,38 @@ def _lower_for_batch(index: int, spec: ScenarioSpec) -> _Lowered | None:
 
 
 def _build_inputs(rows: list[_Lowered]) -> BatchInputs:
-    """Stack one group's lowered specs into kernel inputs."""
+    """Stack one group's lowered specs into cell-table kernel inputs.
+
+    The class table collects the distinct protocol classes in
+    first-appearance order (scanning scenarios in submission order, flows
+    left to right — deterministic, so identical grids always produce
+    identical tables). The merged parameter table unions every class's
+    ``batch_param_names``; a cell's entry for a name its class does not
+    define stays NaN and is never gathered by the kernel's dispatch.
+    """
     first = rows[0]
-    column_classes = tuple(type(p) for p in first.protocols)
-    column_params = tuple(
-        {
-            name: np.array(
-                [getattr(row.protocols[j], name) for row in rows], dtype=float
-            )
-            for name in cls.batch_param_names
-        }
-        for j, cls in enumerate(column_classes)
-    )
+    b, n = len(rows), len(first.protocols)
+    class_table: list[type] = []
+    table_index: dict[type, int] = {}
+    cell_classes = np.empty((b, n), dtype=np.int64)
+    for i, row in enumerate(rows):
+        for j, protocol in enumerate(row.protocols):
+            cls = type(protocol)
+            if cls not in table_index:
+                table_index[cls] = len(class_table)
+                class_table.append(cls)
+            cell_classes[i, j] = table_index[cls]
+    names = sorted({name for cls in class_table for name in cls.batch_param_names})
+    cell_params = {name: np.full((b, n), np.nan) for name in names}
+    for i, row in enumerate(rows):
+        for j, protocol in enumerate(row.protocols):
+            for name in type(protocol).batch_param_names:
+                cell_params[name][i, j] = getattr(protocol, name)
     return BatchInputs(
         steps=first.steps,
-        column_classes=column_classes,
-        column_params=column_params,
+        class_table=tuple(class_table),
+        cell_classes=cell_classes,
+        cell_params=cell_params,
         initial=np.array([row.initial for row in rows], dtype=float),
         capacity=np.array([row.link.capacity for row in rows], dtype=float),
         bandwidth=np.array([row.link.bandwidth for row in rows], dtype=float),
@@ -192,12 +211,13 @@ def plan_batches(
 ) -> BatchPlan:
     """Group ``specs`` (or the subset named by ``indices``) for the kernel.
 
-    Specs batch together when they share the per-column protocol class
-    tuple (which fixes the flow count), the horizon, and loss-based
-    enforcement; everything per-scenario beyond that — link parameters,
-    protocol parameters, initial windows, clamps, random loss rate —
-    varies along the batch axis. Grouping preserves submission order
-    within each group, and a singleton group is simply a batch of one.
+    Specs batch together when they share the flow count, the horizon,
+    and loss-based enforcement; everything per-scenario beyond that —
+    link parameters, protocol *classes* (via the kernel's per-cell
+    dispatch table), protocol parameters, initial windows, clamps,
+    random loss rate — varies along the batch axis. Grouping preserves
+    submission order within each group, and a singleton group is simply
+    a batch of one.
     """
     if indices is None:
         indices = range(len(specs))
@@ -210,7 +230,7 @@ def plan_batches(
                 fallback.append(index)
                 continue
             key = (
-                tuple(type(p) for p in lowered.protocols),
+                len(lowered.protocols),
                 lowered.steps,
                 lowered.enforce_loss_based,
             )
@@ -437,4 +457,59 @@ def run_specs_batched(
             if not skip_errors:
                 raise
             results[index] = None
+    return results
+
+
+def run_packet_specs_batched(
+    specs: Sequence[ScenarioSpec],
+    use_cache: bool = True,
+    skip_errors: bool = False,
+) -> list:
+    """Run every spec on the packet backend, merging compatible ones.
+
+    The packet analogue of :func:`run_specs_batched`: specs are lowered
+    to :class:`~repro.packetsim.scenario.PacketScenario` objects and
+    routed through :func:`repro.packetsim.batch.run_scenarios_batched`,
+    which merges replications sharing a link and duration into one event
+    loop. Results are :class:`~repro.backends.trace.UnifiedTrace`
+    objects in spec order, bit-identical to ``run_spec(spec, "packet")``
+    — and they read and write the same unified-store and native packet
+    cache entries. A spec the packet backend cannot express raises its
+    exact serial lowering error (or yields ``None`` with
+    ``skip_errors=True``) without disturbing the rest of the batch.
+    """
+    from repro.backends.trace import from_packet_result
+    from repro.packetsim.batch import run_scenarios_batched
+    from repro.perf import store
+    from repro.perf.cache import active_cache
+
+    specs = list(specs)
+    results: list = [None] * len(specs)
+    cache = active_cache() if use_cache else None
+    keys: list[str | None] = [None] * len(specs)
+    pending: list[int] = []
+    scenarios: list = []
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            keys[i] = store.unified_key("packet", spec)
+            if keys[i] is not None:
+                hit = store.load_unified_trace(cache, keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    continue
+        try:
+            scenarios.append(spec.lower_packet())
+        except Exception:
+            if not skip_errors:
+                raise
+            continue
+        pending.append(i)
+
+    for i, packet_result in zip(
+        pending, run_scenarios_batched(scenarios, use_cache=use_cache)
+    ):
+        trace = from_packet_result(packet_result, backend="packet")
+        results[i] = trace
+        if cache is not None and keys[i] is not None:
+            store.store_unified_trace(cache, keys[i], trace)
     return results

@@ -14,7 +14,11 @@ are stacked and advanced through one NumPy kernel pass per step —
 bit-identical to the serial path, typically several times faster on sweep
 grids — with per-spec serial fallback for anything the kernel cannot
 express. Large batches additionally spread row chunks over a
-shared-memory scheduler instead of pickling per-job results.
+shared-memory scheduler instead of pickling per-job results. On the
+packet backend, ``batch=True`` routes through the merged-scheduler
+replication runner (:mod:`repro.packetsim.batch`) instead: scenarios
+sharing a link and duration run inside one event loop, again
+bit-identical to the serial engine.
 """
 
 from __future__ import annotations
@@ -52,12 +56,14 @@ def run_specs(
     Results come back in spec order regardless of completion order,
     identical to a serial loop (the sweep machinery's guarantee).
 
-    ``batch=True`` enables the batched fluid path; it applies only on the
-    ``"fluid"`` backend (other backends have no batched kernel and run
-    exactly as before). ``use_cache`` and ``skip_errors`` are honored on
-    the batch path: cached specs skip the kernel entirely, and with
-    ``skip_errors`` a failing spec yields ``None`` without disturbing the
-    rest of the batch.
+    ``batch=True`` enables the batched paths: the stacked NumPy kernel on
+    the ``"fluid"`` backend, and the merged-scheduler replication runner
+    (:mod:`repro.packetsim.batch`) on the ``"packet"`` backend; other
+    backends have no batched engine and run exactly as before.
+    ``use_cache`` and ``skip_errors`` are honored on the batch paths:
+    cached specs skip the kernels entirely, and with ``skip_errors`` a
+    failing spec yields ``None`` without disturbing the rest of the
+    batch.
     """
     specs = list(specs)
     if not specs:
@@ -70,6 +76,12 @@ def run_specs(
             use_cache=use_cache,
             skip_errors=skip_errors,
             workers=workers,
+        )
+    if batch and backend == "packet":
+        from repro.backends.batch import run_packet_specs_batched
+
+        return run_packet_specs_batched(
+            specs, use_cache=use_cache, skip_errors=skip_errors
         )
     sweep = Sweep(
         axes={"index": list(range(len(specs)))},

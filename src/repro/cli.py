@@ -6,11 +6,11 @@ Usage::
     repro table2 [--packet] [--pcc-bound] [--batch]
     repro figure1 [--batch]
     repro claims
-    repro emulab [--full]
-    repro fct [--replications 3]
+    repro emulab [--full] [--batch]
+    repro fct [--replications 3] [--batch]
     repro run --backend {fluid,network,packet} --protocols reno cubic [--batch]
     repro simulate --protocols "AIMD(1,0.5)" "CUBIC(0.4,0.8)" --steps 2000
-    repro cache stats|clear|prune [--dir PATH] [--max-mb N]
+    repro cache stats|clear|prune [--dir PATH] [--max-mb N] [--dry-run]
     repro lint [paths] [--select/--ignore CODES] [--format json|github]
 
 Every subcommand prints the paper-style table to stdout; ``--json`` also
@@ -112,6 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the paper's full grid (slow)")
     emulab.add_argument("--duration", type=float, default=10.0,
                         help="seconds of simulated time per run")
+    emulab.add_argument("--batch", action="store_true",
+                        help="merge the grid's packet runs into shared event "
+                        "loops (bit-identical to the serial sweep)")
 
     fct = subparsers.add_parser(
         "fct", help="short-flow completion times vs background protocol"
@@ -126,6 +129,10 @@ def build_parser() -> argparse.ArgumentParser:
     fct.add_argument("--replications", type=int, default=1,
                      help="independent workload seeds pooled per background")
     fct.add_argument("--seed", type=int, default=42)
+    fct.add_argument("--batch", action="store_true",
+                     help="run the whole (background, replication) grid in "
+                     "one merged event loop (bit-identical to the serial "
+                     "sweep)")
 
     from repro.backends import backend_names
 
@@ -191,6 +198,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with 'prune': evict oldest entries until the "
                        "cache fits in this many MB (default: "
                        "$REPRO_CACHE_MAX_MB)")
+    cache.add_argument("--dry-run", action="store_true",
+                       help="with 'prune': report what oldest-first "
+                       "eviction would remove without deleting anything")
 
     from repro.lint.cli import add_lint_arguments
 
@@ -211,8 +221,11 @@ def _run_cache_command(args: argparse.Namespace) -> int:
         max_bytes = None
         if args.max_mb is not None:
             max_bytes = int(args.max_mb * 1024 * 1024)
-        report = prune_cache(cache, max_bytes=max_bytes)
-        print(f"pruned {report['removed']} cached trace(s), reclaimed "
+        report = prune_cache(cache, max_bytes=max_bytes,
+                             dry_run=args.dry_run)
+        verb = "would prune" if args.dry_run else "pruned"
+        reclaim = "would reclaim" if args.dry_run else "reclaimed"
+        print(f"{verb} {report['removed']} cached trace(s), {reclaim} "
               f"{report['reclaimed_bytes']} bytes from {cache.directory}")
         print(f"remaining: {report['remaining_entries']} entries, "
               f"{report['remaining_bytes']} bytes")
@@ -328,9 +341,11 @@ def _dispatch(args: argparse.Namespace) -> int:
                 buffers_mss=(10, 100),
                 duration=args.duration,
                 workers=args.workers,
+                batch=args.batch,
             )
         else:
-            result = run_emulab(duration=args.duration, workers=args.workers)
+            result = run_emulab(duration=args.duration, workers=args.workers,
+                                batch=args.batch)
         print(render_emulab(result, markdown=args.markdown))
     elif args.command == "fct":
         from repro.experiments.fct import render_fct, run_fct_study
@@ -344,6 +359,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             seed=args.seed,
             replications=args.replications,
             workers=args.workers,
+            batch=args.batch,
         )
         print(render_fct(result, markdown=args.markdown))
     elif args.command == "simulate":

@@ -159,6 +159,75 @@ class EmulabResult:
         }
 
 
+def _cell_scenarios(
+    protocol: Protocol,
+    n: int,
+    bandwidth_mbps: float,
+    buffer_mss: int,
+    duration: float,
+    rtt_ms: float = PAPER_RTT_MS,
+) -> tuple:
+    """The (homogeneous, mixed) packet scenarios for one protocol/cell.
+
+    The metrics come from the raw event statistics, so we build the
+    native scenarios the packet backend lowers to — same engine, same
+    cache entries as ``run_spec(spec, "packet")`` would warm.
+    """
+    from repro.backends import ScenarioSpec
+
+    # Stagger flow starts by a second each: synchronized starts are a
+    # measure-zero artifact the paper's testbed never sees, and they mask
+    # MIMD's ratio-preserving unfairness (late MIMD joiners stay starved;
+    # AIMD/CUBIC converge toward equal shares).
+    stagger = [i * 1.0 for i in range(n)]
+    homogeneous_spec = ScenarioSpec.from_mbps(
+        bandwidth_mbps, rtt_ms, buffer_mss, [protocol] * n,
+        duration=duration, start_times=stagger, slow_start=True, seed=1,
+    )
+    mixed_spec = ScenarioSpec.from_mbps(
+        bandwidth_mbps,
+        rtt_ms,
+        buffer_mss,
+        [protocol] * (n - 1) + [presets.reno()],
+        duration=duration,
+        start_times=stagger,
+        slow_start=True,
+        seed=1,
+    )
+    return homogeneous_spec.lower_packet(), mixed_spec.lower_packet()
+
+
+def _cell_measurement(
+    name: str,
+    bandwidth_mbps: float,
+    homogeneous,
+    mixed,
+) -> CellMeasurement:
+    """Metric scores from one cell's (homogeneous, mixed) run results."""
+    throughputs = homogeneous.throughputs()
+    start, stop = homogeneous.measurement_window()
+    convergence_scores = []
+    for flow in homogeneous.flows:
+        tail_windows = [w for t, w in flow.window_samples if start <= t < stop]
+        if tail_windows:
+            convergence_scores.append(convergence_alpha(np.asarray(tail_windows)))
+    mixed_rates = mixed.throughputs()
+    reno_rate = mixed_rates[-1]
+    protocol_rate = max(mixed_rates[:-1])
+    friendliness = reno_rate / protocol_rate if protocol_rate > 0 else math.inf
+    return CellMeasurement(
+        protocol=name,
+        efficiency=float(
+            sum(throughputs)
+            / units.mbps_to_mss_per_second(bandwidth_mbps)
+        ),
+        loss_avoidance=float(np.mean(homogeneous.tail_loss_rates())),
+        fairness=min_over_max(np.asarray(throughputs)),
+        convergence=float(np.mean(convergence_scores)) if convergence_scores else math.nan,
+        tcp_friendliness=float(friendliness),
+    )
+
+
 def measure_cell(
     name: str,
     protocol: Protocol,
@@ -174,54 +243,14 @@ def measure_cell(
     testbed do), so multiplicative-increase protocols reach the operating
     point within the run.
     """
-    from repro.backends import ScenarioSpec
-
-    # Stagger flow starts by a second each: synchronized starts are a
-    # measure-zero artifact the paper's testbed never sees, and they mask
-    # MIMD's ratio-preserving unfairness (late MIMD joiners stay starved;
-    # AIMD/CUBIC converge toward equal shares).
-    stagger = [i * 1.0 for i in range(n)]
-    homogeneous_spec = ScenarioSpec.from_mbps(
-        bandwidth_mbps, rtt_ms, buffer_mss, [protocol] * n,
-        duration=duration, start_times=stagger, slow_start=True, seed=1,
+    homogeneous_scenario, mixed_scenario = _cell_scenarios(
+        protocol, n, bandwidth_mbps, buffer_mss, duration, rtt_ms
     )
-    # The metrics here (goodput ratios, per-flow window samples) come from
-    # the raw event statistics, so run the native scenario the packet
-    # backend lowers to — same engine, same cache entry as
-    # ``run_spec(spec, "packet")`` would warm.
-    homogeneous = run_scenario(homogeneous_spec.lower_packet())
-    throughputs = homogeneous.throughputs()
-    start, stop = homogeneous.measurement_window()
-    convergence_scores = []
-    for flow in homogeneous.flows:
-        tail_windows = [w for t, w in flow.window_samples if start <= t < stop]
-        if tail_windows:
-            convergence_scores.append(convergence_alpha(np.asarray(tail_windows)))
-    mixed_spec = ScenarioSpec.from_mbps(
+    return _cell_measurement(
+        name,
         bandwidth_mbps,
-        rtt_ms,
-        buffer_mss,
-        [protocol] * (n - 1) + [presets.reno()],
-        duration=duration,
-        start_times=stagger,
-        slow_start=True,
-        seed=1,
-    )
-    mixed = run_scenario(mixed_spec.lower_packet())
-    mixed_rates = mixed.throughputs()
-    reno_rate = mixed_rates[-1]
-    protocol_rate = max(mixed_rates[:-1])
-    friendliness = reno_rate / protocol_rate if protocol_rate > 0 else math.inf
-    return CellMeasurement(
-        protocol=name,
-        efficiency=float(
-            sum(throughputs)
-            / units.mbps_to_mss_per_second(bandwidth_mbps)
-        ),
-        loss_avoidance=float(np.mean(homogeneous.tail_loss_rates())),
-        fairness=min_over_max(np.asarray(throughputs)),
-        convergence=float(np.mean(convergence_scores)) if convergence_scores else math.nan,
-        tcp_friendliness=float(friendliness),
+        run_scenario(homogeneous_scenario),
+        run_scenario(mixed_scenario),
     )
 
 
@@ -250,6 +279,7 @@ def run_emulab(
     protocols: dict[str, Protocol] | None = None,
     empirical_tol: float = 0.05,
     workers: int | None = None,
+    batch: bool = False,
 ) -> EmulabResult:
     """Run the validation grid and compare hierarchies against theory.
 
@@ -257,26 +287,52 @@ def run_emulab(
     ``ns=(2, 3, 4)``, ``bandwidths=(20, 30, 60, 100)``); pass the full
     tuple to reproduce every cell at higher runtime. Grid cells are
     independent; ``workers > 1`` fans them out over a process pool.
+    ``batch=True`` instead merges the grid's scenarios into shared event
+    loops (:func:`repro.packetsim.batch.run_scenarios_batched` — every
+    cell at the same bandwidth runs in one loop), with measurements
+    bit-identical to the serial sweep.
     """
     protocols = protocols or default_protocols()  # kernel-scaled Cubic
     result = EmulabResult()
-    sweep = Sweep(
-        axes={"n": list(ns), "bw": list(bandwidths_mbps),
-              "buf": list(buffers_mss), "proto": list(protocols)},
-        measure=functools.partial(
-            _emulab_protocol_cell, protocols=protocols, duration=duration
-        ),
-    )
+    if batch:
+        from repro.packetsim.batch import run_scenarios_batched
+
+        combos = [
+            (n, bw, buf, proto)
+            for n in ns for bw in bandwidths_mbps
+            for buf in buffers_mss for proto in protocols
+        ]
+        scenarios = []
+        for n, bw, buf, proto in combos:
+            scenarios.extend(
+                _cell_scenarios(protocols[proto], n, bw, buf, duration)
+            )
+        runs = run_scenarios_batched(scenarios)
+        measured = [
+            (n, bw, buf,
+             _cell_measurement(proto, bw, runs[2 * i], runs[2 * i + 1]))
+            for i, (n, bw, buf, proto) in enumerate(combos)
+        ]
+    else:
+        sweep = Sweep(
+            axes={"n": list(ns), "bw": list(bandwidths_mbps),
+                  "buf": list(buffers_mss), "proto": list(protocols)},
+            measure=functools.partial(
+                _emulab_protocol_cell, protocols=protocols, duration=duration
+            ),
+        )
+        measured = [
+            (row.parameter("n"), row.parameter("bw"), row.parameter("buf"),
+             row.value)
+            for row in sweep.run(**workers_sweep_options(workers))
+        ]
     # The protocol axis is innermost, so submission order yields each
     # cell's protocols consecutively and in dict order; regroup them back
     # into per-cell lists before running the hierarchy checks.
     cells: dict[str, tuple[int, float, int, list[CellMeasurement]]] = {}
-    for row in sweep.run(**workers_sweep_options(workers)):
-        n = row.parameter("n")
-        bw = row.parameter("bw")
-        buf = row.parameter("buf")
+    for n, bw, buf, value in measured:
         cell_name = f"n={n},bw={bw:g}Mbps,buf={buf}"
-        cells.setdefault(cell_name, (n, bw, buf, []))[3].append(row.value)
+        cells.setdefault(cell_name, (n, bw, buf, []))[3].append(value)
     for cell_name, (n, bw, buf, cell) in cells.items():
         result.measurements[cell_name] = cell
         capacity = units.bdp_mss(bw, PAPER_RTT_MS)

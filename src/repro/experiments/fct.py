@@ -132,6 +132,7 @@ def run_fct_study(
     seed: int = 42,
     replications: int = 1,
     workers: int | None = None,
+    batch: bool = False,
 ) -> FctResult:
     """Run the study for each background protocol over the same workload.
 
@@ -139,12 +140,45 @@ def run_fct_study(
     ``seed + 1``, ... and pools the completion times (one row per
     background either way); the (background, replication) grid is
     independent, so ``workers > 1`` fans it out over a process pool with
-    results identical to the serial order.
+    results identical to the serial order. ``batch=True`` instead runs
+    the whole grid inside one merged event loop
+    (:func:`repro.packetsim.batch.run_workloads_batched`) — every run
+    shares the link and duration, so all of them merge — with results
+    bit-identical to the serial sweep.
     """
     if replications < 1:
         raise ValueError(f"replications must be at least 1, got {replications}")
     link = link or Link.from_mbps(20, 42, 100)
     backgrounds = backgrounds or default_backgrounds()
+    pooled: dict[str, list[dict]] = {name: [] for name in backgrounds}
+    if batch:
+        from repro.packetsim.batch import run_workloads_batched
+
+        # Same (background, rep) submission order as the sweep below.
+        grid = [(name, rep) for name in backgrounds
+                for rep in range(replications)]
+        jobs = []
+        for name, rep in grid:
+            factory = backgrounds[name]
+            specs = poisson_workload(
+                rate_per_s=rate_per_s, mean_size=mean_size,
+                duration=arrival_window, protocol=presets.reno(),
+                seed=seed + rep,
+            )
+            jobs.append(
+                (specs, [factory()] if factory is not None else [])
+            )
+        outcomes = run_workloads_batched(link, jobs, duration=duration)
+        for (name, _), outcome in zip(grid, outcomes):
+            pooled[name].append(
+                {
+                    "offered": len(outcome.specs),
+                    "completed": outcome.completed,
+                    "fcts": outcome.completion_times(),
+                    "retransmissions": outcome.total_retransmissions(),
+                }
+            )
+        return _pool_rows(pooled)
     sweep = Sweep(
         axes={"background": list(backgrounds), "rep": list(range(replications))},
         measure=functools.partial(
@@ -158,9 +192,13 @@ def run_fct_study(
             seed=seed,
         ),
     )
-    pooled: dict[str, list[dict]] = {name: [] for name in backgrounds}
     for row in sweep.run(**workers_sweep_options(workers)):
         pooled[row.parameter("background")].append(row.value)
+    return _pool_rows(pooled)
+
+
+def _pool_rows(pooled: dict[str, list[dict]]) -> FctResult:
+    """Collapse per-replication outcomes into one row per background."""
     result = FctResult()
     for name, outcomes in pooled.items():
         fcts = [fct for outcome in outcomes for fct in outcome["fcts"]]

@@ -791,6 +791,38 @@ def _names_in(node: ast.expr) -> set[str]:
     return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
 
 
+#: Array reductions whose scalar truth value is the *point* of the branch.
+_MASK_REDUCTIONS = frozenset({"any", "all", "sum", "count_nonzero"})
+
+
+def _is_mask_reduction(node: ast.expr) -> bool:
+    """Whether a branch test collapses arrays to one deliberate scalar.
+
+    Masked dispatch branches on reductions — ``if mask.any():``,
+    ``if (classes == k).sum() == 0:``, ``np.count_nonzero(...)`` — where
+    a single truth value for the whole batch is exactly the intent
+    (choose a dispatch segment, skip an empty class). Those are not the
+    per-element branch bug REP403 exists to catch, so any test whose
+    every input-touching leaf passes through a reduction call is exempt.
+    """
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MASK_REDUCTIONS:
+            return True
+    if isinstance(node, ast.Compare):
+        return _is_mask_reduction(node.left) and all(
+            _is_mask_reduction(c) or not _names_in(c)
+            for c in node.comparators
+        )
+    if isinstance(node, ast.BoolOp):
+        return all(
+            _is_mask_reduction(v) or not _names_in(v) for v in node.values
+        )
+    if isinstance(node, ast.UnaryOp):
+        return _is_mask_reduction(node.operand)
+    return False
+
+
 @rule(
     "REP403",
     "batched-kernel-branch",
@@ -798,7 +830,8 @@ def _names_in(node: ast.expr) -> set[str]:
     "a 'batched_*' kernel advances every scenario of the batch in one "
     "array pass; a Python if/while/ternary on its inputs evaluates one "
     "truth value for the whole batch (or raises on arrays) — encode "
-    "per-element branches with numpy.where instead",
+    "per-element branches with numpy.where instead (branching on a mask "
+    "reduction like '.any()' or '.sum()' is dispatch, and allowed)",
     scope=("repro/protocols", "repro/model", "repro/backends"),
 )
 def _check_batched_kernel_branches(
@@ -813,7 +846,7 @@ def _check_batched_kernel_branches(
         for inner in ast.walk(node):
             if isinstance(inner, (ast.If, ast.While, ast.IfExp)):
                 tainted = sorted(_names_in(inner.test) & params)
-                if tainted:
+                if tainted and not _is_mask_reduction(inner.test):
                     kind = {
                         ast.If: "if",
                         ast.While: "while",

@@ -1,34 +1,54 @@
 """The batched fluid kernel: advance many scenarios in one NumPy pass.
 
-The Figure 1 frontier and the Table 2 design sweeps evaluate thousands of
-near-identical fluid scenarios — same horizon and flow count, different
-protocol parameters or link speeds. Run serially, each scenario pays the
-full Python per-step overhead of :class:`~repro.model.dynamics.FluidSimulator`
-even on its vectorized fast path. This module stacks ``B`` compatible
-scenarios along a leading batch axis and advances *all* of them with one
-NumPy expression per step: windows become a ``(B, flows)`` array, the
-Eq. (1) RTT / droptail loss / combined loss evaluate through the
-``*_array`` variants in :mod:`repro.model.formulas` and
-:mod:`repro.model.random_loss`, and the protocol updates go through the
-branch-free :meth:`~repro.protocols.base.Protocol.batched_next` maps with
-per-scenario parameter arrays.
+The Figure 1 frontier and the Table 1 / Table 2 design sweeps evaluate
+thousands of near-identical fluid scenarios — same horizon and flow
+count, different protocol parameters, protocol *classes*, or link speeds.
+Run serially, each scenario pays the full Python per-step overhead of
+:class:`~repro.model.dynamics.FluidSimulator` even on its vectorized fast
+path. This module stacks ``B`` compatible scenarios along a leading batch
+axis and advances *all* of them with one NumPy expression per step:
+windows become a ``(B, flows)`` array, the Eq. (1) RTT / droptail loss /
+combined loss evaluate through the ``*_array`` variants in
+:mod:`repro.model.formulas` and :mod:`repro.model.random_loss`, and the
+protocol updates go through the branch-free
+:meth:`~repro.protocols.base.Protocol.batched_next` maps.
+
+Protocol dispatch is *table-driven and heterogeneous*: a batch carries a
+per-cell protocol-id array (``cell_classes``, one entry per
+scenario-flow cell) indexing a small ``class_table``, plus a merged
+parameter table of ``(B, flows)`` arrays. Each step makes one
+``batched_next`` call per protocol class over the cells that class
+drives — a contiguous column slice when the class owns whole columns
+across the batch (the homogeneous fast path), a gather/scatter over a
+precomputed index mask otherwise — so mixed AIMD/MIMD/Robust-AIMD grids
+land in a single kernel launch instead of falling back to the serial
+loop.
 
 Bit-identity is the contract, exactly as for the serial fast path: every
 float64 operation mirrors the serial engine element by element — the
 aggregate is the same left-fold column sum, scalar branches become
-``numpy.where`` selects over the same conditions, and the clamp is the
-same ``clip`` — so slicing row ``i`` out of a batch result reproduces the
-serial trace of scenario ``i`` bit for bit (property-tested in
+``numpy.where`` selects over the same conditions, gathers and scatters
+move bits without arithmetic, and the clamp is the same ``clip`` — so
+slicing row ``i`` out of a batch result reproduces the serial trace of
+scenario ``i`` bit for bit (property-tested in
 ``tests/property/test_prop_batch.py``).
 
-Scenario *compatibility* (same flow count, horizon and per-column protocol
-classes; synchronized feedback; no schedules, ECN or stateful loss) is
-decided by the planner in :mod:`repro.backends.batch`; this module only
-sees already-stacked inputs. A scenario that produces a non-finite window
-mid-batch is frozen at a placeholder value and reported in
-``BatchResult.failed`` — rows are independent under elementwise
-arithmetic, so the rest of the batch is unaffected, and the caller reruns
-the failed scenario serially to surface the exact serial error.
+When `numba <https://numba.pydata.org/>`__ is importable (the ``fast``
+extra) and not disabled via ``REPRO_JIT=0``, the per-step loop runs as a
+compiled kernel from :mod:`repro.model.kernels` instead — a scalar
+transliteration of the same recurrence, gated by the same bit-identity
+property tests. Absence of numba falls back to the NumPy loop silently.
+
+Scenario *compatibility* (same flow count and horizon; synchronized
+feedback; no schedules, ECN or stateful loss) is decided by the planner
+in :mod:`repro.backends.batch`; this module only sees already-stacked
+inputs. A scenario that produces a non-finite window mid-batch is frozen
+at a placeholder value and reported in ``BatchResult.failed`` — rows are
+independent under elementwise arithmetic, so the rest of the batch is
+unaffected, and the caller reruns the failed scenario serially to
+surface the exact serial error. The non-finite recheck runs after *all*
+per-class dispatch calls of a step have written their cells, so a row
+diverging under one class never contaminates cells another class drives.
 """
 
 from __future__ import annotations
@@ -37,6 +57,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.model import kernels
 from repro.model.dynamics import _PLACEHOLDER_RTT
 from repro.model.formulas import droptail_loss_rate_array, eq1_rtt_array
 from repro.model.random_loss import combine_loss_array
@@ -54,17 +75,22 @@ _KERNEL_CELLS = 0
 class BatchInputs:
     """Stacked per-scenario inputs for one batched kernel call.
 
-    All arrays are float64 with one entry per scenario (``B`` rows).
-    ``column_classes[j]`` is the protocol class driving flow column ``j``
-    in *every* scenario of the batch (the planner's grouping guarantee),
-    and ``column_params[j]`` stacks that column's constructor parameters —
-    the names in ``column_classes[j].batch_param_names`` — into ``(B,)``
-    arrays, so parameters may vary freely across scenarios.
+    All link/clamp arrays are float64 with one entry per scenario (``B``
+    rows). Protocol dispatch is per *cell* (scenario row x flow column):
+    ``class_table`` lists the distinct protocol classes of the batch in
+    first-appearance order, ``cell_classes[i, j]`` is the index into that
+    table of the class driving flow ``j`` of scenario ``i``, and
+    ``cell_params[name][i, j]`` holds that cell's value of constructor
+    parameter ``name`` (NaN where the cell's class has no such parameter
+    — those entries are never gathered). Parameters and classes may vary
+    freely across the batch; the planner only fixes flow count, horizon
+    and loss-based enforcement.
     """
 
     steps: int
-    column_classes: tuple[type, ...]
-    column_params: tuple[dict[str, np.ndarray], ...]
+    class_table: tuple[type, ...]
+    cell_classes: np.ndarray  # (B, flows) indices into class_table
+    cell_params: dict[str, np.ndarray]  # name -> (B, flows), NaN-filled
     initial: np.ndarray  # (B, flows) initial windows, finite and >= 0
     capacity: np.ndarray  # (B,) link C
     bandwidth: np.ndarray  # (B,) link B
@@ -88,11 +114,11 @@ class BatchInputs:
         """Scenarios ``lo:hi`` as a new (view-backed) batch, for chunking."""
         return BatchInputs(
             steps=self.steps,
-            column_classes=self.column_classes,
-            column_params=tuple(
-                {name: values[lo:hi] for name, values in params.items()}
-                for params in self.column_params
-            ),
+            class_table=self.class_table,
+            cell_classes=self.cell_classes[lo:hi],
+            cell_params={
+                name: values[lo:hi] for name, values in self.cell_params.items()
+            },
             initial=self.initial[lo:hi],
             capacity=self.capacity[lo:hi],
             bandwidth=self.bandwidth[lo:hi],
@@ -135,33 +161,125 @@ def kernel_cells() -> int:
     return _KERNEL_CELLS
 
 
-def _column_groups(
+def _dispatch_groups(
     inputs: BatchInputs,
-) -> list[tuple[type, list[int], dict[str, np.ndarray], bool]]:
-    """Columns grouped by protocol class, with ``(B, k)``-stacked params.
+) -> list[tuple[type, str, tuple, dict[str, np.ndarray], np.ndarray]]:
+    """Per-class dispatch segments over the cell table.
 
-    One ``batched_next`` call per class per step covers every column the
-    class drives; parameters broadcast across the group's columns.
+    One entry per protocol class that drives at least one cell:
+    ``(cls, mode, index, params, rtt_placeholder)``. ``mode`` is
+    ``"columns"`` when the class owns whole flow columns across every
+    scenario of the batch — dispatch is then a contiguous column slice,
+    the historical homogeneous fast path — and ``"cells"`` otherwise,
+    with ``index`` holding the precomputed ``(rows, cols)`` gather of the
+    class's cells. Gathered parameters are materialized once here, not
+    per step. ``rtt_placeholder`` is the Section 3 placeholder-RTT array
+    (shaped for the mode) when loss-based enforcement applies to the
+    class, else ``None``.
     """
-    order: list[type] = []
-    by_class: dict[type, list[int]] = {}
-    for j, cls in enumerate(inputs.column_classes):
-        if cls not in by_class:
-            order.append(cls)
-            by_class[cls] = []
-        by_class[cls].append(j)
     groups = []
-    for cls in order:
-        cols = by_class[cls]
-        params = {
-            name: np.stack(
-                [inputs.column_params[j][name] for j in cols], axis=1
-            )
-            for name in cls.batch_param_names
-        }
+    b = inputs.batch_size
+    for k, cls in enumerate(inputs.class_table):
+        mask = inputs.cell_classes == k
+        count = int(mask.sum())
+        if count == 0:
+            continue
         use_placeholder = inputs.enforce_loss_based and cls.loss_based
-        groups.append((cls, cols, params, use_placeholder))
+        full_cols = mask.all(axis=0)
+        if count == b * int(full_cols.sum()):
+            cols = np.nonzero(full_cols)[0]
+            params = {
+                name: inputs.cell_params[name][:, cols]
+                for name in cls.batch_param_names
+            }
+            placeholder = (
+                np.full((b, 1), _PLACEHOLDER_RTT) if use_placeholder else None
+            )
+            groups.append((cls, "columns", (cols,), params, placeholder))
+        else:
+            rows_idx, cols_idx = np.nonzero(mask)
+            params = {
+                name: inputs.cell_params[name][rows_idx, cols_idx]
+                for name in cls.batch_param_names
+            }
+            placeholder = (
+                np.full(count, _PLACEHOLDER_RTT) if use_placeholder else None
+            )
+            groups.append((cls, "cells", (rows_idx, cols_idx), params, placeholder))
     return groups
+
+
+def _advance_numpy(
+    inputs: BatchInputs,
+    current: np.ndarray,
+    windows_out: np.ndarray,
+    observed_out: np.ndarray,
+    congestion_out: np.ndarray,
+    rtts_out: np.ndarray,
+) -> dict[int, int]:
+    """The NumPy per-step loop: advance ``current`` through all steps.
+
+    Fills the four output arrays in place and returns the failure map.
+    :func:`repro.model.kernels.advance` is the compiled drop-in for this
+    loop; both must produce identical bits.
+    """
+    b, n = current.shape
+    groups = _dispatch_groups(inputs)
+    min_w = inputs.min_window[:, None]
+    max_w = inputs.max_window[:, None]
+    failed: dict[int, int] = {}
+
+    for t in range(inputs.steps):
+        # Left-fold column sum in flow order, matching the serial
+        # engines' running Python sum (pairwise summation would
+        # round differently).
+        total = np.zeros(b)
+        for j in range(n):
+            total = total + current[:, j]
+        loss = droptail_loss_rate_array(total, inputs.pipe_limit)
+        rtt = eq1_rtt_array(
+            total,
+            inputs.capacity,
+            inputs.bandwidth,
+            inputs.base_rtt,
+            inputs.pipe_limit,
+            inputs.timeout_rtt,
+        )
+        seen = combine_loss_array(loss, inputs.random_rate)
+
+        windows_out[t] = current
+        observed_out[t] = seen
+        congestion_out[t] = loss
+        rtts_out[t] = rtt
+
+        proposed = np.empty_like(current)
+        seen_col = seen[:, None]
+        for cls, mode, index, params, placeholder in groups:
+            if mode == "columns":
+                (cols,) = index
+                rtt_obs = placeholder if placeholder is not None else rtt[:, None]
+                proposed[:, cols] = cls.batched_next(
+                    current[:, cols], seen_col, rtt_obs, params
+                )
+            else:
+                rows_idx, cols_idx = index
+                rtt_obs = placeholder if placeholder is not None else rtt[rows_idx]
+                proposed[rows_idx, cols_idx] = cls.batched_next(
+                    current[rows_idx, cols_idx], seen[rows_idx], rtt_obs, params
+                )
+        # Recheck the assembled step *after* every class segment has
+        # written its cells: a non-finite window from any class freezes
+        # the whole scenario row, never just that class's cells.
+        finite = np.isfinite(proposed).all(axis=1)
+        if not finite.all():
+            for row in np.nonzero(~finite)[0].tolist():
+                failed.setdefault(row, t)
+            # Freeze the bad rows at a safe value so the rest of the
+            # batch keeps computing cleanly; their outputs from here
+            # on are placeholders the caller discards.
+            proposed[~finite] = 1.0
+        np.clip(proposed, min_w, max_w, out=current)
+    return failed
 
 
 def run_batch_kernel(
@@ -190,58 +308,23 @@ def run_batch_kernel(
     congestion_out = out["congestion_loss"]
     rtts_out = out["rtts"]
 
-    groups = _column_groups(inputs)
-    min_w = inputs.min_window[:, None]
-    max_w = inputs.max_window[:, None]
-    placeholder_rtt = np.full(b, _PLACEHOLDER_RTT)
-    failed: dict[int, int] = {}
-
     # Suppress warnings from rows frozen after a failure (and from the
     # unselected halves of where-selects); values are unaffected.
     with timing.measure("batch.kernel"), np.errstate(
         over="ignore", invalid="ignore", divide="ignore"
     ):
         # Same clamp the serial engine applies to x_i(0).
-        current = np.clip(inputs.initial, min_w, max_w)
-        for t in range(steps):
-            # Left-fold column sum in flow order, matching the serial
-            # engines' running Python sum (pairwise summation would
-            # round differently).
-            total = np.zeros(b)
-            for j in range(n):
-                total = total + current[:, j]
-            loss = droptail_loss_rate_array(total, inputs.pipe_limit)
-            rtt = eq1_rtt_array(
-                total,
-                inputs.capacity,
-                inputs.bandwidth,
-                inputs.base_rtt,
-                inputs.pipe_limit,
-                inputs.timeout_rtt,
+        current = np.clip(
+            inputs.initial, inputs.min_window[:, None], inputs.max_window[:, None]
+        )
+        if kernels.use_jit(inputs.class_table):
+            failed = kernels.advance(
+                inputs, current, windows_out, observed_out, congestion_out, rtts_out
             )
-            seen = combine_loss_array(loss, inputs.random_rate)
-
-            windows_out[t] = current
-            observed_out[t] = seen
-            congestion_out[t] = loss
-            rtts_out[t] = rtt
-
-            proposed = np.empty_like(current)
-            seen_col = seen[:, None]
-            for cls, cols, params, use_placeholder in groups:
-                rtt_obs = placeholder_rtt if use_placeholder else rtt
-                proposed[:, cols] = cls.batched_next(
-                    current[:, cols], seen_col, rtt_obs[:, None], params
-                )
-            finite = np.isfinite(proposed).all(axis=1)
-            if not finite.all():
-                for row in np.nonzero(~finite)[0].tolist():
-                    failed.setdefault(row, t)
-                # Freeze the bad rows at a safe value so the rest of the
-                # batch keeps computing cleanly; their outputs from here
-                # on are placeholders the caller discards.
-                proposed[~finite] = 1.0
-            current = np.clip(proposed, min_w, max_w)
+        else:
+            failed = _advance_numpy(
+                inputs, current, windows_out, observed_out, congestion_out, rtts_out
+            )
     _KERNEL_CELLS += b * steps
 
     return BatchResult(

@@ -1,0 +1,307 @@
+"""Optional compiled kernels for the batched fluid loop (``fast`` extra).
+
+:func:`repro.model.batch.run_batch_kernel` advances a stacked batch of
+scenarios with one NumPy expression per step. That already amortizes the
+Python interpreter across the batch axis, but every step still pays for
+temporary arrays and per-class dispatch. This module compiles the whole
+recurrence — the per-step link formulas *and* the table-driven
+heterogeneous protocol dispatch — into one `numba
+<https://numba.pydata.org/>`__ ``njit`` kernel that walks each scenario
+row start to finish (row-local state, cache-friendly), selecting each
+cell's update rule by a small integer kernel id.
+
+The contract is the same raw-uint64 bit-identity that gates the
+vectorized and batched NumPy paths: :func:`_advance_cells` is a scalar
+transliteration of the NumPy loop in
+:mod:`repro.model.batch` — the same left-fold column sum, the same
+branch conditions the ``numpy.where`` selects encode, the same clamp —
+and numba compiles it without ``fastmath``, so IEEE-754 evaluation order
+is preserved and the compiled trace matches the NumPy trace bit for bit
+(property-tested; the pure-Python execution of the very same function is
+additionally tested in environments without numba).
+
+Activation:
+
+- numba importable (install the ``fast`` extra: ``pip install
+  repro-axiomatic-cc[fast]``) **and** the environment variable
+  ``REPRO_JIT`` is unset or not ``"0"`` — then eligible batches compile;
+- ``REPRO_JIT=0`` forces the NumPy loop even with numba installed;
+- numba absent — silent fallback to the NumPy loop, no warning, no
+  behavioural difference (the bits are identical by contract).
+
+Eligibility is per batch: every protocol class in the batch's
+``class_table`` must map onto a registered kernel id with an unmodified
+``batched_next`` (subclasses that only change constructor defaults, like
+``MimdPccBound``, inherit their base's id). The registered update rules
+are windows-and-loss only; a future rtt-consuming kernel must thread the
+Section 3 placeholder-RTT plumbing of the NumPy path into
+:func:`_advance_cells` alongside its id.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only with the `fast` extra installed
+    import numba as _numba
+except ImportError:  # the supported default environment
+    _numba = None
+
+__all__ = ["advance", "jit_enabled", "kernel_id", "numba_version", "use_jit"]
+
+#: Update-rule ids burned into the compiled dispatch table.
+_KERNEL_AIMD = 0
+_KERNEL_MIMD = 1
+_KERNEL_ROBUST_AIMD = 2
+
+#: Parameter slot layout per kernel id (padded to 3 slots in packing).
+_PARAM_LAYOUT = {
+    _KERNEL_AIMD: ("a", "b"),
+    _KERNEL_MIMD: ("a", "b"),
+    _KERNEL_ROBUST_AIMD: ("a", "b", "epsilon"),
+}
+_PARAM_SLOTS = 3
+
+_CLASS_IDS: dict[type, int] | None = None
+_COMPILED = None
+
+
+def _class_ids() -> dict[type, int]:
+    """The registered protocol classes, imported lazily to avoid cycles."""
+    global _CLASS_IDS
+    if _CLASS_IDS is None:
+        from repro.protocols.aimd import AIMD
+        from repro.protocols.mimd import MIMD
+        from repro.protocols.robust_aimd import RobustAIMD
+
+        _CLASS_IDS = {
+            AIMD: _KERNEL_AIMD,
+            MIMD: _KERNEL_MIMD,
+            RobustAIMD: _KERNEL_ROBUST_AIMD,
+        }
+    return _CLASS_IDS
+
+
+def kernel_id(cls: type) -> int | None:
+    """``cls``'s compiled update-rule id, or ``None`` if not JIT-able.
+
+    A subclass inherits its base's id only while it keeps the base's
+    ``batched_next`` and parameter names — overriding either changes the
+    update semantics the compiled table hard-codes, so such classes fall
+    back to the NumPy dispatch (which calls ``batched_next`` directly).
+    """
+    for base, kid in _class_ids().items():
+        if (
+            issubclass(cls, base)
+            and cls.batched_next is base.batched_next
+            and tuple(cls.batch_param_names) == tuple(base.batch_param_names)
+        ):
+            return kid
+    return None
+
+
+def numba_version() -> str | None:
+    """The installed numba's version string, or ``None`` when absent."""
+    return getattr(_numba, "__version__", None) if _numba is not None else None
+
+
+def jit_enabled() -> bool:
+    """Whether compiled kernels are active: numba present and not opted out.
+
+    ``REPRO_JIT=0`` disables compilation; any other value (or an unset
+    variable) leaves it enabled whenever numba is importable. Without
+    numba this is always ``False`` — the silent-fallback half of the
+    ``fast`` extra's contract.
+    """
+    return _numba is not None and os.environ.get("REPRO_JIT", "1") != "0"
+
+
+def use_jit(class_table: tuple[type, ...]) -> bool:
+    """Whether a batch with these protocol classes runs compiled."""
+    return jit_enabled() and all(kernel_id(cls) is not None for cls in class_table)
+
+
+def _advance_cells(
+    steps,
+    ids,
+    params,
+    current,
+    capacity,
+    bandwidth,
+    base_rtt,
+    pipe_limit,
+    timeout_rtt,
+    random_rate,
+    min_window,
+    max_window,
+    windows_out,
+    observed_out,
+    congestion_out,
+    rtts_out,
+    failed_step,
+):  # pragma: no branch - structure mirrors the NumPy loop exactly
+    """Scalar transliteration of ``repro.model.batch._advance_numpy``.
+
+    Plain Python by design: numba ``njit``-wraps this very function (no
+    fastmath, so IEEE semantics and therefore bits are preserved), and
+    environments without numba can still execute — and bit-test — it
+    interpreted. Each scenario row is advanced start to finish; rows are
+    independent under the synchronized-feedback model, so the row-major
+    order cannot change any value.
+    """
+    b, n = current.shape
+    scratch = np.empty(n)
+    for i in range(b):
+        cap = capacity[i]
+        bw = bandwidth[i]
+        base = base_rtt[i]
+        pipe = pipe_limit[i]
+        timeout = timeout_rtt[i]
+        rand = random_rate[i]
+        lo = min_window[i]
+        hi = max_window[i]
+        for t in range(steps):
+            # Left-fold column sum in flow order (matches the serial
+            # engines' running Python sum).
+            total = 0.0
+            for j in range(n):
+                total = total + current[i, j]
+            # droptail_loss_rate
+            if total <= pipe:
+                loss = 0.0
+            else:
+                loss = 1.0 - pipe / total
+            # eq1_rtt; the comparison is ordered exactly like
+            # np.maximum(base, queued): NaN in `queued` wins.
+            queued = (total - cap) / bw + base
+            if base >= queued:
+                grown = base
+            else:
+                grown = queued
+            if total < pipe:
+                rtt = grown
+            else:
+                rtt = timeout
+            # combine_loss
+            seen = 1.0 - (1.0 - loss) * (1.0 - rand)
+
+            for j in range(n):
+                windows_out[t, i, j] = current[i, j]
+            observed_out[t, i] = seen
+            congestion_out[t, i] = loss
+            rtts_out[t, i] = rtt
+
+            finite = True
+            for j in range(n):
+                w = current[i, j]
+                kid = ids[i, j]
+                p0 = params[i, j, 0]
+                p1 = params[i, j, 1]
+                if kid == 0:  # AIMD: w*b on loss, else w+a
+                    if seen > 0.0:
+                        nxt = w * p1
+                    else:
+                        nxt = w + p0
+                elif kid == 1:  # MIMD: w*b on loss, else w*a
+                    if seen > 0.0:
+                        nxt = w * p1
+                    else:
+                        nxt = w * p0
+                else:  # Robust-AIMD: w*b when seen >= epsilon, else w+a
+                    if seen >= params[i, j, 2]:
+                        nxt = w * p1
+                    else:
+                        nxt = w + p0
+                scratch[j] = nxt
+                if not np.isfinite(nxt):
+                    finite = False
+            if not finite:
+                if failed_step[i] < 0:
+                    failed_step[i] = t
+                for j in range(n):
+                    scratch[j] = 1.0
+            # np.clip(x, lo, hi) == minimum(maximum(x, lo), hi)
+            for j in range(n):
+                v = scratch[j]
+                if v < lo:
+                    v = lo
+                if v > hi:
+                    v = hi
+                current[i, j] = v
+
+
+def _compiled():
+    """The ``njit``-compiled loop, built once per process."""
+    global _COMPILED
+    if _COMPILED is None:
+        _COMPILED = _numba.njit(cache=False)(_advance_cells)
+    return _COMPILED
+
+
+def _pack(inputs) -> tuple[np.ndarray, np.ndarray]:
+    """The batch's dispatch table: per-cell kernel ids and packed params.
+
+    ``ids[i, j]`` is the compiled update rule of cell ``(i, j)``;
+    ``params[i, j, :]`` its parameters in the rule's slot order (unused
+    trailing slots stay zero and are never read).
+    """
+    b, n = inputs.cell_classes.shape
+    ids = np.empty((b, n), dtype=np.int64)
+    params = np.zeros((b, n, _PARAM_SLOTS))
+    for k, cls in enumerate(inputs.class_table):
+        mask = inputs.cell_classes == k
+        if not mask.any():
+            continue
+        kid = kernel_id(cls)
+        ids[mask] = kid
+        for slot, name in enumerate(_PARAM_LAYOUT[kid]):
+            params[:, :, slot][mask] = inputs.cell_params[name][mask]
+    return ids, params
+
+
+def advance(
+    inputs,
+    current: np.ndarray,
+    windows_out: np.ndarray,
+    observed_out: np.ndarray,
+    congestion_out: np.ndarray,
+    rtts_out: np.ndarray,
+    force_python: bool = False,
+) -> dict[int, int]:
+    """Compiled drop-in for ``repro.model.batch._advance_numpy``.
+
+    Fills the output arrays in place from the (already initial-clamped)
+    ``current`` windows and returns the same ``{row: first failing
+    step}`` map. ``force_python`` executes the transliterated loop
+    interpreted instead of compiled — identical bits either way — which
+    is how environments without numba property-test the transliteration.
+    """
+    ids, params = _pack(inputs)
+    b = inputs.batch_size
+    failed_step = np.full(b, -1, dtype=np.int64)
+    loop = _advance_cells if force_python or _numba is None else _compiled()
+    loop(
+        inputs.steps,
+        ids,
+        params,
+        np.ascontiguousarray(current),
+        inputs.capacity,
+        inputs.bandwidth,
+        inputs.base_rtt,
+        inputs.pipe_limit,
+        inputs.timeout_rtt,
+        inputs.random_rate,
+        inputs.min_window,
+        inputs.max_window,
+        windows_out,
+        observed_out,
+        congestion_out,
+        rtts_out,
+        failed_step,
+    )
+    return {
+        int(row): int(failed_step[row])
+        for row in np.nonzero(failed_step >= 0)[0]
+    }

@@ -25,7 +25,7 @@ from typing import Callable
 import numpy as np
 
 from repro import debug
-from repro.packetsim.engine import EventKind, EventScheduler
+from repro.packetsim.engine import EventKind, EventScheduler, Rail
 from repro.packetsim.packet import Packet
 
 _QUEUE_SERVICE = int(EventKind.QUEUE_SERVICE)
@@ -155,6 +155,13 @@ class BottleneckQueue:
         Cap on retained occupancy samples; older samples are decimated
         (evenly thinned) once the budget is hit, so memory stays bounded
         on arbitrarily long runs.
+    service_rail:
+        An existing rail to schedule serialization completions on, instead
+        of creating a private one. Service events carry the queue as their
+        target, so queues of equal-bandwidth links can share one rail —
+        the merged-replication runner (:mod:`repro.packetsim.batch`) uses
+        this to keep the event loop's rail scan short. The rail's delay
+        must equal this queue's serialization time.
     """
 
     def __init__(
@@ -166,6 +173,7 @@ class BottleneckQueue:
         on_drop: Callable[[Packet], None],
         sample_occupancy: bool = False,
         sample_budget: int = DEFAULT_SAMPLE_BUDGET,
+        service_rail: "Rail | None" = None,
     ) -> None:
         if bandwidth <= 0 or not math.isfinite(bandwidth):
             raise ValueError(f"bandwidth must be positive and finite, got {bandwidth}")
@@ -173,7 +181,15 @@ class BottleneckQueue:
             raise ValueError(f"capacity must be non-negative, got {capacity}")
         self._scheduler = scheduler
         self._service_time = 1.0 / bandwidth
-        self._service_rail = scheduler.rail(self._service_time)
+        if service_rail is not None and service_rail.delay != self._service_time:
+            raise ValueError(
+                f"shared service rail delay {service_rail.delay} does not "
+                f"match the serialization time {self._service_time}"
+            )
+        self._service_rail = (
+            service_rail if service_rail is not None
+            else scheduler.rail(self._service_time)
+        )
         self.capacity = capacity
         self._on_departure = on_departure
         self._on_drop = on_drop

@@ -182,14 +182,20 @@ def size_cap_bytes() -> int | None:
     return int(mb * 1024 * 1024)
 
 
-def prune_cache(cache: TraceCache, max_bytes: int | None = None) -> dict[str, int]:
+def prune_cache(
+    cache: TraceCache,
+    max_bytes: int | None = None,
+    dry_run: bool = False,
+) -> dict[str, int]:
     """Evict entries, oldest first, until the store fits ``max_bytes``.
 
     ``max_bytes`` defaults to the ``REPRO_CACHE_MAX_MB`` environment cap;
     with neither set the call is a no-op. Age is the entry file's mtime
     (write time — entries are immutable once written), with the path as a
     deterministic tie-break. Returns the number of entries removed, the
-    bytes reclaimed, and what remains.
+    bytes reclaimed, and what remains. With ``dry_run`` nothing is
+    deleted: the report describes what eviction *would* do (the
+    "removed"/"remaining" numbers are the hypothetical outcome).
     """
     if max_bytes is None:
         max_bytes = size_cap_bytes()
@@ -203,10 +209,11 @@ def prune_cache(cache: TraceCache, max_bytes: int | None = None) -> dict[str, in
         ):
             if total - reclaimed <= max_bytes:
                 break
-            try:
-                path.unlink()
-            except OSError:
-                continue
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
             removed += 1
             reclaimed += stat.st_size
     return {

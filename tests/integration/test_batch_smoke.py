@@ -64,6 +64,35 @@ def test_table2_driver_batched_equals_serial():
         assert s.friendliness_pcc == b.friendliness_pcc
 
 
+def test_heterogeneous_mixed_protocol_grid_batched_equals_serial():
+    """AIMD/MIMD/Robust-AIMD specs interleave into one batch, bit-equal."""
+    from repro.backends import ScenarioSpec, run_spec, run_specs
+    from repro.backends.batch import plan_batches
+    from repro.protocols.aimd import AIMD
+    from repro.protocols.mimd import MIMD
+    from repro.protocols.robust_aimd import RobustAIMD
+
+    specs = [
+        ScenarioSpec(protocols=[AIMD(1.0, 0.5)] * 2, link=_LINK, steps=400),
+        ScenarioSpec(protocols=[MIMD(1.01, 0.875)] * 2, link=_LINK,
+                     steps=400),
+        ScenarioSpec(protocols=[RobustAIMD(1.0, 0.5, 0.05)] * 2, link=_LINK,
+                     steps=400),
+        ScenarioSpec(protocols=[AIMD(2.0, 0.3), MIMD(1.02, 0.9)],
+                     link=Link.from_mbps(60, 42, 100), steps=400),
+    ]
+    plan = plan_batches(specs)
+    assert plan.fallback == []
+    assert [g.indices for g in plan.groups] == [[0, 1, 2, 3]]
+    batched = run_specs(specs, batch=True, use_cache=False)
+    for spec, trace in zip(specs, batched):
+        reference = run_spec(spec, "fluid", use_cache=False)
+        assert np.array_equal(
+            np.ascontiguousarray(trace.windows).view(np.uint64),
+            np.ascontiguousarray(reference.windows).view(np.uint64),
+        )
+
+
 def test_batched_grid_with_mixed_eligibility_matches_serial():
     """A grid where one cell falls back serially still matches end to end."""
     serial = run_table2(senders=(2,), bandwidths_mbps=(20,), steps=600)

@@ -144,3 +144,13 @@ class TestEmulab:
                 assert 0 <= m.efficiency <= 1.1
                 assert 0 <= m.loss_avoidance < 0.5
                 assert 0 <= m.fairness <= 1.0
+
+    def test_batched_grid_is_bit_identical_to_serial(self):
+        # Two bandwidths -> two merge groups inside the batched runner.
+        kwargs = dict(
+            ns=(2,), bandwidths_mbps=(20, 30), buffers_mss=(100,),
+            duration=10.0,
+        )
+        serial = run_emulab(**kwargs)
+        batched = run_emulab(batch=True, **kwargs)
+        assert batched.to_jsonable() == serial.to_jsonable()

@@ -45,6 +45,26 @@ class TestFctStudy:
         names = set(default_backgrounds())
         assert {"none", "reno", "cubic", "robust-aimd", "pcc-like"} <= names
 
+    def test_batched_study_is_bit_identical_to_serial(self, study):
+        batched = run_fct_study(
+            link=Link.from_mbps(20, 42, 100),
+            backgrounds={"none": None, "pcc-like": presets.pcc_like},
+            rate_per_s=1.0,
+            arrival_window=10.0,
+            duration=20.0,
+            replications=2,
+            batch=True,
+        )
+        serial = run_fct_study(
+            link=Link.from_mbps(20, 42, 100),
+            backgrounds={"none": None, "pcc-like": presets.pcc_like},
+            rate_per_s=1.0,
+            arrival_window=10.0,
+            duration=20.0,
+            replications=2,
+        )
+        assert batched.to_jsonable() == serial.to_jsonable()
+
 
 class TestCliExtendedCommands:
     def test_characterize_prints_scores_and_theory(self, capsys):

@@ -116,6 +116,51 @@ def test_heterogeneous_robust_aimd_vs_reno_bit_identical(epsilon, n):
     _check_grid(specs)
 
 
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n=st.integers(min_value=1, max_value=4),
+    loss_rate=st.floats(min_value=0.0, max_value=0.03),
+)
+def test_heterogeneous_class_grid_is_one_batch_bit_identical(seed, n, loss_rate):
+    """Scenarios with *different* protocol-class mixes share one kernel.
+
+    This is the Table 1 shape the planner used to fall back on: the
+    class tuple varies per scenario and per flow, so the batch dispatches
+    through the per-cell protocol-id table. Every row must still match
+    its serial trace bit for bit.
+    """
+    rng = np.random.default_rng(seed)
+
+    def protocol():
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            return AIMD(float(rng.uniform(0.1, 3.0)), float(rng.uniform(0.2, 0.9)))
+        if kind == 1:
+            return MIMD(float(rng.uniform(1.001, 1.1)), float(rng.uniform(0.5, 0.99)))
+        return RobustAIMD(
+            float(rng.uniform(0.1, 2.0)),
+            float(rng.uniform(0.3, 0.95)),
+            float(rng.uniform(0.001, 0.2)),
+        )
+
+    specs = [
+        ScenarioSpec(
+            protocols=[protocol() for _ in range(n)],
+            link=Link.from_mbps(float(rng.uniform(5, 150)), 42,
+                                float(rng.uniform(10, 300))),
+            steps=120,
+            initial_windows=[float(w) for w in rng.uniform(1.0, 40.0, size=n)],
+            random_loss_rate=loss_rate,
+        )
+        for _ in range(8)
+    ]
+    plan = plan_batches(specs)
+    assert not plan.fallback
+    assert [len(g.indices) for g in plan.groups] == [8]
+    _check_grid(specs)
+
+
 def test_mixed_horizons_split_into_groups():
     """Different step counts batch separately but all stay bit-identical."""
     rng = np.random.default_rng(7)

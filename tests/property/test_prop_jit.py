@@ -1,0 +1,199 @@
+"""Property: the compiled fluid kernel is bit-identical to the NumPy loop.
+
+:mod:`repro.model.kernels` ships a scalar transliteration of the batched
+kernel's recurrence that numba compiles when the ``fast`` extra is
+installed. The activation contract has three legs, all pinned here:
+
+- the transliteration itself produces the same raw float64 bits as the
+  NumPy loop — testable *without* numba by executing the very function
+  numba would compile, interpreted (``force_python=True``);
+- with numba installed, the compiled execution of that function matches
+  too (numba compiles without fastmath, preserving IEEE-754 evaluation
+  order) — these tests skip when numba is absent and run on the CI
+  ``fast`` leg;
+- the escape hatches: ``REPRO_JIT=0`` forces the NumPy loop, and a
+  missing numba silently falls back with no behavioural difference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import ScenarioSpec, run_spec, run_specs_batched
+from repro.backends.batch import plan_batches
+from repro.model import kernels
+from repro.model.batch import run_batch_kernel
+from repro.model.link import Link
+from repro.protocols.aimd import AIMD
+from repro.protocols.mimd import MIMD, MimdPccBound
+from repro.protocols.robust_aimd import RobustAIMD
+
+_OUT_ARRAYS = ("windows", "observed_loss", "congestion_loss", "rtts")
+
+
+def _mixed_specs(seed, grid=6, n=3, steps=90, loss_rate=0.0, diverging=False):
+    rng = np.random.default_rng(seed)
+
+    def protocol():
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            return AIMD(float(rng.uniform(0.1, 3.0)), float(rng.uniform(0.2, 0.9)))
+        if kind == 1:
+            return MIMD(float(rng.uniform(1.001, 1.1)), float(rng.uniform(0.5, 0.99)))
+        return RobustAIMD(
+            float(rng.uniform(0.1, 2.0)),
+            float(rng.uniform(0.3, 0.95)),
+            float(rng.uniform(0.001, 0.2)),
+        )
+
+    specs = [
+        ScenarioSpec(
+            protocols=[protocol() for _ in range(n)],
+            link=Link.from_mbps(float(rng.uniform(5, 150)), 42,
+                                float(rng.uniform(10, 300))),
+            steps=steps,
+            initial_windows=[float(w) for w in rng.uniform(1.0, 40.0, size=n)],
+            random_loss_rate=loss_rate,
+        )
+        for _ in range(grid)
+    ]
+    if diverging:
+        specs.append(ScenarioSpec(
+            protocols=[AIMD(1e308, 0.5)] + [MIMD(1.01, 0.9)] * (n - 1),
+            link=Link.from_mbps(20, 42, float("inf")),
+            steps=steps,
+            initial_windows=[1e308] + [1.0] * (n - 1),
+            max_window=float("inf"),
+        ))
+    return specs
+
+
+def _advance_both(inputs, force_python):
+    """Run the NumPy loop and the transliterated loop on one batch."""
+    from repro.model.batch import _advance_numpy
+
+    steps, b, n = inputs.steps, inputs.batch_size, inputs.n_senders
+    outs = {}
+    for which in ("numpy", "cells"):
+        out = {
+            "windows": np.full((steps, b, n), np.nan),
+            "observed_loss": np.empty((steps, b)),
+            "congestion_loss": np.empty((steps, b)),
+            "rtts": np.empty((steps, b)),
+        }
+        with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+            current = np.clip(
+                inputs.initial,
+                inputs.min_window[:, None],
+                inputs.max_window[:, None],
+            )
+            args = (inputs, current, out["windows"], out["observed_loss"],
+                    out["congestion_loss"], out["rtts"])
+            if which == "numpy":
+                out["failed"] = _advance_numpy(*args)
+            else:
+                out["failed"] = kernels.advance(*args, force_python=force_python)
+        outs[which] = out
+    return outs["numpy"], outs["cells"]
+
+
+@pytest.mark.filterwarnings("ignore:overflow encountered")
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n=st.integers(min_value=1, max_value=4),
+    loss_rate=st.floats(min_value=0.0, max_value=0.03),
+    diverging=st.booleans(),
+)
+def test_transliterated_loop_matches_numpy_loop(seed, n, loss_rate, diverging):
+    """The scalar loop numba would compile, executed interpreted."""
+    specs = _mixed_specs(seed, n=n, loss_rate=loss_rate, diverging=diverging)
+    plan = plan_batches(specs)
+    assert not plan.fallback
+    for group in plan.groups:
+        ref, jit = _advance_both(group.inputs, force_python=True)
+        assert ref["failed"] == jit["failed"]
+        for name in _OUT_ARRAYS:
+            assert np.array_equal(
+                ref[name].view(np.uint64), jit[name].view(np.uint64)
+            ), name
+
+
+def test_kernel_id_registry():
+    assert kernels.kernel_id(AIMD) == 0
+    assert kernels.kernel_id(MIMD) == 1
+    assert kernels.kernel_id(RobustAIMD) == 2
+    # Parameter-only subclasses inherit their base's compiled rule...
+    assert kernels.kernel_id(MimdPccBound) == kernels.kernel_id(MIMD)
+
+    # ...but overriding batched_next changes semantics: no compiled rule.
+    class Custom(AIMD):
+        @staticmethod
+        def batched_next(windows, loss_rate, rtt, params):
+            return windows
+
+    assert kernels.kernel_id(Custom) is None
+    assert not kernels.use_jit((AIMD, Custom))
+
+
+def test_repro_jit_0_disables_compilation(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "0")
+    assert not kernels.jit_enabled()
+    assert not kernels.use_jit((AIMD,))
+
+
+def test_absent_numba_falls_back_silently(monkeypatch):
+    """Without numba the batched path must run (NumPy) and stay correct."""
+    monkeypatch.setattr(kernels, "_numba", None)
+    monkeypatch.setenv("REPRO_JIT", "1")
+    assert kernels.numba_version() is None
+    assert not kernels.jit_enabled()
+    spec = ScenarioSpec(
+        protocols=[AIMD(1.0, 0.5), MIMD(1.01, 0.9)],
+        link=Link.from_mbps(20, 42, 100),
+        steps=60,
+        initial_windows=[1.0, 2.0],
+    )
+    (trace,) = run_specs_batched([spec], use_cache=False)
+    reference = run_spec(spec, "fluid", use_cache=False)
+    assert np.array_equal(trace.windows, reference.windows)
+
+
+# ----------------------------------------------------------------------
+# Compiled-execution tests: require the `fast` extra (CI's numba leg).
+# ----------------------------------------------------------------------
+@pytest.mark.filterwarnings("ignore:overflow encountered")
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n=st.integers(min_value=1, max_value=4),
+    loss_rate=st.floats(min_value=0.0, max_value=0.03),
+    diverging=st.booleans(),
+)
+def test_compiled_loop_matches_numpy_loop(seed, n, loss_rate, diverging):
+    pytest.importorskip("numba")
+    specs = _mixed_specs(seed, n=n, loss_rate=loss_rate, diverging=diverging)
+    for group in plan_batches(specs).groups:
+        ref, jit = _advance_both(group.inputs, force_python=False)
+        assert ref["failed"] == jit["failed"]
+        for name in _OUT_ARRAYS:
+            assert np.array_equal(
+                ref[name].view(np.uint64), jit[name].view(np.uint64)
+            ), name
+
+
+def test_compiled_end_to_end_bit_identical_to_serial(monkeypatch):
+    """run_specs_batched with JIT active equals serial run_spec, bitwise."""
+    pytest.importorskip("numba")
+    monkeypatch.setenv("REPRO_JIT", "1")
+    specs = _mixed_specs(3, grid=8, n=3, steps=120, loss_rate=0.01)
+    plan = plan_batches(specs)
+    assert kernels.use_jit(plan.groups[0].inputs.class_table)
+    batched = run_specs_batched(specs, use_cache=False)
+    for spec, trace in zip(specs, batched):
+        reference = run_spec(spec, "fluid", use_cache=False)
+        for name in ("windows", "observed_loss", "congestion_loss", "rtts"):
+            a = np.ascontiguousarray(getattr(trace, name))
+            b = np.ascontiguousarray(getattr(reference, name))
+            assert np.array_equal(a.view(np.uint64), b.view(np.uint64)), name

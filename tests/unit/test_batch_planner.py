@@ -46,17 +46,45 @@ class TestPlanBatches:
         assert plan.groups[0].indices == [0]
         assert plan.groups[0].inputs.batch_size == 1
 
-    def test_groups_by_class_tuple_and_horizon(self):
+    def test_groups_by_flow_count_and_horizon(self):
         specs = [
             _aimd_spec(steps=100),
             _aimd_spec(steps=200),
-            _aimd_spec(a=2.0, steps=100),  # params differ, class+steps match
+            _aimd_spec(a=2.0, steps=100),  # params differ, steps+flows match
             _aimd_spec(steps=100, n=3),    # flow count differs
         ]
         plan = plan_batches(specs)
         assert plan.fallback == []
         groups = {tuple(g.indices) for g in plan.groups}
         assert groups == {(0, 2), (1,), (3,)}
+
+    def test_mixed_protocol_classes_share_a_group(self):
+        """Classes no longer split groups: dispatch is per cell."""
+        specs = [
+            _aimd_spec(steps=100),
+            ScenarioSpec(
+                protocols=[MIMD(1.01, 0.875)] * 2,
+                link=Link.from_mbps(20, 42, 100),
+                steps=100,
+                initial_windows=[1.0, 1.0],
+            ),
+            ScenarioSpec(
+                protocols=[AIMD(1.0, 0.5), MIMD(1.02, 0.9)],
+                link=Link.from_mbps(40, 42, 100),
+                steps=100,
+                initial_windows=[1.0, 2.0],
+            ),
+        ]
+        plan = plan_batches(specs)
+        assert plan.fallback == []
+        assert [g.indices for g in plan.groups] == [[0, 1, 2]]
+        inputs = plan.groups[0].inputs
+        assert len(inputs.class_table) == 2
+        # Cell table: scenario 0 all-AIMD, 1 all-MIMD, 2 mixed per column.
+        assert inputs.cell_classes.tolist() == [[0, 0], [1, 1], [0, 1]]
+        # Merged param table is NaN where a cell's class lacks the name
+        # (all classes here define a and b, so no NaN at all).
+        assert np.isfinite(inputs.cell_params["a"]).all()
 
     def test_stateful_protocol_falls_back(self):
         specs = [
@@ -71,6 +99,44 @@ class TestPlanBatches:
         plan = plan_batches(specs)
         assert plan.fallback == [1]
         assert [g.indices for g in plan.groups] == [[0]]
+
+    def test_stateful_grid_mix_groups_the_batchable_remainder(self):
+        """CUBIC/Vegas/PccLike specs fall back; the rest still batch."""
+        from repro.protocols.presets import cubic, vegas
+
+        def stateful_spec(protocol):
+            return ScenarioSpec(
+                protocols=[protocol, AIMD(1.0, 0.5)],
+                link=Link.from_mbps(20, 42, 100),
+                steps=100,
+                initial_windows=[1.0, 1.0],
+            )
+
+        specs = [
+            _aimd_spec(a=1.0),                                  # 0 batch
+            stateful_spec(cubic()),                             # 1
+            ScenarioSpec(                                       # 2 batch
+                protocols=[AIMD(1.0, 0.5), MIMD(1.02, 0.9)],
+                link=Link.from_mbps(40, 42, 100),
+                steps=100,
+                initial_windows=[1.0, 2.0],
+            ),
+            stateful_spec(vegas()),                             # 3
+            stateful_spec(pcc_like()),                          # 4
+            _aimd_spec(a=2.0),                                  # 5 batch
+        ]
+        plan = plan_batches(specs)
+        assert plan.fallback == [1, 3, 4]
+        assert [g.indices for g in plan.groups] == [[0, 2, 5]]
+        # Results come back in submission order, each equal to its serial
+        # run — stateful fallbacks and batched rows interleaved.
+        results = run_specs_batched(specs, use_cache=False)
+        for spec, trace in zip(specs, results):
+            reference = run_spec(spec, "fluid", use_cache=False)
+            assert np.array_equal(
+                np.ascontiguousarray(trace.windows).view(np.uint64),
+                np.ascontiguousarray(reference.windows).view(np.uint64),
+            )
 
     def test_unlowerable_spec_falls_back(self):
         plan = plan_batches([_aimd_spec(), _multilink_spec()])
@@ -129,6 +195,45 @@ class TestErrorIsolation:
         assert results[0] is None
         reference = run_spec(healthy, "fluid", use_cache=False)
         assert np.array_equal(results[1].windows, reference.windows)
+
+    @pytest.mark.filterwarnings("ignore:overflow encountered")
+    def test_nonfinite_row_is_isolated_in_a_heterogeneous_group(self):
+        """Divergence detection survives the per-cell class dispatch.
+
+        A mixed-class group (the scenario itself mixes AIMD and MIMD
+        columns, its batchmate is all-MIMD) with one diverging row must
+        raise the exact serial error, and — with ``skip_errors`` — leave
+        the healthy row bit-identical to its serial trace.
+        """
+        diverging = ScenarioSpec(
+            protocols=[AIMD(1e308, 0.5), MIMD(1.01, 0.9)],
+            link=Link.from_mbps(20, 42, float("inf")),
+            steps=30,
+            initial_windows=[1e308, 1.0],
+            max_window=float("inf"),
+        )
+        healthy = ScenarioSpec(
+            protocols=[MIMD(1.02, 0.9)] * 2,
+            link=Link.from_mbps(30, 42, 100),
+            steps=30,
+            initial_windows=[1.0, 2.0],
+            max_window=float("inf"),
+        )
+        plan = plan_batches([diverging, healthy])
+        assert plan.fallback == []
+        assert [g.indices for g in plan.groups] == [[0, 1]]
+        assert len(plan.groups[0].inputs.class_table) == 2
+        with pytest.raises(ValueError, match="non-finite"):
+            run_specs_batched([diverging, healthy], use_cache=False)
+        results = run_specs_batched(
+            [diverging, healthy], use_cache=False, skip_errors=True
+        )
+        assert results[0] is None
+        reference = run_spec(healthy, "fluid", use_cache=False)
+        assert np.array_equal(
+            np.ascontiguousarray(results[1].windows).view(np.uint64),
+            np.ascontiguousarray(reference.windows).view(np.uint64),
+        )
 
 
 class TestChunkAutotune:

@@ -58,6 +58,9 @@ class TestParser:
         assert args.max_mb == 64.0
         args = build_parser().parse_args(["cache", "prune"])
         assert args.max_mb is None
+        assert not args.dry_run
+        args = build_parser().parse_args(["cache", "prune", "--dry-run"])
+        assert args.dry_run
 
     def test_batch_flags(self):
         assert build_parser().parse_args(["table2", "--batch"]).batch
@@ -67,6 +70,9 @@ class TestParser:
         )
         assert args.batch
         assert not build_parser().parse_args(["figure1"]).batch
+        assert build_parser().parse_args(["fct", "--batch"]).batch
+        assert build_parser().parse_args(["emulab", "--batch"]).batch
+        assert not build_parser().parse_args(["fct"]).batch
 
 
 class TestMain:
@@ -169,6 +175,27 @@ class TestMain:
         # Without a cap (flag or env) pruning is a no-op.
         assert main(["cache", "prune", "--dir", str(tmp_path)]) == 0
         assert "pruned 0" in capsys.readouterr().out
+
+    def test_cache_prune_dry_run_leaves_entries_in_place(self, capsys,
+                                                         tmp_path,
+                                                         monkeypatch):
+        from repro.perf import cache as cache_mod
+
+        monkeypatch.setenv(cache_mod.CACHE_ENV, str(tmp_path))
+        monkeypatch.setattr(cache_mod, "_active", None)
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        assert main(["run", "--protocols", "reno", "--steps", "60"]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "prune", "--dir", str(tmp_path),
+                     "--max-mb", "0", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would prune" in out
+        assert "would reclaim" in out
+
+        # The rehearsal deleted nothing: stats still see the entries.
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        assert "0 entries" not in capsys.readouterr().out
 
     def test_run_batch_matches_serial(self, capsys):
         argv = ["run", "--protocols", "AIMD(1,0.5)", "reno",

@@ -132,6 +132,28 @@ CASES = [
         ),
     ),
     (
+        "REP403",
+        "repro/model/batch.py",
+        (
+            "def batched_dispatch(windows, classes):\n"
+            "    if classes:\n"
+            "        return windows * 0.5\n"
+            "    return windows + 1.0\n"
+        ),
+        # Masked dispatch: branching on a scalar mask reduction picks a
+        # dispatch segment for the whole batch on purpose — not flagged.
+        (
+            "def batched_dispatch(windows, classes):\n"
+            "    out = windows + 0.0\n"
+            "    for k in range(2):\n"
+            "        if (classes == k).any():\n"
+            "            out = out + (classes == k)\n"
+            "        if (classes == k).sum() == 0:\n"
+            "            continue\n"
+            "    return out\n"
+        ),
+    ),
+    (
         "REP501",
         "repro/core/compare.py",
         "def same(a, b):\n    return a == b / 2\n",

@@ -154,6 +154,23 @@ class TestPruneCache:
         assert report["remaining_entries"] == 0
         assert list(cache.entries()) == []
 
+    def test_dry_run_reports_the_same_plan_without_deleting(self, tmp_path):
+        from repro.perf.store import prune_cache
+
+        cache, keys = self._fill(tmp_path)
+        sizes = [path.stat().st_size for path in cache.entries()]
+        keep = sum(sizes) - min(sizes)
+        rehearsal = prune_cache(cache, max_bytes=keep, dry_run=True)
+        assert rehearsal["removed"] >= 1
+        assert rehearsal["reclaimed_bytes"] > 0
+        # Nothing was actually unlinked: every entry still loads.
+        assert len(list(cache.entries())) == len(keys)
+        for key in keys:
+            assert load_unified_trace(cache, key) is not None
+        # A real prune with the same cap matches the rehearsal's report.
+        assert prune_cache(cache, max_bytes=keep) == rehearsal
+        assert rehearsal["remaining_entries"] == len(list(cache.entries()))
+
     def test_no_cap_is_a_noop(self, tmp_path, monkeypatch):
         from repro.perf.store import CACHE_MAX_MB_ENV, prune_cache
 
