@@ -12,7 +12,7 @@ Section-3 metric estimator accepts::
     trace = run_spec(spec, backend="packet")
 
 Backends register at import time; importing this package registers the
-three built-ins (``fluid``, ``network``, ``packet``).
+four built-ins (``fluid``, ``network``, ``packet``, ``meanfield``).
 """
 
 from repro.backends.base import (
@@ -26,12 +26,14 @@ from repro.backends.spec import LoweringError, ScenarioSpec
 from repro.backends.trace import (
     UnifiedTrace,
     from_fluid_trace,
+    from_meanfield_result,
     from_network_trace,
     from_packet_result,
 )
 
 # Importing the implementation modules registers the built-in backends.
 from repro.backends import fluid as _fluid  # noqa: E402,F401
+from repro.backends import meanfield as _meanfield  # noqa: E402,F401
 from repro.backends import network as _network  # noqa: E402,F401
 from repro.backends import packet as _packet  # noqa: E402,F401
 from repro.backends.batch import plan_batches, run_specs_batched
@@ -44,6 +46,7 @@ __all__ = [
     "UnifiedTrace",
     "backend_names",
     "from_fluid_trace",
+    "from_meanfield_result",
     "from_network_trace",
     "from_packet_result",
     "get_backend",

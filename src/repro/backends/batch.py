@@ -117,7 +117,7 @@ def _lower_for_batch(index: int, spec: ScenarioSpec) -> _Lowered | None:
         return None
     if config.schedule.sender_starts or config.schedule.link_changes:
         return None
-    if link.ecn_threshold is not None:
+    if link.marking_enabled:
         return None
     lp = config.loss_process
     if isinstance(lp, NoLoss):

@@ -3,9 +3,11 @@
 A :class:`ScenarioSpec` says *what* to simulate — protocols on a
 bottleneck, start times, horizon, random loss, seed — without saying *how*.
 Each registered backend (:mod:`repro.backends.fluid`,
-:mod:`repro.backends.network`, :mod:`repro.backends.packet`) lowers the
-spec to its native configuration via :meth:`ScenarioSpec.lower_fluid`,
-:meth:`~ScenarioSpec.lower_network` or :meth:`~ScenarioSpec.lower_packet`.
+:mod:`repro.backends.network`, :mod:`repro.backends.packet`,
+:mod:`repro.backends.meanfield`) lowers the spec to its native
+configuration via :meth:`ScenarioSpec.lower_fluid`,
+:meth:`~ScenarioSpec.lower_network`, :meth:`~ScenarioSpec.lower_packet`
+or :meth:`~ScenarioSpec.lower_meanfield`.
 
 Lowering is bit-preserving by construction: the fluid lowering rebuilds a
 field-for-field-equal :class:`~repro.model.dynamics.SimulationConfig`, and
@@ -98,6 +100,15 @@ class ScenarioSpec:
         identical defaults.
     sample_queue:
         Packet-only instrumentation: record queue occupancy samples.
+    flow_multiplicity:
+        Each entry of ``protocols`` stands for this many identical flows
+        (default 1). ``initial_windows`` stays per *entry*; expansion to
+        per-flow lists happens at lowering, so a million-flow scenario
+        never materializes a million protocol objects. The mean-field
+        backend keeps the aggregation symbolic (populations weight the
+        density); the fluid/network/packet backends expand to real
+        per-flow state and remain O(flows). Multiplicity above 1 is
+        incompatible with per-flow ``start_times`` and ``schedule``.
     """
 
     protocols: Sequence[Protocol]
@@ -119,6 +130,7 @@ class ScenarioSpec:
     unsynchronized_loss: bool = False
     allow_vectorized: bool = True
     sample_queue: bool = False
+    flow_multiplicity: int = 1
 
     def __post_init__(self) -> None:
         if not self.protocols:
@@ -152,11 +164,22 @@ class ScenarioSpec:
                 raise ValueError("set start_times or schedule, not both")
         if self.random_loss_rate > 0.0 and self.loss_process is not None:
             raise ValueError("set random_loss_rate or loss_process, not both")
+        if not isinstance(self.flow_multiplicity, int) or self.flow_multiplicity < 1:
+            raise ValueError(
+                f"flow_multiplicity must be a positive int, got {self.flow_multiplicity}"
+            )
+        if self.flow_multiplicity > 1 and (
+            self.start_times is not None or self.schedule is not None
+        ):
+            raise ValueError(
+                "flow_multiplicity > 1 is incompatible with per-flow "
+                "start_times or a schedule"
+            )
 
     # ------------------------------------------------------------------
     @property
     def n_senders(self) -> int:
-        return len(self.protocols)
+        return len(self.protocols) * self.flow_multiplicity
 
     def horizon_seconds(self) -> float:
         """The packet-backend horizon: ``duration`` or steps worth of base RTTs."""
@@ -165,12 +188,26 @@ class ScenarioSpec:
         return self.steps * self.link.base_rtt
 
     def resolved_protocols(self) -> list[Protocol]:
-        """The sender protocols, slow-start-wrapped when requested."""
-        if not self.slow_start:
-            return list(self.protocols)
-        from repro.protocols.slow_start import SlowStartWrapper
+        """The per-flow sender protocols: slow-start-wrapped when requested,
+        and expanded ``flow_multiplicity``-fold (engines deep-copy, so the
+        repeated instances are safe to share here)."""
+        if self.slow_start:
+            from repro.protocols.slow_start import SlowStartWrapper
 
-        return [SlowStartWrapper(p) for p in self.protocols]
+            entries: list[Protocol] = [SlowStartWrapper(p) for p in self.protocols]
+        else:
+            entries = list(self.protocols)
+        if self.flow_multiplicity == 1:
+            return entries
+        return [p for p in entries for _ in range(self.flow_multiplicity)]
+
+    def resolved_initial_windows(self) -> list[float] | None:
+        """Per-flow initial windows (``initial_windows`` expanded per entry)."""
+        if self.initial_windows is None:
+            return None
+        return [
+            float(w) for w in self.initial_windows for _ in range(self.flow_multiplicity)
+        ]
 
     # ------------------------------------------------------------------
     def _fluid_loss_process(self) -> LossProcess | None:
@@ -213,11 +250,7 @@ class ScenarioSpec:
         if schedule is not None:
             kwargs["schedule"] = schedule
         config = SimulationConfig(
-            initial_windows=(
-                list(self.initial_windows)
-                if self.initial_windows is not None
-                else None
-            ),
+            initial_windows=self.resolved_initial_windows(),
             min_window=self.min_window,
             max_window=self.max_window,
             integer_windows=self.integer_windows,
@@ -249,11 +282,7 @@ class ScenarioSpec:
         elif not isinstance(topology, Topology):
             raise LoweringError(f"topology must be a Topology, got {type(topology)}")
         kwargs = {
-            "initial_windows": (
-                list(self.initial_windows)
-                if self.initial_windows is not None
-                else None
-            ),
+            "initial_windows": self.resolved_initial_windows(),
             "min_window": self.min_window,
             "max_window": self.max_window,
             "loss_process": self._fluid_loss_process(),
@@ -305,6 +334,99 @@ class ScenarioSpec:
                 list(self.start_times) if self.start_times is not None else None
             ),
             sample_queue=self.sample_queue,
+        )
+
+    def lower_meanfield(self) -> "object":
+        """Lower to a :class:`~repro.meanfield.dynamics.MeanFieldScenario`.
+
+        The mean-field backend evolves the *distribution* of window sizes
+        (the N → ∞ limit of the fluid dynamics), so it can only express
+        scenarios whose per-flow dynamics are exchangeable memoryless
+        functions of the synchronized feedback:
+
+        - every protocol must declare a
+          :attr:`~repro.protocols.base.Protocol.meanfield_trigger` and
+          implement :meth:`~repro.protocols.base.Protocol.batched_next`
+          (stateful protocols such as CUBIC or slow-start wrappers keep
+          per-flow history the density cannot carry);
+        - per-flow scheduled events, staggered starts and multi-link
+          topologies do not lower;
+        - non-congestion loss must be the constant ``random_loss_rate``
+          (a richer ``loss_process`` draws per-flow randomness);
+        - ``integer_windows`` has no density analogue.
+
+        ``unsynchronized_loss`` selects between the two closures: off
+        (the paper's synchronized feedback) every flow reacts to the same
+        signal; on, each flow notices a lossy step with probability
+        ``1 - (1 - L)**x`` — the regime whose N → ∞ limit the density
+        evolution is. ``seed`` is ignored: the mean-field limit is
+        deterministic. Identical (protocol, initial window) entries merge
+        into one population-weighted density group.
+        """
+        from repro.meanfield.dynamics import MeanFieldGroup, MeanFieldScenario
+
+        if self.topology is not None:
+            raise LoweringError("the mean-field backend is single-link; use 'network'")
+        if self.schedule is not None:
+            raise LoweringError(
+                "the mean-field backend cannot express per-flow scheduled events"
+            )
+        if self.start_times is not None and any(t > 0 for t in self.start_times):
+            raise LoweringError(
+                "the mean-field backend cannot express staggered starts"
+            )
+        if self.loss_process is not None:
+            raise LoweringError(
+                "the mean-field backend models random loss via random_loss_rate"
+            )
+        if self.slow_start:
+            raise LoweringError(
+                "slow-start wrappers are stateful; the density carries no "
+                "per-flow history"
+            )
+        if self.integer_windows:
+            raise LoweringError("integer windows have no density analogue")
+        for protocol in self.protocols:
+            cls = type(protocol)
+            if (
+                getattr(cls, "meanfield_trigger", None) is None
+                or not getattr(cls, "supports_batched", False)
+            ):
+                raise LoweringError(
+                    f"{cls.__name__} declares no mean-field decrease trigger "
+                    "(stateful or non-threshold protocols cannot lower)"
+                )
+        groups: dict[tuple, MeanFieldGroup] = {}
+        for i, protocol in enumerate(self.protocols):
+            initial = (
+                self.initial_windows[i] if self.initial_windows is not None else 1.0
+            )
+            params = tuple(
+                float(getattr(protocol, name))
+                for name in type(protocol).batch_param_names
+            )
+            key = (type(protocol), params, float(initial))
+            if key in groups:
+                existing = groups[key]
+                groups[key] = MeanFieldGroup(
+                    protocol=existing.protocol,
+                    population=existing.population + self.flow_multiplicity,
+                    initial_window=existing.initial_window,
+                )
+            else:
+                groups[key] = MeanFieldGroup(
+                    protocol=protocol,
+                    population=self.flow_multiplicity,
+                    initial_window=float(initial),
+                )
+        return MeanFieldScenario(
+            link=self.link,
+            groups=list(groups.values()),
+            steps=self.steps,
+            synchronized=not self.unsynchronized_loss,
+            random_loss_rate=self.random_loss_rate,
+            min_window=self.min_window,
+            max_window=self.max_window,
         )
 
     # ------------------------------------------------------------------

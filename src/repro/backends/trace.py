@@ -31,6 +31,7 @@ from repro.model.trace import SimulationTrace
 __all__ = [
     "UnifiedTrace",
     "from_fluid_trace",
+    "from_meanfield_result",
     "from_network_trace",
     "from_packet_result",
 ]
@@ -118,6 +119,33 @@ def from_network_trace(net, bottleneck, backend: str = "network") -> UnifiedTrac
         base_rtts=np.full(steps, bottleneck.base_rtt),
         backend=backend,
         flow_rtts=net.flow_rtts,
+    )
+
+
+def from_meanfield_result(result, backend: str = "meanfield") -> UnifiedTrace:
+    """Project a mean-field run's density moments onto the trace contract.
+
+    Column ``g`` is group ``g``'s *aggregate*: its population times its
+    per-flow mean window, so ``total_window()`` recovers the closure
+    aggregate ``X(t)`` and the utilization/efficiency estimators read
+    exactly the quantities the density evolution was closed through.
+    ``observed_loss`` is each group's density-weighted expected observed
+    signal (a rate, shared by the group's exchangeable flows). Per-flow
+    estimators therefore see one column per flow *class*; within a class
+    the mean-field ansatz makes flows statistically identical.
+    """
+    steps = result.mean_windows.shape[0]
+    windows = result.mean_windows * result.populations[None, :]
+    return UnifiedTrace(
+        windows=windows,
+        observed_loss=result.observed_loss,
+        congestion_loss=result.congestion_loss,
+        rtts=result.rtts,
+        capacities=np.full(steps, result.link.capacity),
+        pipe_limits=np.full(steps, result.link.pipe_limit),
+        base_rtts=np.full(steps, result.link.base_rtt),
+        backend=backend,
+        flow_rtts=np.repeat(result.rtts[:, None], windows.shape[1], axis=1),
     )
 
 

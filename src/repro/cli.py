@@ -8,7 +8,7 @@ Usage::
     repro claims
     repro emulab [--full] [--batch]
     repro fct [--replications 3] [--batch]
-    repro run --backend {fluid,network,packet} --protocols reno cubic [--batch]
+    repro run --backend {backends} --protocols reno cubic [--batch]
     repro simulate --protocols "AIMD(1,0.5)" "CUBIC(0.4,0.8)" --steps 2000
     repro cache stats|clear|prune [--dir PATH] [--max-mb N] [--dry-run]
     repro lint [paths] [--select/--ignore CODES] [--format json|github]
@@ -39,9 +39,15 @@ from repro.experiments import (
     save_result,
 )
 from repro.experiments.table2 import run_table2_packet
+from repro.backends import backend_names
 from repro.model.dynamics import FluidSimulator
 from repro.model.link import Link
 from repro.protocols import make_protocol, presets
+
+# The usage text's --backend line is derived from the registry, so it can
+# never drift from the parser's dynamic `choices=backend_names()` again.
+if __doc__:  # pragma: no branch - absent only under python -OO
+    __doc__ = __doc__.format(backends="{" + ",".join(backend_names()) + "}")
 
 
 def _add_link_arguments(parser: argparse.ArgumentParser) -> None:
@@ -134,8 +140,6 @@ def build_parser() -> argparse.ArgumentParser:
                      "one merged event loop (bit-identical to the serial "
                      "sweep)")
 
-    from repro.backends import backend_names
-
     run_p = subparsers.add_parser(
         "run", help="run one scenario spec through any simulation backend"
     )
@@ -150,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="horizon in seconds (overrides --steps)")
     run_p.add_argument("--loss", type=float, default=0.0,
                        help="random (non-congestion) loss rate in [0, 1)")
+    run_p.add_argument("--flows", type=int, default=1,
+                       help="flow multiplicity: each --protocols entry stands "
+                       "for this many identical flows (the meanfield backend "
+                       "simulates any count at fixed cost)")
+    run_p.add_argument("--unsync-loss", action="store_true",
+                       help="unsynchronized loss feedback (each flow notices "
+                       "a lossy step with probability 1-(1-L)^x)")
     run_p.add_argument("--seed", type=int, default=0,
                        help="seed for randomized dynamics")
     run_p.add_argument("--slow-start", action="store_true",
@@ -265,6 +276,8 @@ def _run_run_command(args: argparse.Namespace) -> int:
         random_loss_rate=args.loss,
         slow_start=args.slow_start,
         seed=args.seed,
+        flow_multiplicity=args.flows,
+        unsynchronized_loss=args.unsync_loss,
     )
     backend = get_backend(args.backend)
     if args.batch:
@@ -277,9 +290,20 @@ def _run_run_command(args: argparse.Namespace) -> int:
           f"{trace.steps} steps (~{spec.horizon_seconds():g}s)")
     for key, value in trace.summary().items():
         print(f"  {key}: {value:.4f}")
-    for i, protocol in enumerate(protocols):
-        mean = trace.tail(0.5).mean_windows()[i]
-        print(f"  {protocol.name}: tail mean window {mean:.2f} MSS")
+    tail_means = trace.tail(0.5).mean_windows()
+    if args.backend == "meanfield":
+        # Mean-field columns are population-weighted flow classes (identical
+        # entries merge), so report the per-flow mean of each class.
+        for group, mean in zip(spec.lower_meanfield().groups, tail_means):
+            print(f"  {group.protocol.name} x{group.population}: "
+                  f"tail mean window {mean / group.population:.2f} MSS/flow")
+    else:
+        for i, protocol in enumerate(protocols):
+            # With --flows > 1 the entry's copies are interchangeable;
+            # report the first.
+            mean = tail_means[i * args.flows]
+            label = f" x{args.flows}" if args.flows > 1 else ""
+            print(f"  {protocol.name}{label}: tail mean window {mean:.2f} MSS")
     key = backend.cache_key(spec)
     if key is not None:
         print(f"  cache key: {args.backend}:{key[:16]}…")

@@ -861,6 +861,66 @@ def _check_batched_kernel_branches(
 
 
 # ----------------------------------------------------------------------
+# REP404 — mean-field kernels must not Python-loop over grid cells
+# ----------------------------------------------------------------------
+@rule(
+    "REP404",
+    "meanfield-kernel-loop",
+    Severity.ERROR,
+    "a 'meanfield_*' kernel owes its O(1)-in-flows cost to whole-grid "
+    "array passes; a Python for/while/comprehension over its grid inputs "
+    "reintroduces per-cell interpreter cost — scatter with numpy.bincount "
+    "and transform with array expressions instead (the mirror of REP403 "
+    "for density kernels)",
+    scope=("repro/meanfield", "repro/model", "repro/backends"),
+)
+def _check_meanfield_kernel_loops(
+    rule_: Rule, ctx: FileContext
+) -> Iterator[Finding]:
+    comprehensions = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not node.name.startswith("meanfield_"):
+            continue
+        params = _argument_names(node)
+        for inner in ast.walk(node):
+            if isinstance(inner, (ast.For, ast.AsyncFor)):
+                tainted = sorted(_names_in(inner.iter) & params)
+                if tainted:
+                    yield _make(
+                        rule_, ctx, inner,
+                        f"'{node.name}' iterates over grid input(s) "
+                        f"{', '.join(tainted)} with a Python for loop; use "
+                        "whole-array numpy operations so the kernel stays "
+                        "O(grid) in compiled code",
+                    )
+            elif isinstance(inner, ast.While):
+                tainted = sorted(_names_in(inner.test) & params)
+                if tainted and not _is_mask_reduction(inner.test):
+                    yield _make(
+                        rule_, ctx, inner,
+                        f"'{node.name}' loops on grid input(s) "
+                        f"{', '.join(tainted)} with a Python while; use "
+                        "whole-array numpy operations instead",
+                    )
+            elif isinstance(inner, comprehensions):
+                tainted = sorted(
+                    set().union(
+                        *(_names_in(gen.iter) for gen in inner.generators)
+                    )
+                    & params
+                )
+                if tainted:
+                    yield _make(
+                        rule_, ctx, inner,
+                        f"'{node.name}' builds a comprehension over grid "
+                        f"input(s) {', '.join(tainted)}; use whole-array "
+                        "numpy operations instead",
+                    )
+
+
+# ----------------------------------------------------------------------
 # REP501 — float equality
 # ----------------------------------------------------------------------
 def _is_floatish(node: ast.expr) -> bool:

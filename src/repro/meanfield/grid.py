@@ -1,0 +1,70 @@
+"""The fixed window grid a mean-field density lives on.
+
+Windows are continuous in the fluid model, so the density is discretized
+as probability mass on ``cells`` evenly spaced *points*
+``x_j = lo + j * dx`` (a point grid, not cell centers: putting the first
+point exactly at the window floor means mass clamped to ``min_window``
+sits on a grid point instead of leaking into an off-grid half cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.link import Link
+
+__all__ = ["DEFAULT_CELLS", "WindowGrid", "default_grid"]
+
+DEFAULT_CELLS = 2048
+"""Default grid resolution; per-step cost is linear in this, not in flows."""
+
+
+@dataclass(frozen=True)
+class WindowGrid:
+    """``cells`` evenly spaced window values spanning ``[lo, hi]``."""
+
+    lo: float
+    hi: float
+    cells: int = DEFAULT_CELLS
+
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.lo) or self.lo < 0:
+            raise ValueError(f"grid lo must be finite and >= 0, got {self.lo}")
+        if not np.isfinite(self.hi) or self.hi <= self.lo:
+            raise ValueError(f"grid hi must be finite and > lo, got {self.hi}")
+        if self.cells < 2:
+            raise ValueError(f"a grid needs at least 2 points, got {self.cells}")
+
+    @property
+    def dx(self) -> float:
+        """Spacing between adjacent grid points."""
+        return (self.hi - self.lo) / (self.cells - 1)
+
+    def points(self) -> np.ndarray:
+        """The grid points ``x_j = lo + j * dx``, shape ``(cells,)``."""
+        return self.lo + self.dx * np.arange(self.cells, dtype=float)
+
+
+def default_grid(
+    link: Link,
+    n_flows: int,
+    min_window: float = 1.0,
+    cells: int = DEFAULT_CELLS,
+    max_initial_window: float = 1.0,
+) -> WindowGrid:
+    """A grid sized to the scenario's reachable windows.
+
+    The droptail dynamics keep the aggregate near the pipe limit, so a
+    flow's window orbits ``(C + tau) / N``; eight times that fair share
+    leaves room for the sawtooth peak and the unsynchronized lucky tail.
+    The floor terms keep small-pipe or huge-N scenarios from degenerating
+    (at least ~32 MSS of range above the window floor) and make sure the
+    initial condition is on the grid.
+    """
+    if n_flows <= 0:
+        raise ValueError(f"n_flows must be positive, got {n_flows}")
+    share = 8.0 * link.pipe_limit / n_flows
+    hi = max(share, min_window + 32.0, 2.0 * max_initial_window)
+    return WindowGrid(lo=min_window, hi=hi, cells=cells)

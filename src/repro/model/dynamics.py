@@ -225,7 +225,7 @@ class FluidSimulator:
             return False
         if cfg.schedule.sender_starts or cfg.schedule.link_changes:
             return False
-        if self.link.ecn_threshold is not None:
+        if self.link.marking_enabled:
             return False
         lp = cfg.loss_process
         if not (

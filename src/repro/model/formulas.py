@@ -33,6 +33,8 @@ __all__ = [
     "path_loss",
     "queue_occupancy",
     "queueing_delay",
+    "red_mark_fraction",
+    "step_mark_fraction",
 ]
 
 
@@ -108,6 +110,81 @@ def queueing_delay(
 ) -> float:
     """Per-link queueing delay: the standing queue drained at link rate."""
     return queue_occupancy(total_window, capacity, buffer_size) / bandwidth
+
+
+def step_mark_fraction(
+    total_window: float,
+    capacity: float,
+    pipe_limit: float,
+    threshold: float,
+) -> float:
+    """Fraction of a step's traffic marked by the step-ECN policy.
+
+    With threshold ``K``, the traffic occupying queue slots beyond the
+    ``K``-th — i.e. ``min(X, C + tau) - (C + K)`` of the ``X`` sent — is
+    marked. This is the historical ``Link.mark_fraction`` arithmetic,
+    centralized so the RED ramp can reduce to it bit-for-bit.
+    """
+    if total_window <= 0:
+        return 0.0
+    marked = min(total_window, pipe_limit) - (capacity + threshold)
+    if marked <= 0:
+        return 0.0
+    return min(1.0, marked / total_window)
+
+
+def red_mark_fraction(
+    total_window: float,
+    capacity: float,
+    pipe_limit: float,
+    min_threshold: float,
+    max_threshold: float,
+    max_mark: float = 1.0,
+    gentle: bool = False,
+) -> float:
+    """Fraction of a step's traffic marked by a RED / gentle-RED ramp.
+
+    The fluid rendering of RED: the traffic occupying queue slot ``s``
+    (of the ``Q = min(X, C + tau) - C`` occupied slots) is marked with
+    probability ``ramp(s)`` —
+
+    - ``0`` below ``min_threshold``,
+    - rising linearly to ``max_mark`` at ``max_threshold``,
+    - above ``max_threshold``: ``1`` (classic RED), or, with ``gentle``,
+      rising linearly from ``max_mark`` to ``1`` over one further
+      ``max_threshold`` of queue (RFC 3168's gentle mode) and ``1``
+      beyond that —
+
+    so the marked fraction of the ``X`` sent is the integral of the ramp
+    over the occupied slots, divided by ``X``. With
+    ``min_threshold == max_threshold`` the ramp degenerates to the step
+    policy and this function evaluates :func:`step_mark_fraction`'s
+    arithmetic exactly (bit-identical; property-tested), which is what
+    keeps DCTCP's step-marking scenarios unaffected by the RED knobs.
+    """
+    if min_threshold >= max_threshold:
+        return step_mark_fraction(total_window, capacity, pipe_limit, min_threshold)
+    if total_window <= 0:
+        return 0.0
+    occupied = min(total_window, pipe_limit) - capacity
+    if occupied <= min_threshold:
+        return 0.0
+    # Ramp segment [min_threshold, max_threshold): triangle area.
+    ramped = min(occupied, max_threshold) - min_threshold
+    marked = max_mark * ramped * ramped / (2.0 * (max_threshold - min_threshold))
+    # Above max_threshold: certainly marked, or the gentle ramp to 1.
+    excess = occupied - max_threshold
+    if excess > 0:
+        if gentle:
+            ramped = min(excess, max_threshold)
+            marked += ramped * max_mark
+            marked += (1.0 - max_mark) * ramped * ramped / (2.0 * max_threshold)
+            marked += max(0.0, excess - max_threshold)
+        else:
+            marked += excess
+    if marked <= 0:
+        return 0.0
+    return min(1.0, marked / total_window)
 
 
 def path_loss(link_losses: list[float]) -> float:

@@ -53,6 +53,21 @@ class Link:
         paper's model): traffic queued beyond the ``K``-th buffer slot is
         marked rather than dropped, and senders observe the marked
         fraction. ``None`` (default) disables marking.
+    red_min_threshold / red_max_threshold:
+        Optional RED marking ramp in MSS of queue occupancy: nothing is
+        marked below ``min_th``, the per-slot marking probability rises
+        linearly to ``red_max_mark`` at ``max_th``, and queue beyond
+        ``max_th`` is marked outright (or along the gentle ramp, see
+        ``red_gentle``). Setting ``min_th == max_th`` degenerates to the
+        step policy and is bit-identical to ``ecn_threshold=min_th``.
+        Mutually exclusive with ``ecn_threshold``.
+    red_max_mark:
+        RED's ``max_p``: the marking probability reached at
+        ``red_max_threshold``. Default 1.0.
+    red_gentle:
+        RFC 3168 gentle mode: above ``max_th`` the marking probability
+        ramps from ``red_max_mark`` to 1 over one further ``max_th`` of
+        queue instead of jumping straight to 1.
     """
 
     bandwidth: float
@@ -60,6 +75,10 @@ class Link:
     buffer_size: float
     timeout_rtt: float | None = None
     ecn_threshold: float | None = None
+    red_min_threshold: float | None = None
+    red_max_threshold: float | None = None
+    red_max_mark: float = 1.0
+    red_gentle: bool = False
 
     def __post_init__(self) -> None:
         if self.bandwidth <= 0:
@@ -74,6 +93,31 @@ class Link:
             raise ValueError(
                 f"ecn_threshold must lie within the buffer [0, "
                 f"{self.buffer_size}], got {self.ecn_threshold}"
+            )
+        if (self.red_min_threshold is None) != (self.red_max_threshold is None):
+            raise ValueError(
+                "set both red_min_threshold and red_max_threshold, or neither"
+            )
+        if self.red_min_threshold is not None:
+            if self.ecn_threshold is not None:
+                raise ValueError(
+                    "RED marking and the step ecn_threshold are mutually "
+                    "exclusive (min_th == max_th reproduces the step policy)"
+                )
+            if not (
+                0.0
+                <= self.red_min_threshold
+                <= self.red_max_threshold
+                <= self.buffer_size
+            ):
+                raise ValueError(
+                    "RED thresholds must satisfy 0 <= min_th <= max_th <= "
+                    f"buffer ({self.buffer_size}), got "
+                    f"[{self.red_min_threshold}, {self.red_max_threshold}]"
+                )
+        if not 0.0 < self.red_max_mark <= 1.0:
+            raise ValueError(
+                f"red_max_mark must be in (0, 1], got {self.red_max_mark}"
             )
         if self.timeout_rtt is None:
             # Default Delta: the worst queuing delay plus one base RTT, i.e.
@@ -168,24 +212,43 @@ class Link:
             raise ValueError(f"total window must be non-negative, got {total_window}")
         return formulas.droptail_loss_rate(total_window, self.pipe_limit)
 
+    @property
+    def marking_enabled(self) -> bool:
+        """Whether any AQM marking (step ECN or RED ramp) is configured."""
+        return self.ecn_threshold is not None or self.red_min_threshold is not None
+
     def mark_fraction(self, total_window: float) -> float:
         """Fraction of the step's traffic carrying an ECN mark.
 
-        With threshold ``K``, the traffic occupying queue slots beyond the
-        ``K``-th — i.e. ``min(X, C + tau) - (C + K)`` of the ``X`` sent —
-        is marked. Zero when marking is disabled or the queue stays below
-        the threshold.
+        With a step threshold ``K`` (``ecn_threshold``), the traffic
+        occupying queue slots beyond the ``K``-th — i.e.
+        ``min(X, C + tau) - (C + K)`` of the ``X`` sent — is marked. With
+        a RED ramp (``red_min_threshold`` / ``red_max_threshold``), each
+        occupied slot is marked with the ramp probability and the marked
+        fraction is the ramp's integral over the queue
+        (:func:`~repro.model.formulas.red_mark_fraction`); a degenerate
+        ramp (``min_th == max_th``) is bit-identical to the step policy.
+        Zero when marking is disabled or the queue stays below the
+        threshold.
         """
         if total_window < 0:
             raise ValueError(f"total window must be non-negative, got {total_window}")
+        if self.red_min_threshold is not None:
+            assert self.red_max_threshold is not None
+            return formulas.red_mark_fraction(
+                total_window,
+                self.capacity,
+                self.pipe_limit,
+                self.red_min_threshold,
+                self.red_max_threshold,
+                self.red_max_mark,
+                self.red_gentle,
+            )
         if self.ecn_threshold is None or total_window <= 0:
             return 0.0
-        marked = min(total_window, self.pipe_limit) - (
-            self.capacity + self.ecn_threshold
+        return formulas.step_mark_fraction(
+            total_window, self.capacity, self.pipe_limit, self.ecn_threshold
         )
-        if marked <= 0:
-            return 0.0
-        return min(1.0, marked / total_window)
 
     def queue_occupancy(self, total_window: float) -> float:
         """Standing queue (MSS) implied by aggregate traffic ``X``, clamped to the buffer."""

@@ -28,6 +28,7 @@ class AIMD(Protocol):
     supports_vectorized = True
     supports_batched = True
     batch_param_names = ("a", "b")
+    meanfield_trigger = ("gt", 0.0)
 
     def __init__(self, a: float = 1.0, b: float = 0.5) -> None:
         if a <= 0:

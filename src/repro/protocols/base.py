@@ -60,6 +60,18 @@ class Protocol(ABC):
     #: in the order the batch planner stacks them into per-scenario arrays.
     batch_param_names: tuple[str, ...] = ()
 
+    #: Mean-field decrease trigger: how much observed loss makes the
+    #: protocol take its multiplicative-decrease branch instead of the
+    #: growth branch. A pair ``(op, threshold)`` where ``op`` is ``"gt"``
+    #: or ``"ge"`` and ``threshold`` is a float or the name of an instance
+    #: attribute (e.g. Robust AIMD's ``"epsilon"``). ``None`` means the
+    #: window update is not a two-branch growth/decrease function of the
+    #: loss signal, so the protocol cannot lower to the mean-field
+    #: backend. Only meaningful alongside :attr:`supports_batched` — the
+    #: mean-field kernel derives both branch maps from
+    #: :meth:`batched_next`.
+    meanfield_trigger: tuple[str, float | str] | None = None
+
     @abstractmethod
     def next_window(self, obs: Observation) -> float:
         """The window to use next step, given this step's observation.

@@ -26,6 +26,7 @@ class MIMD(Protocol):
     supports_vectorized = True
     supports_batched = True
     batch_param_names = ("a", "b")
+    meanfield_trigger = ("gt", 0.0)
 
     def __init__(self, a: float = 1.01, b: float = 0.875) -> None:
         if a <= 1.0:

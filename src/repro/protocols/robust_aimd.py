@@ -32,6 +32,7 @@ class RobustAIMD(Protocol):
     supports_vectorized = True
     supports_batched = True
     batch_param_names = ("a", "b", "epsilon")
+    meanfield_trigger = ("ge", "epsilon")
 
     def __init__(self, a: float = 1.0, b: float = 0.8, epsilon: float = 0.01) -> None:
         if a <= 0:

@@ -1,0 +1,120 @@
+"""Cross-backend agreement: the mean-field limit vs the per-flow engines.
+
+The mean-field backend evolves the N → ∞ window density; the finite-N
+engines should converge to it as N grows. These tests pin that with a
+*documented, monotonically tightening* tolerance ladder on time-averaged
+functionals (tail-mean per-flow aggregate share), comparing:
+
+- synchronized mean-field vs the fluid engine (identical closures: the
+  sync density is a point mass riding the fluid sawtooth, so they agree
+  to float precision already at small N);
+- unsynchronized mean-field vs the fluid engine's per-flow
+  ``unsynchronized_loss`` sampling, N = 10 → 10 000;
+- synchronized mean-field vs the packet engine (droptail at small N
+  synchronizes drops), N = 10 → 100.
+
+Every rung scales the link with N (capacity 2N Mbit/s, buffer 10N MSS)
+so the per-flow share is constant and the N-dependence isolated to the
+sampling noise the mean-field limit removes. Measured deviations (keep
+for recalibration): unsync fluid ~0.006/0.007/0.010/0.003 at
+N=10/100/1k/10k; packet 0.024/0.003 at N=10/100.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import ScenarioSpec, run_spec
+from repro.protocols.aimd import AIMD
+
+# N -> max relative deviation of tail-mean aggregate window. The ladder
+# must tighten monotonically: more flows, closer to the limit.
+FLUID_UNSYNC_TOLERANCES = {10: 0.06, 100: 0.04, 1000: 0.025, 10000: 0.015}
+PACKET_SYNC_TOLERANCES = {10: 0.06, 100: 0.02}
+
+
+def _spec(n: int, *, steps: int, unsync: bool, **kwargs):
+    """The scaled scenario: capacity 2N Mbit/s, 42 ms, buffer 10N MSS."""
+    return ScenarioSpec.from_mbps(
+        2e-3 * n * 1000,
+        42,
+        10 * n,
+        [AIMD(1, 0.5)] * n,
+        steps=steps,
+        unsynchronized_loss=unsync,
+        seed=3,
+        **kwargs,
+    )
+
+
+def _tail_share(trace, n: int, frac: float = 0.5) -> float:
+    """Time-averaged aggregate window per flow over the trailing window."""
+    total = trace.total_window()
+    tail = total[int(len(total) * (1 - frac)):]
+    return float(tail.mean()) / n
+
+
+def test_tolerance_ladders_tighten_monotonically():
+    for ladder in (FLUID_UNSYNC_TOLERANCES, PACKET_SYNC_TOLERANCES):
+        ns = sorted(ladder)
+        assert ns == list(ladder), "ladder must be declared in N order"
+        tols = [ladder[n] for n in ns]
+        assert tols == sorted(tols, reverse=True)
+        assert len(set(tols)) == len(tols), "tolerances must strictly tighten"
+
+
+def test_synchronized_meanfield_matches_fluid_tightly():
+    """Same closure, no sampling: agreement well inside 1% at N=10."""
+    spec = _spec(10, steps=600, unsync=False)
+    mf = _tail_share(run_spec(spec, "meanfield", use_cache=False), 10)
+    fl = _tail_share(run_spec(spec, "fluid", use_cache=False), 10)
+    assert mf == pytest.approx(fl, rel=0.01)
+
+
+@pytest.mark.parametrize("n", [10, 100, 1000])
+def test_unsync_fluid_converges_to_meanfield(n):
+    spec = _spec(n, steps=600, unsync=True)
+    mf = _tail_share(run_spec(spec, "meanfield", use_cache=False), n)
+    fl = _tail_share(run_spec(spec, "fluid", use_cache=False), n)
+    rel = abs(mf - fl) / fl
+    assert rel <= FLUID_UNSYNC_TOLERANCES[n], (n, mf, fl, rel)
+
+
+@pytest.mark.slow
+def test_unsync_fluid_converges_to_meanfield_large_n():
+    n = 10_000
+    spec = _spec(n, steps=250, unsync=True)
+    mf = _tail_share(run_spec(spec, "meanfield", use_cache=False), n)
+    fl = _tail_share(run_spec(spec, "fluid", use_cache=False), n)
+    rel = abs(mf - fl) / fl
+    assert rel <= FLUID_UNSYNC_TOLERANCES[n], (n, mf, fl, rel)
+
+
+@pytest.mark.parametrize("n", [10, 100])
+def test_packet_converges_to_synchronized_meanfield(n):
+    steps = 600 if n == 10 else 400
+    spec = _spec(n, steps=steps, unsync=False)
+    mf = _tail_share(run_spec(spec, "meanfield", use_cache=False), n)
+    # The packet engine's horizon is steps worth of base RTTs.
+    pk = _tail_share(run_spec(spec, "packet", use_cache=False), n)
+    rel = abs(mf - pk) / pk
+    assert rel <= PACKET_SYNC_TOLERANCES[n], (n, mf, pk, rel)
+
+
+def test_meanfield_is_flow_count_independent():
+    """The same per-flow physics at 1000x the population: identical
+    per-flow trajectory (bit-for-bit), since only populations scale."""
+    small = _spec(4, steps=200, unsync=False)
+    big = ScenarioSpec.from_mbps(
+        2e-3 * 4 * 1000, 42, 10 * 4, [AIMD(1, 0.5)] * 4,
+        steps=200, seed=3, flow_multiplicity=1000,
+    )
+    # Scale the big link so the per-flow share matches: capacity and
+    # buffer both 1000x.
+    big.link = type(small.link).from_mbps(2e-3 * 4000 * 1000, 42, 40000)
+    tiny = run_spec(small, "meanfield", use_cache=False)
+    huge = run_spec(big, "meanfield", use_cache=False)
+    np.testing.assert_allclose(
+        huge.total_window() / 1000.0, tiny.total_window(), rtol=1e-9
+    )

@@ -1,0 +1,224 @@
+"""Property tests for the mean-field density kernel and RED marking.
+
+Two invariant families:
+
+- the density kernel conserves total probability (within 1e-12 over long
+  horizons) and never produces negative or non-finite mass, under any
+  CFL-respecting step (the kernel is an explicit transport of existing
+  mass, so *every* step respects it by construction);
+- the RED ramp degenerates to the historical step ``mark_fraction``
+  bit-identically when ``min_th == max_th``, so DCTCP's step-marking
+  scenarios are unaffected by the new knobs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.meanfield.dynamics import (
+    MeanFieldGroup,
+    MeanFieldScenario,
+    MeanFieldSimulator,
+)
+from repro.meanfield.grid import WindowGrid
+from repro.meanfield.kernel import (
+    meanfield_deposit,
+    meanfield_plan,
+    meanfield_step,
+)
+from repro.model.formulas import red_mark_fraction, step_mark_fraction
+from repro.model.link import Link
+from repro.protocols.aimd import AIMD
+from repro.protocols.robust_aimd import RobustAIMD
+
+MASS_ATOL = 1e-12
+
+grids = st.builds(
+    WindowGrid,
+    lo=st.floats(min_value=0.0, max_value=4.0),
+    hi=st.floats(min_value=16.0, max_value=512.0),
+    cells=st.integers(min_value=2, max_value=257),
+)
+
+
+@st.composite
+def plans_and_mass(draw):
+    grid = draw(grids)
+    n = draw(st.integers(min_value=1, max_value=64))
+    # Positions may lie well outside the grid: the plan clips to the edges.
+    positions = draw(
+        st.lists(
+            st.floats(min_value=-10.0, max_value=1000.0),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    mass = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=n, max_size=n
+        )
+    )
+    return grid, np.asarray(positions), np.asarray(mass)
+
+
+@given(data=plans_and_mass())
+def test_deposit_conserves_mass_and_nonnegative(data):
+    grid, positions, mass = data
+    out = meanfield_deposit(meanfield_plan(positions, grid), mass)
+    assert out.shape == (grid.cells,)
+    assert (out >= 0.0).all()
+    assert abs(out.sum() - mass.sum()) <= 1e-12 * max(1.0, mass.sum())
+
+
+@given(data=plans_and_mass(), p=st.floats(min_value=0.0, max_value=1.0))
+def test_step_conserves_mass_and_nonnegative(data, p):
+    grid, positions, mass = data
+    points = grid.points()
+    growth = meanfield_plan(points + 1.0, grid)
+    decrease = meanfield_plan(points * 0.5, grid)
+    start = meanfield_deposit(meanfield_plan(positions, grid), mass)
+    out = meanfield_step(start, p, growth, decrease)
+    assert (out >= 0.0).all()
+    assert abs(out.sum() - start.sum()) <= 1e-12 * max(1.0, start.sum())
+
+
+@pytest.mark.parametrize("synchronized", [True, False])
+@pytest.mark.parametrize(
+    "protocol", [AIMD(1, 0.5), RobustAIMD(1, 0.8, 0.01)], ids=["aimd", "raimd"]
+)
+def test_long_horizon_mass_conservation(synchronized, protocol):
+    """Total probability stays 1 within 1e-12 over a long simulated horizon."""
+    link = Link.from_mbps(20, 42, 100)
+    scenario = MeanFieldScenario(
+        link=link,
+        groups=[MeanFieldGroup(protocol=protocol, population=50)],
+        steps=4000,
+        synchronized=synchronized,
+        random_loss_rate=0.002,
+    )
+    result = MeanFieldSimulator(scenario).run()
+    for mass in result.masses:
+        assert (mass >= 0.0).all()
+        assert np.isfinite(mass).all()
+        assert abs(mass.sum() - 1.0) <= MASS_ATOL
+    assert np.isfinite(result.mean_windows).all()
+    assert (result.mean_windows >= scenario.min_window - 1e-12).all()
+
+
+def test_sanitizer_trips_on_corrupted_mass():
+    """The REPRO_DEBUG_CHECKS observer catches a non-conserving density."""
+    from repro import debug
+
+    link = Link.from_mbps(20, 42, 100)
+    scenario = MeanFieldScenario(
+        link=link, groups=[MeanFieldGroup(protocol=AIMD(1, 0.5), population=10)],
+        steps=5,
+    )
+    sim = MeanFieldSimulator(scenario)
+    sim._groups[0].mass = sim._groups[0].mass * 0.5  # leak half the mass
+    with debug.checks(True), pytest.raises(debug.DebugCheckError):
+        sim.run()
+
+
+# ----------------------------------------------------------------------
+# RED satellite: the ramp must reduce to the step policy bit-identically.
+# ----------------------------------------------------------------------
+red_links = st.builds(
+    lambda bw, theta, buf: (bw, theta, buf),
+    bw=st.floats(min_value=1.0, max_value=1e5),
+    theta=st.floats(min_value=1e-3, max_value=0.5),
+    buf=st.floats(min_value=1.0, max_value=1e4),
+)
+
+
+@given(
+    params=red_links,
+    threshold_frac=st.floats(min_value=0.0, max_value=1.0),
+    x=st.floats(min_value=0.0, max_value=1e7),
+)
+@settings(max_examples=200)
+def test_degenerate_red_is_bit_identical_to_step(params, threshold_frac, x):
+    bw, theta, buf = params
+    threshold = threshold_frac * buf
+    step_link = Link(
+        bandwidth=bw, theta=theta, buffer_size=buf, ecn_threshold=threshold
+    )
+    red_link = Link(
+        bandwidth=bw,
+        theta=theta,
+        buffer_size=buf,
+        red_min_threshold=threshold,
+        red_max_threshold=threshold,
+    )
+    step = step_link.mark_fraction(x)
+    red = red_link.mark_fraction(x)
+    # Bit identity, not approximate equality: DCTCP traces keyed on the
+    # step policy must be unaffected by expressing it as a degenerate ramp.
+    assert step == red
+    assert np.float64(step).tobytes() == np.float64(red).tobytes()
+
+
+@given(
+    params=red_links,
+    threshold_frac=st.floats(min_value=0.0, max_value=1.0),
+    x=st.floats(min_value=0.0, max_value=1e7),
+)
+@settings(max_examples=200)
+def test_degenerate_red_formula_matches_step_formula(params, threshold_frac, x):
+    bw, theta, buf = params
+    link = Link(bandwidth=bw, theta=theta, buffer_size=buf)
+    threshold = threshold_frac * buf
+    step = step_mark_fraction(x, link.capacity, link.pipe_limit, threshold)
+    red = red_mark_fraction(
+        x, link.capacity, link.pipe_limit, threshold, threshold
+    )
+    assert np.float64(step).tobytes() == np.float64(red).tobytes()
+
+
+@given(
+    params=red_links,
+    fracs=st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    max_mark=st.floats(min_value=0.01, max_value=1.0),
+    gentle=st.booleans(),
+    x=st.floats(min_value=0.0, max_value=1e7),
+)
+@settings(max_examples=200)
+def test_red_mark_fraction_is_a_rate(params, fracs, max_mark, gentle, x):
+    bw, theta, buf = params
+    link = Link(bandwidth=bw, theta=theta, buffer_size=buf)
+    lo, hi = sorted(f * buf for f in fracs)
+    marked = red_mark_fraction(
+        x, link.capacity, link.pipe_limit, lo, hi, max_mark, gentle
+    )
+    assert 0.0 <= marked <= 1.0
+
+
+@given(
+    params=red_links,
+    fracs=st.tuples(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    x1=st.floats(min_value=0.0, max_value=1e7),
+    x2=st.floats(min_value=0.0, max_value=1e7),
+)
+@settings(max_examples=200)
+def test_red_marked_traffic_monotone_in_aggregate(params, fracs, x1, x2):
+    """Marked *traffic* (fraction times X) never shrinks as X grows."""
+    bw, theta, buf = params
+    link = Link(bandwidth=bw, theta=theta, buffer_size=buf)
+    lo, hi = sorted(f * buf for f in fracs)
+    low, high = sorted((x1, x2))
+    marked_low = low * red_mark_fraction(
+        low, link.capacity, link.pipe_limit, lo, hi
+    )
+    marked_high = high * red_mark_fraction(
+        high, link.capacity, link.pipe_limit, lo, hi
+    )
+    assert marked_low <= marked_high + 1e-7 * max(1.0, high)

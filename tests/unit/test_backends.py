@@ -154,7 +154,7 @@ class TestLoweringErrors:
 
 class TestRegistry:
     def test_builtin_backends_are_registered(self):
-        assert backend_names() == ["fluid", "network", "packet"]
+        assert backend_names() == ["fluid", "meanfield", "network", "packet"]
         for name in backend_names():
             assert get_backend(name).name == name
 
@@ -223,9 +223,14 @@ class TestUnifiedTraces:
 
         packet_spec = ScenarioSpec(protocols=[AIMD(1, 0.5)] * 2, link=link,
                                    duration=6.0, seed=1)
-        for name in ("fluid", "network", "packet"):
-            trace = run_spec(packet_spec if name == "packet" else spec,
-                             name, use_cache=False)
+        # Identical entries merge into one mean-field class; use two
+        # distinct ones so per-sender estimators have two columns.
+        meanfield_spec = ScenarioSpec(protocols=[AIMD(1, 0.5), AIMD(1, 0.8)],
+                                      link=link, steps=64)
+        per_backend = {"packet": packet_spec, "meanfield": meanfield_spec}
+        for name in ("fluid", "meanfield", "network", "packet"):
+            trace = run_spec(per_backend.get(name, spec), name,
+                             use_cache=False)
             scores = {
                 "efficiency": efficiency_from_trace(trace).score,
                 "fast_utilization": fast_utilization_from_trace(trace).score,

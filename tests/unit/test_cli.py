@@ -221,7 +221,9 @@ class TestRunCommand:
                 ["run", "--backend", "quantum", "--protocols", "reno"]
             )
 
-    @pytest.mark.parametrize("backend", ["fluid", "network", "packet"])
+    @pytest.mark.parametrize(
+        "backend", ["fluid", "meanfield", "network", "packet"]
+    )
     def test_run_prints_summary_on_every_backend(self, capsys, backend):
         exit_code = main([
             "run", "--backend", backend, "--protocols", "AIMD(1,0.5)", "reno",
@@ -233,3 +235,32 @@ class TestRunCommand:
         assert "mean_utilization" in captured.out
         assert "tail mean window" in captured.out
         assert "cache key" in captured.out
+
+    def test_docstring_backend_line_tracks_registry(self):
+        from repro import cli
+        from repro.backends import backend_names
+
+        expected = "--backend {" + ",".join(backend_names()) + "}"
+        assert expected in cli.__doc__
+        assert "{backends}" not in cli.__doc__  # placeholder fully resolved
+
+    def test_run_meanfield_with_flow_multiplicity(self, capsys):
+        exit_code = main([
+            "run", "--backend", "meanfield", "--protocols", "AIMD(1,0.5)",
+            "--flows", "100000", "--unsync-loss", "--steps", "60",
+            "--no-cache",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "backend=meanfield" in captured.out
+        assert "x100000" in captured.out
+        assert "MSS/flow" in captured.out
+
+    def test_run_flows_expand_on_flow_level_backends(self, capsys):
+        exit_code = main([
+            "run", "--backend", "fluid", "--protocols", "AIMD(1,0.5)",
+            "--flows", "3", "--steps", "60", "--no-cache",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "x3" in captured.out

@@ -126,3 +126,86 @@ class TestMisc:
 
     def test_timeout_is_finite(self, emulab_link):
         assert math.isfinite(emulab_link.timeout_rtt)
+
+
+class TestRedMarking:
+    """The RED ramp knobs: validation, ramp values, step-ECN coexistence."""
+
+    def _red(self, min_th, max_th, **kwargs):
+        return Link(bandwidth=1.0, theta=0.5, buffer_size=100.0,
+                    red_min_threshold=min_th, red_max_threshold=max_th,
+                    **kwargs)
+
+    def test_requires_both_thresholds(self):
+        with pytest.raises(ValueError, match="both"):
+            Link(bandwidth=1.0, theta=0.5, buffer_size=100.0,
+                 red_min_threshold=10.0)
+        with pytest.raises(ValueError, match="both"):
+            Link(bandwidth=1.0, theta=0.5, buffer_size=100.0,
+                 red_max_threshold=10.0)
+
+    def test_exclusive_with_step_ecn(self):
+        with pytest.raises(ValueError, match="mutually"):
+            Link(bandwidth=1.0, theta=0.5, buffer_size=100.0,
+                 ecn_threshold=5.0, red_min_threshold=10.0,
+                 red_max_threshold=20.0)
+
+    def test_thresholds_must_be_ordered_and_within_buffer(self):
+        with pytest.raises(ValueError, match="min_th <= max_th"):
+            self._red(30.0, 10.0)
+        with pytest.raises(ValueError, match="min_th <= max_th"):
+            self._red(10.0, 200.0)
+        with pytest.raises(ValueError, match="min_th <= max_th"):
+            self._red(-1.0, 10.0)
+
+    def test_max_mark_must_be_a_probability(self):
+        with pytest.raises(ValueError, match="red_max_mark"):
+            self._red(10.0, 30.0, red_max_mark=0.0)
+        with pytest.raises(ValueError, match="red_max_mark"):
+            self._red(10.0, 30.0, red_max_mark=1.5)
+
+    def test_marking_enabled_property(self, emulab_link):
+        assert not emulab_link.marking_enabled
+        assert self._red(10.0, 30.0).marking_enabled
+        ecn = Link(bandwidth=1.0, theta=0.5, buffer_size=100.0,
+                   ecn_threshold=5.0)
+        assert ecn.marking_enabled
+
+    def test_no_marks_below_min_threshold(self):
+        link = self._red(10.0, 30.0)
+        # Queue = X - capacity; capacity = 1.0 * 1.0 = 1 MSS.
+        assert link.mark_fraction(link.capacity + 10.0) == 0.0
+
+    def test_ramp_value_matches_triangle_area(self):
+        link = self._red(10.0, 30.0, red_max_mark=0.4)
+        x = link.capacity + 20.0  # queue 20: halfway up the ramp
+        # Integral of the ramp over slots [10, 20]: 0.4 * 10^2 / (2*20).
+        expected = (0.4 * 10.0 * 10.0 / (2.0 * 20.0)) / x
+        assert link.mark_fraction(x) == pytest.approx(expected)
+
+    def test_queue_beyond_max_threshold_is_fully_marked(self):
+        link = self._red(10.0, 30.0)
+        x = link.capacity + 50.0  # queue 50: 20 over max_th
+        full_ramp = 1.0 * 20.0 / 2.0  # triangle over [10, 30)
+        expected = (full_ramp + 20.0) / x
+        assert link.mark_fraction(x) == pytest.approx(expected)
+
+    def test_gentle_mode_softens_the_cliff(self):
+        classic = self._red(10.0, 30.0, red_max_mark=0.4)
+        gentle = self._red(10.0, 30.0, red_max_mark=0.4, red_gentle=True)
+        x = classic.capacity + 40.0  # queue 10 beyond max_th
+        assert gentle.mark_fraction(x) < classic.mark_fraction(x)
+        # Far beyond twice max_th both ramps saturate at certainty.
+        deep = Link(bandwidth=1.0, theta=30.0, buffer_size=100.0,
+                    red_min_threshold=2.0, red_max_threshold=4.0,
+                    red_gentle=True)
+        assert deep.mark_fraction(deep.pipe_limit) == pytest.approx(
+            Link(bandwidth=1.0, theta=30.0, buffer_size=100.0,
+                 red_min_threshold=2.0, red_max_threshold=4.0,
+                 ).mark_fraction(deep.pipe_limit), rel=0.2)
+
+    def test_monotone_in_window(self):
+        link = self._red(10.0, 30.0, red_max_mark=0.7, red_gentle=True)
+        xs = [link.capacity + q for q in range(0, 90, 5)]
+        marked = [x * link.mark_fraction(x) for x in xs]
+        assert marked == sorted(marked)

@@ -154,6 +154,34 @@ CASES = [
         ),
     ),
     (
+        "REP404",
+        "repro/meanfield/kernel.py",
+        (
+            "def meanfield_deposit(mass, index, cells):\n"
+            "    out = [0.0] * cells\n"
+            "    for i, m in zip(index, mass):\n"
+            "        out[i] += m\n"
+            "    return out\n"
+        ),
+        (
+            "import numpy as np\n\n"
+            "def meanfield_deposit(mass, index, cells):\n"
+            "    return np.bincount(index, weights=mass, minlength=cells)\n"
+        ),
+    ),
+    (
+        "REP404",
+        "repro/meanfield/moments.py",
+        (
+            "def meanfield_moment(mass, points):\n"
+            "    return sum(m * x for m, x in zip(mass, points))\n"
+        ),
+        (
+            "def meanfield_moment(mass, points):\n"
+            "    return float(mass @ points)\n"
+        ),
+    ),
+    (
         "REP501",
         "repro/core/compare.py",
         "def same(a, b):\n    return a == b / 2\n",

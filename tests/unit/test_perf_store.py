@@ -47,7 +47,8 @@ class TestUnifiedKey:
 
 
 class TestStoreRoundTrip:
-    @pytest.mark.parametrize("backend", ["fluid", "network", "packet"])
+    @pytest.mark.parametrize("backend", ["fluid", "meanfield", "network",
+                                         "packet"])
     def test_round_trip_is_bit_identical(self, tmp_path, spec, backend):
         run_input = spec
         if backend == "packet":
