@@ -278,6 +278,13 @@ def _kernel_chunk(
 
     Only the (typically empty) failure map is returned through the pool;
     all array output lands in shared memory, which is the point.
+
+    Write-safety contract (statically enforced by lint rules REP701/702):
+    nothing synchronizes sibling workers, so every access to an array
+    built over a shared segment must go through a ``[lo:hi]`` slice on
+    the row axis whose bounds are the pristine ``lo``/``hi`` parameters
+    the planner assigned — never the whole array, never arithmetic on
+    the bounds, and never rows another worker owns.
     """
     from multiprocessing import shared_memory
 
@@ -318,7 +325,10 @@ def _run_group_shm(
     Returns ``None`` when shared memory or a pool is unavailable on this
     platform, in which case the caller runs the kernel in-process. The
     result is bit-identical either way: chunks are disjoint row ranges of
-    the same elementwise recurrence.
+    the same elementwise recurrence. The parent may touch the buffers
+    freely — the REP7xx chunk discipline binds only workers (functions
+    that *attach* segments); this function *creates* them and only reads
+    the arrays back after every future has resolved.
     """
     from concurrent.futures import ProcessPoolExecutor
     from multiprocessing import shared_memory

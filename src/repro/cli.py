@@ -11,7 +11,9 @@ Usage::
     repro run --backend {backends} --protocols reno cubic [--batch]
     repro simulate --protocols "AIMD(1,0.5)" "CUBIC(0.4,0.8)" --steps 2000
     repro cache stats|clear|prune [--dir PATH] [--max-mb N] [--dry-run]
-    repro lint [paths] [--select/--ignore CODES] [--format json|github]
+    repro lint [paths] [--select/--ignore CODES] [--profile fast|full]
+               [--baseline FILE | --write-baseline FILE] [--stats]
+               [--format json|github]
 
 Every subcommand prints the paper-style table to stdout; ``--json`` also
 archives the structured result. The global ``--workers N`` runs experiment

@@ -8,6 +8,15 @@ protocol classes that honor the :class:`~repro.protocols.base.Protocol`
 interface, and hot-path records that stay allocation-lean. This package
 turns those contracts into machine-checked rules.
 
+On top of the single-node pattern rules sits a dataflow/symbolic layer
+(:mod:`repro.lint.dataflow`): the REP6xx family
+(:mod:`repro.lint.equivalence`) proves the five parallel renderings of
+each protocol update rule — scalar, vectorized, batched, compiled
+kernel, mean-field trigger — encode identical arithmetic, and the REP7xx
+family (:mod:`repro.lint.shm`) proves shared-memory pool workers stay
+inside their assigned row chunks. These run under ``--profile full``
+(the default); ``--profile fast`` keeps only the cheap pattern rules.
+
 Public surface:
 
 - :func:`repro.lint.engine.run_lint` — lint a set of paths, return findings.
@@ -26,6 +35,11 @@ from __future__ import annotations
 from repro.lint.engine import LintResult, run_lint
 from repro.lint.findings import Finding, Severity
 from repro.lint.rules import REGISTRY, Rule
+
+# Importing these modules registers the dataflow-backed rule families
+# (they have no other import-time side effects).
+import repro.lint.equivalence  # noqa: F401  (registers REP6xx)
+import repro.lint.shm  # noqa: F401  (registers REP7xx)
 
 __all__ = [
     "Finding",

@@ -1,0 +1,106 @@
+"""Finding baselines: land strict rules without blocking unrelated work.
+
+A baseline file records the findings present at some point in time;
+``repro lint --baseline <file>`` then fails only on findings *not* in
+the record, so a new strict rule family (REP6xx/REP7xx) can gate CI
+immediately while pre-existing debt is burned down separately.
+
+Findings are identified by a location-tolerant fingerprint —
+``path::code::message`` with an occurrence count — deliberately omitting
+line/column so unrelated edits that shift a finding a few lines do not
+resurrect it. Baseline entries that no longer match any finding are
+*stale*: the debt was paid and the entry should be deleted
+(``--write-baseline`` regenerates the file). Stale entries are reported
+on stderr so baselines shrink monotonically instead of rotting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+
+def fingerprint(finding: Finding) -> str:
+    """Location-tolerant identity of a finding (path, code, message)."""
+    return f"{finding.path}::{finding.code}::{finding.message}"
+
+
+def write_baseline(result: LintResult, path: str | Path) -> int:
+    """Record ``result``'s findings (parse errors included) to ``path``.
+
+    Returns the number of distinct fingerprints written.
+    """
+    counts = Counter(fingerprint(f) for f in result.all_findings())
+    payload = {
+        "version": _VERSION,
+        "entries": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(counts)
+
+
+def load_baseline(path: str | Path) -> Counter[str]:
+    """Parse a baseline file into fingerprint counts.
+
+    Raises :class:`FileNotFoundError` for a missing file and
+    :class:`ValueError` for a malformed one (both map to exit code 2 in
+    the CLI — a bad baseline must never silently pass the gate).
+    """
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise ValueError(
+            f"malformed baseline {path}: expected a version-{_VERSION} object"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0
+        for k, v in entries.items()
+    ):
+        raise ValueError(
+            f"malformed baseline {path}: 'entries' must map fingerprints to "
+            "positive counts"
+        )
+    return Counter(entries)
+
+
+def apply_baseline(result: LintResult, path: str | Path) -> list[str]:
+    """Drop baselined findings from ``result`` in place.
+
+    Each baseline entry absorbs up to its recorded count of matching
+    findings; the number absorbed is accumulated in
+    :attr:`LintResult.baselined`. Returns the *stale* fingerprints —
+    entries whose findings no longer occur (fully or partially unused) —
+    for the caller to report.
+    """
+    remaining = load_baseline(path)
+    kept_findings: list[Finding] = []
+    kept_parse: list[Finding] = []
+    absorbed = 0
+    for finding in sorted(result.findings, key=Finding.sort_key):
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            absorbed += 1
+        else:
+            kept_findings.append(finding)
+    for finding in sorted(result.parse_errors, key=Finding.sort_key):
+        key = fingerprint(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            absorbed += 1
+        else:
+            kept_parse.append(finding)
+    result.findings = kept_findings
+    result.parse_errors = kept_parse
+    result.baselined += absorbed
+    return sorted(key for key, count in remaining.items() if count > 0)

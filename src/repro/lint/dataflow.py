@@ -1,0 +1,619 @@
+"""Per-function dataflow analysis for the lint layer.
+
+The single-node AST matching of the original rule set (``REP1xx`` ..
+``REP5xx``) cannot answer the questions the ``REP6xx``/``REP7xx``
+families ask — "which expression does this function ultimately return?",
+"is this slice bound still the parameter it arrived as?", "does this
+local alias a shared-memory buffer?". This module answers them with a
+small, dependency-free analysis pipeline over one ``ast.FunctionDef``:
+
+- :func:`build_cfg` — a statement-level control-flow graph (basic blocks
+  with successor edges; ``if``/``while``/``for``/``try`` lower to the
+  usual diamond/loop shapes, ``return``/``raise``/``break``/``continue``
+  terminate or redirect blocks);
+- reaching definitions — a forward may-analysis over the CFG (worklist,
+  gen/kill per block), exposed per statement;
+- constant propagation — names provably bound to a single literal for
+  the whole function;
+- purity inference — whether the function writes anything outside its
+  own locals (parameter mutation, global/nonlocal writes, calls to
+  known-impure builtins);
+- aliasing facts — which locals are views of which parameters, and
+  which are arrays backed by ``multiprocessing.shared_memory`` buffers
+  (the ``REP7xx`` rules' whole subject matter).
+
+Everything is packaged behind :class:`FunctionSummary`, which rules
+consume instead of re-walking raw AST, and memoized per file through
+:func:`summaries` so several rules analyzing the same file share the
+work. The analysis is deliberately conservative: whenever a construct is
+too dynamic to model (starred assignment, ``exec``, attribute chains it
+cannot resolve) the summary degrades to "unknown" rather than guessing.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = [
+    "AliasFact",
+    "BasicBlock",
+    "CFG",
+    "FunctionSummary",
+    "analyze_function",
+    "build_cfg",
+    "summaries",
+]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+# ----------------------------------------------------------------------
+# Control-flow graph
+# ----------------------------------------------------------------------
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of statements plus successor edges."""
+
+    index: int
+    stmts: list[ast.stmt] = field(default_factory=list)
+    succs: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Basic blocks of one function body; block 0 is the entry."""
+
+    blocks: list[BasicBlock]
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def preds(self, index: int) -> list[int]:
+        return [b.index for b in self.blocks if index in b.succs]
+
+
+class _CFGBuilder:
+    """Lowers a statement list to basic blocks.
+
+    Loop/branch structure is preserved exactly as far as reaching
+    definitions need it; exception edges are approximated by wiring every
+    ``try`` body both through and around its handlers (a may-analysis
+    over-approximation, which is the safe direction for lint facts).
+    """
+
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+        self._current = self._new_block()
+
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def _link(self, src: BasicBlock, dst: BasicBlock) -> None:
+        if dst.index not in src.succs:
+            src.succs.append(dst.index)
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        exits = self._lower_body(body, self._current, loop=None)
+        # Dangling exits (fall off the end) simply terminate; nothing to
+        # wire them to. Return the assembled graph.
+        del exits
+        return CFG(blocks=self.blocks)
+
+    def _lower_body(
+        self,
+        body: list[ast.stmt],
+        current: BasicBlock,
+        loop: tuple[BasicBlock, BasicBlock] | None,
+    ) -> list[BasicBlock]:
+        """Lower ``body`` starting in ``current``; return the open exits.
+
+        ``loop`` carries the (header, after) pair of the innermost loop
+        for ``continue``/``break`` wiring.
+        """
+        exits = [current]
+        for stmt in body:
+            if not exits:
+                break  # unreachable code after return/raise/break
+            if isinstance(stmt, ast.If):
+                exits = self._lower_branch(stmt, exits, loop)
+            elif isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                exits = self._lower_loop(stmt, exits, loop)
+            elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+                exits = self._lower_try(stmt, exits, loop)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for block in exits:
+                    block.stmts.append(stmt)
+                exits = self._merge(exits)
+                exits = self._lower_body(stmt.body, exits[0], loop)
+            elif isinstance(stmt, (ast.Return, ast.Raise)):
+                for block in exits:
+                    block.stmts.append(stmt)
+                exits = []
+            elif isinstance(stmt, ast.Break):
+                if loop is not None:
+                    for block in exits:
+                        block.stmts.append(stmt)
+                        self._link(block, loop[1])
+                exits = []
+            elif isinstance(stmt, ast.Continue):
+                if loop is not None:
+                    for block in exits:
+                        block.stmts.append(stmt)
+                        self._link(block, loop[0])
+                exits = []
+            else:
+                for block in exits:
+                    block.stmts.append(stmt)
+                if len(exits) > 1:
+                    exits = self._merge(exits)
+        return exits
+
+    def _merge(self, exits: list[BasicBlock]) -> list[BasicBlock]:
+        """Join several open blocks into one continuation block."""
+        if len(exits) == 1:
+            return exits
+        joined = self._new_block()
+        for block in exits:
+            self._link(block, joined)
+        return [joined]
+
+    def _lower_branch(
+        self,
+        stmt: ast.If,
+        exits: list[BasicBlock],
+        loop: tuple[BasicBlock, BasicBlock] | None,
+    ) -> list[BasicBlock]:
+        [current] = self._merge(exits)
+        current.stmts.append(stmt)  # the test itself evaluates here
+        then_block = self._new_block()
+        self._link(current, then_block)
+        open_exits = self._lower_body(stmt.body, then_block, loop)
+        if stmt.orelse:
+            else_block = self._new_block()
+            self._link(current, else_block)
+            open_exits += self._lower_body(stmt.orelse, else_block, loop)
+        else:
+            open_exits.append(current)
+        return self._merge(open_exits) if open_exits else []
+
+    def _lower_loop(
+        self,
+        stmt: ast.While | ast.For | ast.AsyncFor,
+        exits: list[BasicBlock],
+        loop: tuple[BasicBlock, BasicBlock] | None,
+    ) -> list[BasicBlock]:
+        [current] = self._merge(exits)
+        header = self._new_block()
+        self._link(current, header)
+        header.stmts.append(stmt)  # test / iteration target binds here
+        after = self._new_block()
+        self._link(header, after)  # zero-iteration edge
+        body_block = self._new_block()
+        self._link(header, body_block)
+        body_exits = self._lower_body(stmt.body, body_block, (header, after))
+        for block in body_exits:
+            self._link(block, header)  # back edge
+        if stmt.orelse:
+            else_exits = self._lower_body(stmt.orelse, after, loop)
+            return self._merge(else_exits) if else_exits else []
+        return [after]
+
+    def _lower_try(
+        self,
+        stmt: ast.Try,
+        exits: list[BasicBlock],
+        loop: tuple[BasicBlock, BasicBlock] | None,
+    ) -> list[BasicBlock]:
+        [current] = self._merge(exits)
+        body_block = self._new_block()
+        self._link(current, body_block)
+        open_exits = self._lower_body(stmt.body, body_block, loop)
+        for handler in stmt.handlers:
+            handler_block = self._new_block()
+            # Any point of the try body may raise: over-approximate with
+            # an edge from the entry of the body region.
+            self._link(current, handler_block)
+            open_exits += self._lower_body(handler.body, handler_block, loop)
+        if stmt.orelse and open_exits:
+            [merged] = self._merge(open_exits)
+            open_exits = self._lower_body(stmt.orelse, merged, loop)
+        if stmt.finalbody:
+            if not open_exits:
+                # The finally still runs on every exceptional exit.
+                open_exits = [self._new_block()]
+                self._link(current, open_exits[0])
+            [merged] = self._merge(open_exits)
+            open_exits = self._lower_body(stmt.finalbody, merged, loop)
+        return open_exits
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """The control-flow graph of ``func``'s body."""
+    return _CFGBuilder().build(func.body)
+
+
+# ----------------------------------------------------------------------
+# Definitions and reaching-definitions analysis
+# ----------------------------------------------------------------------
+#: Sentinel definition site for parameters (they reach from the entry).
+PARAM_DEF = "<param>"
+
+
+def _stmt_defs(stmt: ast.stmt) -> Iterator[str]:
+    """Names (re)bound by executing ``stmt`` itself (not nested bodies)."""
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            yield from _target_names(target)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        yield from _target_names(stmt.target)
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from _target_names(stmt.target)
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                yield from _target_names(item.optional_vars)
+    elif isinstance(stmt, ast.Import):
+        for alias in stmt.names:
+            yield alias.asname or alias.name.split(".")[0]
+    elif isinstance(stmt, ast.ImportFrom):
+        for alias in stmt.names:
+            if alias.name != "*":
+                yield alias.asname or alias.name
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        yield stmt.name
+    elif isinstance(stmt, ast.If):
+        # Walrus targets in the test bind in the enclosing scope.
+        for node in ast.walk(stmt.test):
+            if isinstance(node, ast.NamedExpr) and isinstance(node.target, ast.Name):
+                yield node.target.id
+
+
+def _target_names(target: ast.expr) -> Iterator[str]:
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+    # Attribute / Subscript stores do not bind a local name.
+
+
+def _param_names(func: FunctionNode) -> tuple[str, ...]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            names.append(extra.arg)
+    return tuple(names)
+
+
+#: A definition site: the statement node that performed the binding, or
+#: :data:`PARAM_DEF` for the function's own parameters.
+DefSite = ast.stmt | str
+
+
+def _reaching_definitions(
+    func: FunctionNode, cfg: CFG
+) -> dict[int, dict[str, frozenset[DefSite]]]:
+    """Reaching definitions at *entry* of every block (worklist fixpoint)."""
+    gen: dict[int, dict[str, frozenset[DefSite]]] = {}
+    for block in cfg.blocks:
+        out: dict[str, frozenset[DefSite]] = {}
+        for stmt in block.stmts:
+            for name in _stmt_defs(stmt):
+                out[name] = frozenset([stmt])
+        gen[block.index] = out
+
+    entry_state: dict[str, frozenset[DefSite]] = {
+        name: frozenset([PARAM_DEF]) for name in _param_names(func)
+    }
+    states: dict[int, dict[str, frozenset[DefSite]]] = {
+        block.index: {} for block in cfg.blocks
+    }
+    states[cfg.entry.index] = dict(entry_state)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in cfg.blocks:
+            in_state: dict[str, frozenset[DefSite]] = (
+                dict(entry_state) if block.index == cfg.entry.index else {}
+            )
+            for pred in cfg.preds(block.index):
+                pred_out = _apply_block(states[pred], gen[pred])
+                for name, sites in pred_out.items():
+                    in_state[name] = in_state.get(name, frozenset()) | sites
+            if in_state != states[block.index]:
+                states[block.index] = in_state
+                changed = True
+    return states
+
+
+def _apply_block(
+    in_state: Mapping[str, frozenset[DefSite]],
+    block_gen: Mapping[str, frozenset[DefSite]],
+) -> dict[str, frozenset[DefSite]]:
+    out = dict(in_state)
+    out.update(block_gen)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Aliasing facts
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AliasFact:
+    """What a local name is known to refer to.
+
+    ``kind`` is one of:
+
+    - ``"param"`` — the unmodified parameter ``base``;
+    - ``"view"`` — a subscript view of the array held by ``base``;
+    - ``"shm-attached"`` — a ``SharedMemory`` segment *attached by name*
+      (i.e. this function is a worker operating on someone else's
+      buffer);
+    - ``"shm-owned"`` — a ``SharedMemory`` segment this function created
+      (``create=True``), i.e. the coordinating parent;
+    - ``"shm-array"`` — an ndarray constructed over an attached
+      segment's buffer (``base`` names the segment variable);
+    - ``"owned-array"`` — an ndarray over an owned segment's buffer.
+    """
+
+    kind: str
+    base: str = ""
+
+
+_IMPURE_CALLS = frozenset({
+    "print", "open", "exec", "eval", "input", "setattr", "delattr",
+    "globals", "vars",
+})
+
+#: ndarray constructors that wrap an existing buffer without copying.
+_BUFFER_ARRAY_CALLS = frozenset({"ndarray", "frombuffer", "asarray"})
+
+
+def _call_name(node: ast.expr) -> str | None:
+    """The trailing name of a call target (``np.ndarray`` -> ``ndarray``)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _shm_alias(value: ast.Call) -> AliasFact | None:
+    """Classify a ``SharedMemory(...)`` construction, if that is one."""
+    if _call_name(value.func) != "SharedMemory":
+        return None
+    creates = any(
+        kw.arg == "create"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is True
+        for kw in value.keywords
+    )
+    if creates:
+        return AliasFact(kind="shm-owned")
+    return AliasFact(kind="shm-attached")
+
+
+def _buffer_array_alias(
+    value: ast.Call, aliases: Mapping[str, AliasFact]
+) -> AliasFact | None:
+    """Classify ``np.ndarray(..., buffer=seg.buf)`` over a known segment."""
+    if _call_name(value.func) not in _BUFFER_ARRAY_CALLS:
+        return None
+    candidates = [kw.value for kw in value.keywords if kw.arg == "buffer"]
+    candidates += list(value.args)
+    for argument in candidates:
+        if (
+            isinstance(argument, ast.Attribute)
+            and argument.attr == "buf"
+            and isinstance(argument.value, ast.Name)
+        ):
+            segment = aliases.get(argument.value.id)
+            if segment is not None and segment.kind == "shm-attached":
+                return AliasFact(kind="shm-array", base=argument.value.id)
+            if segment is not None and segment.kind == "shm-owned":
+                return AliasFact(kind="owned-array", base=argument.value.id)
+    return None
+
+
+def _collect_aliases(func: FunctionNode) -> dict[str, AliasFact]:
+    """One forward pass of alias classification over the function body.
+
+    Conflicting rebinds degrade to the *more guarded* fact: once a name
+    has ever held a shared-memory-backed array it stays guarded, which is
+    the conservative direction for the REP7xx rules.
+    """
+    guarded = {"shm-attached", "shm-array"}
+    aliases: dict[str, AliasFact] = {
+        name: AliasFact(kind="param", base=name) for name in _param_names(func)
+    }
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        fact: AliasFact | None = None
+        if isinstance(value, ast.Call):
+            fact = _shm_alias(value) or _buffer_array_alias(value, aliases)
+        elif isinstance(value, ast.Subscript) and isinstance(value.value, ast.Name):
+            source = aliases.get(value.value.id)
+            if source is not None and source.kind in ("param", "view"):
+                fact = AliasFact(kind="view", base=source.base)
+        existing = aliases.get(target.id)
+        if existing is not None and existing.kind in guarded:
+            continue  # stay guarded across rebinds
+        if fact is not None:
+            aliases[target.id] = fact
+        elif existing is not None and existing.kind == "param":
+            # The parameter name was rebound to something else entirely.
+            aliases[target.id] = AliasFact(kind="other")
+    return aliases
+
+
+# ----------------------------------------------------------------------
+# The summary
+# ----------------------------------------------------------------------
+@dataclass
+class FunctionSummary:
+    """Everything the dataflow rules know about one function."""
+
+    node: FunctionNode
+    params: tuple[str, ...]
+    cfg: CFG
+    #: Every binding statement per name (parameters excluded).
+    assignments: Mapping[str, tuple[ast.stmt, ...]]
+    #: Names provably bound to exactly one literal for the whole function.
+    constants: Mapping[str, object]
+    #: Parameters never rebound anywhere in the function.
+    pristine_params: frozenset[str]
+    #: Parameters whose elements/attributes the function stores into.
+    mutated_params: frozenset[str]
+    #: Whether the function writes global/nonlocal state.
+    writes_globals: bool
+    #: Trailing names of everything the function calls.
+    calls: frozenset[str]
+    #: Alias classification per local name (see :class:`AliasFact`).
+    aliases: Mapping[str, AliasFact]
+    #: Reaching definitions at entry of each basic block.
+    _reaching_in: Mapping[int, Mapping[str, frozenset[DefSite]]]
+
+    @property
+    def is_pure(self) -> bool:
+        """No observable effect beyond the return value (conservative)."""
+        return (
+            not self.writes_globals
+            and not self.mutated_params
+            and not (self.calls & _IMPURE_CALLS)
+        )
+
+    def single_def(self, name: str) -> ast.expr | None:
+        """The unique expression ever assigned to ``name``, if there is one.
+
+        Returns ``None`` for parameters, multiply-assigned names, and
+        bindings that are not plain ``name = <expr>`` statements.
+        """
+        sites = self.assignments.get(name, ())
+        if len(sites) != 1:
+            return None
+        stmt = sites[0]
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+        ):
+            return stmt.value
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            return stmt.value
+        return None
+
+    def reaching_in(self, block_index: int) -> Mapping[str, frozenset[DefSite]]:
+        """Definitions reaching the entry of basic block ``block_index``."""
+        return self._reaching_in.get(block_index, {})
+
+    def is_pristine(self, name: str) -> bool:
+        """Whether ``name`` is a parameter never rebound in the function."""
+        return name in self.pristine_params
+
+
+def _literal_value(node: ast.expr | None) -> tuple[bool, object]:
+    """(is-literal, value) for constants and signed numeric constants."""
+    if isinstance(node, ast.Constant):
+        return True, node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, (int, float))
+    ):
+        return True, -node.operand.value
+    return False, None
+
+
+def analyze_function(func: FunctionNode) -> FunctionSummary:
+    """Run the full pipeline over one function definition."""
+    cfg = build_cfg(func)
+    params = _param_names(func)
+
+    assignments: dict[str, list[ast.stmt]] = {}
+    for block in cfg.blocks:
+        for stmt in block.stmts:
+            for name in _stmt_defs(stmt):
+                assignments.setdefault(name, []).append(stmt)
+    # Bindings inside nested functions/lambdas/comprehensions are their
+    # own scopes; ast.walk-based passes below stay within `func` because
+    # the CFG only lowers `func.body` statements.
+
+    constants: dict[str, object] = {}
+    for name, sites in assignments.items():
+        if name in params or len(sites) != 1:
+            continue
+        expr = None
+        stmt = sites[0]
+        if isinstance(stmt, ast.Assign):
+            expr = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            expr = stmt.value
+        is_literal, value = _literal_value(expr)
+        if is_literal:
+            constants[name] = value
+
+    pristine = frozenset(name for name in params if name not in assignments)
+
+    mutated: set[str] = set()
+    writes_globals = False
+    calls: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            writes_globals = True
+        elif isinstance(node, ast.Call):
+            name = _call_name(node.func)
+            if name is not None:
+                calls.add(name)
+        elif isinstance(node, (ast.Attribute, ast.Subscript)):
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                root = node.value
+                while isinstance(root, (ast.Attribute, ast.Subscript)):
+                    root = root.value
+                if isinstance(root, ast.Name) and root.id in params:
+                    mutated.add(root.id)
+
+    return FunctionSummary(
+        node=func,
+        params=params,
+        cfg=cfg,
+        assignments={k: tuple(v) for k, v in assignments.items()},
+        constants=constants,
+        pristine_params=pristine,
+        mutated_params=frozenset(mutated),
+        writes_globals=writes_globals,
+        calls=frozenset(calls),
+        aliases=_collect_aliases(func),
+        _reaching_in=_reaching_definitions(func, cfg),
+    )
+
+
+def summaries(ctx: object, func: FunctionNode) -> FunctionSummary:
+    """``analyze_function`` memoized on the file context.
+
+    Several rules analyze the same functions; the per-file ``cache``
+    dict on :class:`~repro.lint.rules.FileContext` makes the second rule
+    free. Falls back to uncached analysis for contexts without a cache.
+    """
+    cache = getattr(ctx, "cache", None)
+    if cache is None:
+        return analyze_function(func)
+    key = ("dataflow", id(func))
+    summary = cache.get(key)
+    if summary is None:
+        summary = cache[key] = analyze_function(func)
+    return summary

@@ -6,23 +6,39 @@ can run anywhere the simulators run. It makes two passes:
 1. every *file rule* runs on each parsed file independently;
 2. every *project rule* runs once over the whole parsed file set, for
    cross-file contracts (protocol interface conformance, cache-key
-   exclusion staleness).
+   exclusion staleness, implementation drift).
+
+Rules are grouped into *profiles*: ``fast`` rules are cheap single-node
+pattern matchers safe to run on every keystroke; ``full`` additionally
+enables the dataflow/symbolic rules (REP6xx/REP7xx), which build CFGs
+and symbolic expressions and cost noticeably more. ``--profile full`` is
+the default (and what CI's full leg runs); the PR fast leg uses
+``--profile fast`` on changed files only.
 
 Suppressions are trailing comments of the form ``# repro: noqa`` (all
 rules) or ``# repro: noqa[REP101,REP501]`` (listed rules), attached to
-the physical line a finding points at.
+the physical line a finding points at. For decorated functions and
+classes the whole decorator-to-``def`` line span counts as one
+statement: a ``noqa`` anywhere in the span suppresses findings anchored
+to any line of the span.
+
+A rule that crashes does not abort the run: the exception is converted
+into a synthetic ``REP999`` internal-error finding (always an error,
+never suppressible by profile) so CI fails loudly while every other rule
+still reports.
 """
 
 from __future__ import annotations
 
 import ast
 import re
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.lint.findings import Finding, Severity
-from repro.lint.rules import REGISTRY, FileContext, Rule
+from repro.lint.rules import PROFILES, REGISTRY, FileContext, Rule
 
 #: ``# repro: noqa`` with an optional bracketed, comma-separated code list.
 _NOQA_RE = re.compile(
@@ -30,8 +46,29 @@ _NOQA_RE = re.compile(
 )
 
 
-def _noqa_map(source: str) -> dict[int, frozenset[str] | None]:
-    """Per-line suppressions: line -> codes, or ``None`` for "all rules"."""
+def _merge_suppressions(
+    existing: frozenset[str] | None | object, new: frozenset[str] | None
+) -> frozenset[str] | None:
+    """Combine two suppression entries; ``None`` (all rules) dominates."""
+    if existing is ...:
+        return new
+    if existing is None or new is None:
+        return None
+    assert isinstance(existing, frozenset)
+    return existing | new
+
+
+def _noqa_map(
+    source: str, tree: ast.Module | None = None
+) -> dict[int, frozenset[str] | None]:
+    """Per-line suppressions: line -> codes, or ``None`` for "all rules".
+
+    When ``tree`` is given, suppressions on any line of a decorated
+    function/class header span (first decorator line through the ``def``/
+    ``class`` line) are normalized to cover the entire span, so a
+    ``noqa`` on the ``def`` line also suppresses findings that rules
+    anchor to a decorator's line.
+    """
     suppressions: dict[int, frozenset[str] | None] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
         match = _NOQA_RE.search(line)
@@ -44,7 +81,44 @@ def _noqa_map(source: str) -> dict[int, frozenset[str] | None]:
             suppressions[lineno] = frozenset(
                 code.strip().upper() for code in codes.split(",") if code.strip()
             )
+    if tree is None:
+        return suppressions
+    for node in ast.walk(tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.decorator_list:
+            continue
+        start = min(deco.lineno for deco in node.decorator_list)
+        span = range(start, node.lineno + 1)
+        merged: frozenset[str] | None | object = ...
+        hit = False
+        for lineno in span:
+            if lineno in suppressions:
+                hit = True
+                merged = _merge_suppressions(merged, suppressions[lineno])
+        if hit:
+            assert merged is not ...
+            for lineno in span:
+                suppressions[lineno] = merged  # type: ignore[assignment]
     return suppressions
+
+
+@dataclass
+class RuleStat:
+    """Per-rule cost and yield accounting for one lint run."""
+
+    code: str
+    findings: int = 0
+    seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "findings": self.findings,
+            "seconds": round(self.seconds, 6),
+        }
 
 
 @dataclass
@@ -55,6 +129,10 @@ class LintResult:
     files_checked: int
     suppressed: int = 0
     parse_errors: list[Finding] = field(default_factory=list)
+    #: Per-rule timing and finding counts, keyed by rule code.
+    rule_stats: dict[str, RuleStat] = field(default_factory=dict)
+    #: Findings dropped because a ``--baseline`` file already records them.
+    baselined: int = 0
 
     @property
     def ok(self) -> bool:
@@ -97,8 +175,18 @@ def module_path(path: Path) -> str:
 def select_rules(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    profile: str = "full",
 ) -> list[Rule]:
-    """The active rule list after ``--select`` / ``--ignore`` filtering."""
+    """The active rule list after profile and ``--select``/``--ignore``.
+
+    The profile filter applies only when ``select`` is not given: an
+    explicit ``--select REP701`` request always runs that rule, whatever
+    profile it belongs to.
+    """
+    if profile not in PROFILES:
+        raise ValueError(
+            f"unknown profile '{profile}' (expected one of: {', '.join(PROFILES)})"
+        )
     chosen = list(REGISTRY.values())
     if select is not None:
         wanted = {code.upper() for code in select}
@@ -106,6 +194,8 @@ def select_rules(
         if unknown:
             raise ValueError(f"unknown rule code(s): {', '.join(sorted(unknown))}")
         chosen = [rule for rule in chosen if rule.code in wanted]
+    elif profile == "fast":
+        chosen = [rule for rule in chosen if rule.profile == "fast"]
     if ignore is not None:
         dropped = {code.upper() for code in ignore}
         unknown = dropped - set(REGISTRY)
@@ -115,20 +205,44 @@ def select_rules(
     return chosen
 
 
+def _internal_error(rule_: Rule, path: str, exc: Exception) -> Finding:
+    """The synthetic REP999 finding for a rule that raised."""
+    return Finding(
+        code="REP999",
+        message=(
+            f"rule {rule_.code} ({rule_.name}) crashed: "
+            f"{exc.__class__.__name__}: {exc}"
+        ),
+        path=path,
+        line=1,
+        col=1,
+        severity=Severity.ERROR,
+    )
+
+
 def run_lint(
     paths: Sequence[str | Path],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    profile: str = "full",
 ) -> LintResult:
     """Lint ``paths`` with the (filtered) rule registry.
 
     Returns every unsuppressed finding in deterministic order. Files that
-    fail to parse yield a synthetic ``REP000`` parse-error finding rather
-    than aborting the run.
+    fail to parse yield a synthetic ``REP000`` parse-error finding, and a
+    rule that raises yields a synthetic ``REP999`` internal-error
+    finding, rather than aborting the run. Per-rule wall time is
+    accumulated into :data:`repro.perf.timing.REGISTRY` under
+    ``lint.<code>`` and returned in :attr:`LintResult.rule_stats`.
     """
-    rules = select_rules(select, ignore)
+    from repro.perf.timing import REGISTRY as TIMING
+
+    rules = select_rules(select, ignore, profile)
     file_rules = [rule for rule in rules if not rule.project]
     project_rules = [rule for rule in rules if rule.project]
+    stats: dict[str, RuleStat] = {
+        rule.code: RuleStat(code=rule.code) for rule in rules
+    }
 
     contexts: list[FileContext] = []
     parse_errors: list[Finding] = []
@@ -156,18 +270,43 @@ def run_lint(
                 module=module_path(path),
                 tree=tree,
                 source=source,
-                noqa=_noqa_map(source),
+                noqa=_noqa_map(source, tree),
             )
         )
 
     raw: list[Finding] = []
+    internal: list[Finding] = []
     for ctx in contexts:
         for rule in file_rules:
-            if rule.applies_to(ctx.module):
-                raw.extend(rule.check(ctx))
+            if not rule.applies_to(ctx.module):
+                continue
+            start = time.perf_counter()
+            try:
+                produced = list(rule.check(ctx))
+            except Exception as exc:  # crash isolation: REP999, keep going
+                internal.append(_internal_error(rule, ctx.path, exc))
+                produced = []
+            stat = stats[rule.code]
+            stat.seconds += time.perf_counter() - start
+            stat.findings += len(produced)
+            raw.extend(produced)
     by_module = {ctx.module: ctx for ctx in contexts}
+    project_anchor = contexts[0].path if contexts else "<project>"
     for rule in project_rules:
-        raw.extend(rule.check_project(by_module))
+        start = time.perf_counter()
+        try:
+            produced = list(rule.check_project(by_module))
+        except Exception as exc:
+            internal.append(_internal_error(rule, project_anchor, exc))
+            produced = []
+        stat = stats[rule.code]
+        stat.seconds += time.perf_counter() - start
+        stat.findings += len(produced)
+        raw.extend(produced)
+
+    for code, stat in stats.items():
+        if stat.seconds > 0.0:
+            TIMING.add(f"lint.{code}", stat.seconds)
 
     findings: list[Finding] = []
     suppressed = 0
@@ -178,10 +317,12 @@ def run_lint(
             suppressed += 1
             continue
         findings.append(finding)
+    findings.extend(internal)  # never suppressible: they are engine bugs
     findings.sort(key=Finding.sort_key)
     return LintResult(
         findings=findings,
         files_checked=len(contexts) + len(parse_errors),
         suppressed=suppressed,
         parse_errors=parse_errors,
+        rule_stats=stats,
     )

@@ -25,9 +25,14 @@ def render_human(result: LintResult) -> str:
     lines = [finding.render() for finding in result.all_findings()]
     count = len(lines)
     noun = "finding" if count == 1 else "findings"
+    notes = []
+    if result.suppressed:
+        notes.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        notes.append(f"{result.baselined} baselined")
     lines.append(
         f"{count} {noun} in {result.files_checked} file(s)"
-        + (f" ({result.suppressed} suppressed)" if result.suppressed else "")
+        + (f" ({', '.join(notes)})" if notes else "")
     )
     return "\n".join(lines)
 
@@ -37,6 +42,7 @@ def render_json(result: LintResult) -> str:
         "version": 1,
         "files_checked": result.files_checked,
         "suppressed": result.suppressed,
+        "baselined": result.baselined,
         "findings": [finding.as_dict() for finding in result.all_findings()],
     }
     return json.dumps(payload, indent=2, sort_keys=True)
@@ -62,12 +68,42 @@ def render_github(result: LintResult) -> str:
     return "\n".join(lines)
 
 
+def render_stats(result: LintResult) -> str:
+    """Per-rule timing and finding counts (``repro lint --stats``).
+
+    Sorted by cost, most expensive rule first, so the price of the
+    dataflow rules is visible at the top of CI logs.
+    """
+    rows = [("rule", "findings", "time")]
+    ordered = sorted(
+        result.rule_stats.values(), key=lambda s: (-s.seconds, s.code)
+    )
+    total = 0.0
+    for stat in ordered:
+        rows.append((stat.code, str(stat.findings), f"{stat.seconds * 1e3:.1f}ms"))
+        total += stat.seconds
+    rows.append(("total", str(sum(s.findings for s in ordered)),
+                 f"{total * 1e3:.1f}ms"))
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = [
+        "  ".join(
+            cell.ljust(widths[i]) if i == 0 else cell.rjust(widths[i])
+            for i, cell in enumerate(row)
+        )
+        for row in rows
+    ]
+    return "\n".join(lines)
+
+
 def render_rule_catalogue() -> str:
     """The registered rules, one per line (``repro lint --list-rules``)."""
     lines = []
     for code in sorted(REGISTRY):
         rule = REGISTRY[code]
         scope = ", ".join(rule.scope) if rule.scope else "all files"
-        lines.append(f"{code} {rule.name} [{rule.severity.value}] ({scope})")
+        lines.append(
+            f"{code} {rule.name} [{rule.severity.value}] "
+            f"[profile:{rule.profile}] ({scope})"
+        )
         lines.append(f"    {rule.description}")
     return "\n".join(lines)

@@ -27,7 +27,11 @@ from typing import Callable, Iterator
 
 from repro.lint.findings import Finding, Severity
 
-__all__ = ["FileContext", "Rule", "REGISTRY", "rule"]
+__all__ = ["FileContext", "Rule", "REGISTRY", "PROFILES", "rule"]
+
+#: Valid rule profiles: ``fast`` rules run everywhere, ``full`` adds the
+#: dataflow/symbolic families (REP6xx/REP7xx).
+PROFILES = ("fast", "full")
 
 
 @dataclass
@@ -39,6 +43,10 @@ class FileContext:
     tree: ast.Module
     source: str
     noqa: dict[int, frozenset[str] | None] = field(default_factory=dict)
+    #: Scratch space shared by every rule that analyzes this file — the
+    #: dataflow layer memoizes per-function summaries here so the second
+    #: rule asking about the same function pays nothing.
+    cache: dict = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -52,6 +60,10 @@ class Rule:
     checker: Callable
     scope: tuple[str, ...] | None = None
     project: bool = False
+    #: ``"fast"`` rules run in every profile; ``"full"`` rules (the
+    #: dataflow/equivalence families) only run under ``--profile full``,
+    #: which is the default and what CI's full leg uses.
+    profile: str = "fast"
 
     def applies_to(self, module: str) -> bool:
         if self.scope is None:
@@ -80,8 +92,11 @@ def rule(
     description: str,
     scope: tuple[str, ...] | None = None,
     project: bool = False,
+    profile: str = "fast",
 ) -> Callable:
     """Register the decorated checker under ``code``."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown rule profile {profile!r}")
 
     def decorate(checker: Callable) -> Callable:
         if code in REGISTRY:
@@ -94,6 +109,7 @@ def rule(
             checker=checker,
             scope=scope,
             project=project,
+            profile=profile,
         )
         return checker
 
@@ -416,6 +432,38 @@ def _required_positional(args: ast.arguments) -> int:
     return total - len(args.defaults)
 
 
+def _class_literal(node: ast.expr | None) -> tuple[bool, object]:
+    """(ok, value) for literals class bodies declare contracts with.
+
+    Beyond plain constants, the protocol contract attributes are tuples
+    (``batch_param_names``, ``meanfield_trigger``) and string dicts
+    (``symbolic_roles``); the conformance and drift rules need their
+    values, so this parses nested constant literals and refuses anything
+    computed.
+    """
+    if isinstance(node, ast.Constant):
+        return True, node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, (int, float))
+    ):
+        return True, -node.operand.value
+    if isinstance(node, ast.Tuple):
+        elements = [_class_literal(e) for e in node.elts]
+        if all(ok for ok, _ in elements):
+            return True, tuple(value for _, value in elements)
+    if isinstance(node, ast.Dict):
+        if any(key is None for key in node.keys):
+            return False, None
+        keys = [_class_literal(k) for k in node.keys if k is not None]
+        values = [_class_literal(v) for v in node.values]
+        if all(ok for ok, _ in keys) and all(ok for ok, _ in values):
+            return True, {k: v for (_, k), (_, v) in zip(keys, values)}
+    return False, None
+
+
 class _ClassInfo:
     __slots__ = ("ctx", "node", "bases", "methods", "assigns", "abstract")
 
@@ -432,12 +480,14 @@ class _ClassInfo:
                 if "abstractmethod" in _decorator_names(stmt):
                     self.abstract = True
             elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
-                if isinstance(stmt.value, ast.Constant):
-                    self.assigns[stmt.target.id] = stmt.value.value
+                ok, value = _class_literal(stmt.value)
+                if ok:
+                    self.assigns[stmt.target.id] = value
             elif isinstance(stmt, ast.Assign):
+                ok, value = _class_literal(stmt.value)
                 for target in stmt.targets:
-                    if isinstance(target, ast.Name) and isinstance(stmt.value, ast.Constant):
-                        self.assigns[target.id] = stmt.value.value
+                    if isinstance(target, ast.Name) and ok:
+                        self.assigns[target.id] = value
 
 
 def _collect_classes(contexts: dict[str, FileContext]) -> dict[str, _ClassInfo]:

@@ -1,0 +1,225 @@
+"""Shared-memory write-safety rules (the ``REP7xx`` family).
+
+The batched backend (:mod:`repro.backends.batch`) fans work out to
+process-pool workers that attach :class:`multiprocessing.shared_memory`
+segments and write their results into row slices of NumPy arrays built
+over those buffers. Nothing synchronizes those writes — correctness
+rests entirely on the planner handing each worker a *disjoint* row range
+``[lo, hi)`` and each worker touching only that range. A worker that
+writes the whole array, widens its slice arithmetic, or reads a
+neighbour's rows produces silent, timing-dependent corruption that no
+unit test reliably reproduces.
+
+These rules turn the convention into a static obligation using the
+dataflow layer's aliasing facts (:mod:`repro.lint.dataflow`): a function
+that attaches a shared-memory segment is a *worker*; every array built
+over a segment buffer is *guarded*; every use of a guarded array must go
+through a slice whose bounds are pristine parameters (received from the
+planner and never reassigned).
+
+- **REP701** — a write to a guarded array that is not a clean
+  ``[pristine:pristine]`` row slice (whole-array stores, arithmetic on
+  the bounds, mutating method calls, or letting the array escape).
+- **REP702** — a read of a guarded array outside the worker's own chunk
+  (cross-row reductions, unsliced loads).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.dataflow import FunctionNode, FunctionSummary, summaries
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileContext, Rule, _make, rule
+
+__all__: list[str] = []
+
+#: Read-only ndarray attributes a worker may touch freely.
+_BENIGN_ATTRS = frozenset({
+    "shape", "dtype", "ndim", "size", "nbytes", "itemsize", "strides", "base",
+})
+#: ndarray methods that mutate the receiver in place.
+_MUTATING_METHODS = frozenset({
+    "fill", "sort", "resize", "put", "partition", "itemset", "setfield",
+    "byteswap",
+})
+
+
+def _is_full_slice(node: ast.expr) -> bool:
+    """A bare ``:`` — selects every element of that axis."""
+    return (
+        isinstance(node, ast.Slice)
+        and node.lower is None
+        and node.upper is None
+        and node.step is None
+    )
+
+
+def _is_chunk_slice(node: ast.expr, summary: FunctionSummary) -> bool:
+    """A ``lo:hi`` slice whose bounds are pristine worker parameters."""
+    return (
+        isinstance(node, ast.Slice)
+        and isinstance(node.lower, ast.Name)
+        and isinstance(node.upper, ast.Name)
+        and node.step is None
+        and summary.is_pristine(node.lower.id)
+        and summary.is_pristine(node.upper.id)
+    )
+
+
+def _is_clean_subscript(sub: ast.Subscript, summary: FunctionSummary) -> bool:
+    """``arr[..., lo:hi, ...]``: exactly one pristine chunk slice, the
+    remaining axes selected in full."""
+    index = sub.slice
+    if isinstance(index, ast.Tuple):
+        elements = index.elts
+    else:
+        elements = [index]
+    chunk_axes = sum(1 for e in elements if _is_chunk_slice(e, summary))
+    full_axes = sum(1 for e in elements if _is_full_slice(e))
+    return chunk_axes == 1 and chunk_axes + full_axes == len(elements)
+
+
+def _guarded_names(summary: FunctionSummary) -> set[str]:
+    """Local names bound to arrays built over shared-memory buffers."""
+    return {
+        name
+        for name, fact in summary.aliases.items()
+        if fact.kind == "shm-array"
+    }
+
+
+def _is_worker(summary: FunctionSummary) -> bool:
+    """A function that *attaches* (not creates) shared-memory segments."""
+    return any(
+        fact.kind == "shm-attached" for fact in summary.aliases.values()
+    )
+
+
+def _parent_map(func: FunctionNode) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for parent in ast.walk(func):
+        for child in ast.iter_child_nodes(parent):
+            parents[id(child)] = parent
+    return parents
+
+
+def _deleted_names(func: FunctionNode) -> set[int]:
+    """ids of Name nodes appearing as ``del`` targets (releases, not uses)."""
+    ids: set[int] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    ids.add(id(target))
+    return ids
+
+
+def _classify_use(
+    name_node: ast.Name,
+    parents: dict[int, ast.AST],
+    summary: FunctionSummary,
+) -> tuple[str, ast.AST] | None:
+    """How one occurrence of a guarded array name is used.
+
+    Returns ``(kind, anchor)`` with ``kind`` in ``{"write", "read"}`` for
+    violations, or ``None`` when the use is safe.
+    """
+    parent = parents.get(id(name_node))
+
+    # arr[...] — judged by the subscript's slice and its context.
+    if isinstance(parent, ast.Subscript) and parent.value is name_node:
+        clean = _is_clean_subscript(parent, summary)
+        if isinstance(parent.ctx, (ast.Store, ast.Del)):
+            return None if clean else ("write", parent)
+        if clean:
+            # arr[lo:hi] loaded then mutated (arr[lo:hi] += x) stays in
+            # the chunk; plain loads of own rows are fine too.
+            return None
+        return ("read", parent)
+
+    # arr.attr — benign metadata, known mutators, or unknown methods.
+    if isinstance(parent, ast.Attribute) and parent.value is name_node:
+        if parent.attr in _BENIGN_ATTRS:
+            return None
+        if parent.attr in _MUTATING_METHODS:
+            return ("write", parent)
+        return ("read", parent)
+
+    # Direct store/rebind of the name itself is the aliasing assignment.
+    if isinstance(name_node.ctx, (ast.Store, ast.Del)):
+        return None
+
+    # Anything else — passed to a call, returned, re-aliased: the array
+    # escapes the slice discipline entirely. Treat as a write hazard.
+    return ("write", name_node)
+
+
+def _chunk_findings(
+    rule_: Rule, ctx: FileContext, kind: str
+) -> Iterator[Finding]:
+    """Shared scan for both REP7xx rules over every worker in the file."""
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        summary = summaries(ctx, node)
+        if not _is_worker(summary):
+            continue
+        guarded = _guarded_names(summary)
+        if not guarded:
+            continue
+        parents = _parent_map(node)
+        deleted = _deleted_names(node)
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Name) or sub.id not in guarded:
+                continue
+            if id(sub) in deleted:
+                continue
+            verdict = _classify_use(sub, parents, summary)
+            if verdict is None or verdict[0] != kind:
+                continue
+            anchor = verdict[1]
+            if kind == "write":
+                yield _make(
+                    rule_, ctx, anchor,
+                    f"worker '{node.name}' writes shared-memory array "
+                    f"'{sub.id}' outside a clean [lo:hi] chunk slice with "
+                    "pristine bounds; concurrent workers may corrupt each "
+                    "other's rows",
+                )
+            else:
+                yield _make(
+                    rule_, ctx, anchor,
+                    f"worker '{node.name}' reads shared-memory array "
+                    f"'{sub.id}' outside its own [lo:hi] chunk; rows owned "
+                    "by other workers are not yet (or no longer) valid",
+                )
+
+
+@rule(
+    "REP701",
+    "shm-unsafe-write",
+    Severity.ERROR,
+    "shared-memory pool workers may only write the disjoint row chunk the "
+    "planner assigned them — via a [lo:hi] slice whose bounds are pristine "
+    "parameters; anything wider races against sibling workers",
+    scope=("repro/backends",),
+    profile="full",
+)
+def _check_shm_unsafe_write(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    yield from _chunk_findings(rule_, ctx, "write")
+
+
+@rule(
+    "REP702",
+    "shm-foreign-read",
+    Severity.ERROR,
+    "shared-memory pool workers must not read rows outside their assigned "
+    "chunk: sibling rows may not have been written yet, so the value read "
+    "is timing-dependent garbage",
+    scope=("repro/backends",),
+    profile="full",
+)
+def _check_shm_foreign_read(rule_: Rule, ctx: FileContext) -> Iterator[Finding]:
+    yield from _chunk_findings(rule_, ctx, "read")

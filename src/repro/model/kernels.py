@@ -62,6 +62,18 @@ _PARAM_LAYOUT = {
     _KERNEL_MIMD: ("a", "b"),
     _KERNEL_ROBUST_AIMD: ("a", "b", "epsilon"),
 }
+
+#: Extraction hint for the static drift detector (lint rule REP601):
+#: the ``_advance_cells`` locals that carry the canonical update inputs.
+#: ``w`` is the cell's current window and ``seen`` the realized loss
+#: signal, so each dispatch branch below reads as a symbolic update
+#: expression comparable against the matching ``batched_next``. Keep
+#: this in sync when renaming those locals, or REP602 flags the module
+#: as unverifiable.
+_SYMBOLIC_ROLES = {
+    "w": "w",
+    "seen": "loss",
+}
 _PARAM_SLOTS = 3
 
 _CLASS_IDS: dict[type, int] | None = None

@@ -72,6 +72,16 @@ class Protocol(ABC):
     #: :meth:`batched_next`.
     meanfield_trigger: tuple[str, float | str] | None = None
 
+    #: Extraction hint for the static drift detector (lint rule REP601):
+    #: maps instance attributes the *scalar*/*vectorized* renderings read
+    #: onto canonical symbolic names, for attributes that are not batch
+    #: parameters (``batch_param_names`` entries map to themselves
+    #: automatically). An attribute read with no role makes the rendering
+    #: inextractable, which silently narrows drift coverage — declare a
+    #: role instead. Keys are attribute names, values are the canonical
+    #: variable names (``"w"``, ``"loss"``, ``"rtt"`` or a parameter).
+    symbolic_roles: dict[str, str] = {}
+
     @abstractmethod
     def next_window(self, obs: Observation) -> float:
         """The window to use next step, given this step's observation.

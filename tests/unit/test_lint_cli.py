@@ -92,3 +92,85 @@ def test_top_level_cli_routes_lint(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "0 findings" in out
+
+
+def test_repo_src_is_clean_under_full_profile(capsys):
+    """The acceptance gate: `repro lint --profile full` exits 0 on src."""
+    code = main([str(REPO_SRC), "--profile", "full"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 findings" in out
+
+
+def test_profile_fast_skips_dataflow_rules(tmp_path, capsys):
+    # A REP701 violation is invisible to the fast profile.
+    path = tmp_path / "repro" / "backends" / "worker.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(
+        "import numpy as np\n"
+        "from multiprocessing import shared_memory\n\n"
+        "def worker(name, steps, rows, lo, hi):\n"
+        "    shm = shared_memory.SharedMemory(name=name)\n"
+        "    full = np.ndarray((steps, rows), dtype=np.float64,\n"
+        "                      buffer=shm.buf)\n"
+        "    full[:, lo - 1:hi] = 1.0\n"
+        "    shm.close()\n"
+    )
+    assert main([str(tmp_path), "--profile", "fast"]) == 0
+    capsys.readouterr()
+    assert main([str(tmp_path), "--profile", "full"]) == 1
+    assert "REP701" in capsys.readouterr().out
+
+
+def test_stats_prints_per_rule_table_to_stderr(tmp_path, capsys):
+    code = main([str(_bad_tree(tmp_path)), "--stats", "--format", "json"])
+    captured = capsys.readouterr()
+    assert code == 1
+    json.loads(captured.out)  # stdout stays machine-parseable
+    assert "REP101" in captured.err
+    assert "total" in captured.err
+
+
+def test_write_baseline_then_baseline_gates_only_new_findings(tmp_path, capsys):
+    tree = _bad_tree(tmp_path)
+    baseline = tmp_path / "lint-baseline.json"
+    assert main([str(tree), "--write-baseline", str(baseline)]) == 0
+    err = capsys.readouterr().err
+    assert "recorded 1 baseline entry" in err
+
+    # Recorded finding: gated out, exit 0.
+    assert main([str(tree), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+
+    # A new violation still fails.
+    extra = tmp_path / "repro" / "experiments" / "driver.py"
+    extra.parent.mkdir(parents=True)
+    extra.write_text("def run(grid=[]):\n    return grid\n")
+    assert main([str(tree), "--baseline", str(baseline)]) == 1
+    assert "REP402" in capsys.readouterr().out
+
+
+def test_stale_baseline_entries_warn_on_stderr(tmp_path, capsys):
+    tree = _bad_tree(tmp_path)
+    baseline = tmp_path / "lint-baseline.json"
+    assert main([str(tree), "--write-baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    (tree / "repro" / "analysis" / "jitter.py").write_text(
+        "import numpy as np\nrng = np.random.default_rng(3)\n"
+    )
+    assert main([str(tree), "--baseline", str(baseline)]) == 0
+    assert "stale baseline entry" in capsys.readouterr().err
+
+
+def test_missing_baseline_is_a_usage_error(tmp_path, capsys):
+    code = main([str(_bad_tree(tmp_path)), "--baseline",
+                 str(tmp_path / "nope.json")])
+    assert code == 2
+    assert "repro lint:" in capsys.readouterr().err
+
+
+def test_baseline_flags_are_mutually_exclusive(tmp_path, capsys):
+    code = main([str(tmp_path), "--baseline", "a", "--write-baseline", "b"])
+    assert code == 2
+    assert "mutually exclusive" in capsys.readouterr().err

@@ -1,0 +1,164 @@
+"""The per-function dataflow framework (repro.lint.dataflow)."""
+
+from __future__ import annotations
+
+import ast
+
+import pytest
+
+from repro.lint.dataflow import (
+    PARAM_DEF,
+    AliasFact,
+    analyze_function,
+    build_cfg,
+    summaries,
+)
+
+
+def _func(source: str):
+    tree = ast.parse(source)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return node
+    raise AssertionError("no function in source")
+
+
+def test_cfg_straight_line_is_one_block():
+    cfg = build_cfg(_func("def f(x):\n    y = x + 1\n    return y\n"))
+    assert len(cfg.blocks) >= 1
+    assert cfg.entry.index == 0
+    assert len(cfg.entry.stmts) == 2
+
+
+def test_cfg_branch_creates_successors():
+    cfg = build_cfg(_func(
+        "def f(x):\n"
+        "    if x > 0:\n"
+        "        y = 1\n"
+        "    else:\n"
+        "        y = 2\n"
+        "    return y\n"
+    ))
+    assert len(cfg.entry.succs) == 2
+    # Both arms re-merge: some block has two predecessors.
+    assert any(len(cfg.preds(b.index)) == 2 for b in cfg.blocks)
+
+
+def test_cfg_loop_back_edge():
+    cfg = build_cfg(_func(
+        "def f(n):\n"
+        "    total = 0\n"
+        "    for i in range(n):\n"
+        "        total = total + i\n"
+        "    return total\n"
+    ))
+    # A loop produces at least one back edge: a successor with a lower
+    # (or equal) index than its source.
+    assert any(
+        succ <= block.index for block in cfg.blocks for succ in block.succs
+    )
+
+
+def test_reaching_definitions_see_the_parameter():
+    summary = analyze_function(_func(
+        "def f(x):\n"
+        "    if x > 0:\n"
+        "        y = 1\n"
+        "    else:\n"
+        "        y = 2\n"
+        "    return y\n"
+    ))
+    assert summary.reaching_in(0).get("x") == frozenset({PARAM_DEF})
+    # At the merge block, both definitions of y reach.
+    merge = [
+        b.index for b in summary.cfg.blocks
+        if len(summary.cfg.preds(b.index)) == 2
+    ]
+    assert merge
+    reaching_y = summary.reaching_in(merge[0]).get("y", frozenset())
+    assert len(reaching_y) == 2
+
+
+def test_single_def_and_constants():
+    summary = analyze_function(_func(
+        "def f(x):\n"
+        "    scale = 2.0\n"
+        "    y = x * scale\n"
+        "    y = y + 1\n"
+        "    return y\n"
+    ))
+    assert summary.constants == {"scale": 2.0}
+    assert isinstance(summary.single_def("scale"), ast.Constant)
+    assert summary.single_def("y") is None  # two bindings
+    assert summary.single_def("x") is None  # parameter
+
+
+def test_pristine_and_mutated_params():
+    summary = analyze_function(_func(
+        "def f(lo, hi, out, arr):\n"
+        "    out[lo:hi] = 1.0\n"
+        "    lo = lo + 1\n"
+        "    return arr\n"
+    ))
+    assert summary.is_pristine("hi")
+    assert summary.is_pristine("arr")
+    assert not summary.is_pristine("lo")  # rebound
+    assert summary.mutated_params == {"out"}
+    assert not summary.is_pure
+
+
+def test_purity_inference():
+    pure = analyze_function(_func(
+        "def f(x):\n    return abs(x) + 1\n"
+    ))
+    assert pure.is_pure
+    impure = analyze_function(_func(
+        "def f(path, x):\n    print(x)\n    return x\n"
+    ))
+    assert not impure.is_pure
+
+
+def test_shm_alias_facts():
+    summary = analyze_function(_func(
+        "def worker(name, steps, rows):\n"
+        "    shm = shared_memory.SharedMemory(name=name)\n"
+        "    full = np.ndarray((steps, rows), dtype=np.float64, buffer=shm.buf)\n"
+        "    scratch = np.zeros(rows)\n"
+        "    return full, scratch\n"
+    ))
+    assert summary.aliases["shm"].kind == "shm-attached"
+    assert summary.aliases["full"] == AliasFact(kind="shm-array", base="shm")
+    assert summary.aliases.get("scratch", AliasFact(kind="other")).kind != "shm-array"
+
+
+def test_shm_owner_is_not_attached():
+    summary = analyze_function(_func(
+        "def parent(size):\n"
+        "    seg = shared_memory.SharedMemory(create=True, size=size)\n"
+        "    return seg\n"
+    ))
+    assert summary.aliases["seg"].kind == "shm-owned"
+
+
+def test_summaries_memoizes_on_the_context_cache():
+    func = _func("def f(x):\n    return x\n")
+
+    class Ctx:
+        cache: dict = {}
+
+    ctx = Ctx()
+    first = summaries(ctx, func)
+    second = summaries(ctx, func)
+    assert first is second
+    # Without a cache attribute the analysis still works.
+    assert summaries(object(), func).params == ("x",)
+
+
+@pytest.mark.parametrize("body", [
+    "while x > 0:\n        x = x - 1\n",
+    "try:\n        y = 1\n    except ValueError:\n        y = 2\n",
+    "with open('f') as fh:\n        y = fh\n",
+])
+def test_analysis_handles_structured_statements(body):
+    summary = analyze_function(_func(f"def f(x):\n    {body}    return x\n"))
+    assert summary.params == ("x",)

@@ -187,6 +187,160 @@ CASES = [
         "def same(a, b):\n    return a == b / 2\n",
         "def same(a, b):\n    return abs(a - b / 2) < 1e-12\n",
     ),
+    (
+        # The batched rendering branches on loss > 0.001 while the scalar
+        # branches on loss > 0.0 — a drifted constant REP601 must localize.
+        "REP601",
+        "repro/protocols/drift.py",
+        (
+            "import numpy as np\n"
+            "from repro.protocols.base import Protocol\n\n"
+            "class Drifty(Protocol):\n"
+            "    supports_batched = True\n"
+            "    batch_param_names = ('a', 'b')\n\n"
+            "    def __init__(self, a=1.0, b=0.5):\n"
+            "        self.a = a\n        self.b = b\n\n"
+            "    def next_window(self, obs):\n"
+            "        if obs.loss_rate > 0.0:\n"
+            "            return obs.window * self.b\n"
+            "        return obs.window + self.a\n\n"
+            "    @staticmethod\n"
+            "    def batched_next(windows, loss_rate, rtt, params):\n"
+            "        return np.where(loss_rate > 0.001,\n"
+            "                        windows * params['b'],\n"
+            "                        windows + params['a'])\n"
+        ),
+        (
+            "import numpy as np\n"
+            "from repro.protocols.base import Protocol\n\n"
+            "class Drifty(Protocol):\n"
+            "    supports_batched = True\n"
+            "    batch_param_names = ('a', 'b')\n\n"
+            "    def __init__(self, a=1.0, b=0.5):\n"
+            "        self.a = a\n        self.b = b\n\n"
+            "    def next_window(self, obs):\n"
+            "        if obs.loss_rate > 0.0:\n"
+            "            return obs.window * self.b\n"
+            "        return obs.window + self.a\n\n"
+            "    @staticmethod\n"
+            "    def batched_next(windows, loss_rate, rtt, params):\n"
+            "        return np.where(loss_rate > 0.0,\n"
+            "                        windows * params['b'],\n"
+            "                        windows + params['a'])\n"
+        ),
+    ),
+    (
+        # Advertises batched coverage but implements no batched_next.
+        "REP602",
+        "repro/protocols/ghost.py",
+        (
+            "from repro.protocols.base import Protocol\n\n"
+            "class Ghost(Protocol):\n"
+            "    supports_batched = True\n\n"
+            "    def next_window(self, obs):\n"
+            "        if obs.loss_rate > 0.0:\n"
+            "            return obs.window * 0.5\n"
+            "        return obs.window + 1.0\n"
+        ),
+        (
+            "import numpy as np\n"
+            "from repro.protocols.base import Protocol\n\n"
+            "class Ghost(Protocol):\n"
+            "    supports_batched = True\n\n"
+            "    def next_window(self, obs):\n"
+            "        if obs.loss_rate > 0.0:\n"
+            "            return obs.window * 0.5\n"
+            "        return obs.window + 1.0\n\n"
+            "    @staticmethod\n"
+            "    def batched_next(windows, loss_rate, rtt, params):\n"
+            "        return np.where(loss_rate > 0.0,\n"
+            "                        windows * 0.5, windows + 1.0)\n"
+        ),
+    ),
+    (
+        # Declares a batch parameter column ('b') the kernel never reads.
+        "REP603",
+        "repro/protocols/lean.py",
+        (
+            "from repro.protocols.base import Protocol\n\n"
+            "class Lean(Protocol):\n"
+            "    supports_batched = True\n"
+            "    batch_param_names = ('a', 'b')\n\n"
+            "    def __init__(self, a=1.0):\n"
+            "        self.a = a\n\n"
+            "    def next_window(self, obs):\n"
+            "        return obs.window + self.a\n\n"
+            "    @staticmethod\n"
+            "    def batched_next(windows, loss_rate, rtt, params):\n"
+            "        return windows + params['a']\n"
+        ),
+        (
+            "from repro.protocols.base import Protocol\n\n"
+            "class Lean(Protocol):\n"
+            "    supports_batched = True\n"
+            "    batch_param_names = ('a',)\n\n"
+            "    def __init__(self, a=1.0):\n"
+            "        self.a = a\n\n"
+            "    def next_window(self, obs):\n"
+            "        return obs.window + self.a\n\n"
+            "    @staticmethod\n"
+            "    def batched_next(windows, loss_rate, rtt, params):\n"
+            "        return windows + params['a']\n"
+        ),
+    ),
+    (
+        # The write's lower bound is `lo - 1`: it overlaps the previous
+        # worker's chunk, so the slice is not a clean [lo:hi].
+        "REP701",
+        "repro/backends/worker.py",
+        (
+            "import numpy as np\n"
+            "from multiprocessing import shared_memory\n\n"
+            "def worker(shm_name, steps, total_rows, lo, hi):\n"
+            "    shm = shared_memory.SharedMemory(name=shm_name)\n"
+            "    full = np.ndarray((steps, total_rows), dtype=np.float64,\n"
+            "                      buffer=shm.buf)\n"
+            "    full[:, lo - 1:hi] = 1.0\n"
+            "    shm.close()\n"
+        ),
+        (
+            "import numpy as np\n"
+            "from multiprocessing import shared_memory\n\n"
+            "def worker(shm_name, steps, total_rows, lo, hi):\n"
+            "    shm = shared_memory.SharedMemory(name=shm_name)\n"
+            "    full = np.ndarray((steps, total_rows), dtype=np.float64,\n"
+            "                      buffer=shm.buf)\n"
+            "    full[:, lo:hi] = 1.0\n"
+            "    shm.close()\n"
+        ),
+    ),
+    (
+        # `full.sum()` reduces over every worker's rows, not just [lo:hi].
+        "REP702",
+        "repro/backends/collector.py",
+        (
+            "import numpy as np\n"
+            "from multiprocessing import shared_memory\n\n"
+            "def collector(shm_name, steps, rows, lo, hi):\n"
+            "    shm = shared_memory.SharedMemory(name=shm_name)\n"
+            "    full = np.ndarray((steps, rows), dtype=np.float64,\n"
+            "                      buffer=shm.buf)\n"
+            "    total = float(full.sum())\n"
+            "    full[:, lo:hi] = total\n"
+            "    shm.close()\n"
+        ),
+        (
+            "import numpy as np\n"
+            "from multiprocessing import shared_memory\n\n"
+            "def collector(shm_name, steps, rows, lo, hi):\n"
+            "    shm = shared_memory.SharedMemory(name=shm_name)\n"
+            "    full = np.ndarray((steps, rows), dtype=np.float64,\n"
+            "                      buffer=shm.buf)\n"
+            "    total = float(full[:, lo:hi].sum())\n"
+            "    full[:, lo:hi] = total\n"
+            "    shm.close()\n"
+        ),
+    ),
 ]
 
 
