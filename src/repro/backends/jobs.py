@@ -1,34 +1,34 @@
-"""Backend-agnostic parallel jobs over the sweep machinery.
+"""Backend-agnostic spec batches over the unified execution core.
 
-A job is ``(backend name, ScenarioSpec)``; :func:`run_specs` fans a batch
-out over the :class:`~repro.experiments.sweep.Sweep` process pool (or runs
-serially), returning :class:`~repro.backends.trace.UnifiedTrace` objects
-in submission order. Specs and traces are plain dataclasses of arrays, so
-they pickle across workers; an active :mod:`repro.perf` cache is shared
-with workers through ``REPRO_SIM_CACHE``, and results computed in workers
-land in the unified store for the parent to reuse.
+A job is ``(backend name, ScenarioSpec)``; :func:`run_specs` hands the
+batch to the process-wide :class:`~repro.exec.executor.Executor`, which
+plans it as :class:`~repro.exec.jobs.SpecJob` rows: specs whose unified
+key is already in the content-addressed store are served from it, specs
+identical to in-flight work (another thread, another serve client)
+attach as waiters, and the rest route to the cheapest engine — returning
+:class:`~repro.backends.trace.UnifiedTrace` objects in submission order.
 
-With ``batch=True`` on the fluid backend, ``run_specs`` instead routes
-through the batch planner (:mod:`repro.backends.batch`): compatible specs
-are stacked and advanced through one NumPy kernel pass per step —
-bit-identical to the serial path, typically several times faster on sweep
-grids — with per-spec serial fallback for anything the kernel cannot
-express. Large batches additionally spread row chunks over a
+With ``batch=True`` on the fluid backend the executor routes the batch
+through the batch planner (:mod:`repro.backends.batch`): compatible
+specs are stacked and advanced through one NumPy kernel pass per step —
+bit-identical to the serial path, typically several times faster on
+sweep grids — with per-spec serial fallback for anything the kernel
+cannot express. Large batches additionally spread row chunks over a
 shared-memory scheduler instead of pickling per-job results. On the
 packet backend, ``batch=True`` routes through the merged-scheduler
 replication runner (:mod:`repro.packetsim.batch`) instead: scenarios
 sharing a link and duration run inside one event loop, again
-bit-identical to the serial engine.
+bit-identical to the serial engine. Without ``batch`` the executor falls
+back to the :class:`~repro.experiments.sweep.Sweep` process pool (or a
+serial loop), exactly the pre-executor dispatch.
 """
 
 from __future__ import annotations
 
-import functools
 from typing import Sequence
 
 from repro.backends.base import run_spec
 from repro.backends.spec import ScenarioSpec
-from repro.experiments.sweep import Sweep, workers_sweep_options
 
 __all__ = ["run_specs", "spec_job"]
 
@@ -54,41 +54,25 @@ def run_specs(
     """Run every spec on ``backend``, optionally batched or over a pool.
 
     Results come back in spec order regardless of completion order,
-    identical to a serial loop (the sweep machinery's guarantee).
+    identical to a serial loop (the executor's guarantee).
 
     ``batch=True`` enables the batched paths: the stacked NumPy kernel on
     the ``"fluid"`` backend, and the merged-scheduler replication runner
     (:mod:`repro.packetsim.batch`) on the ``"packet"`` backend; other
     backends have no batched engine and run exactly as before.
-    ``use_cache`` and ``skip_errors`` are honored on the batch paths:
-    cached specs skip the kernels entirely, and with ``skip_errors`` a
-    failing spec yields ``None`` without disturbing the rest of the
-    batch.
+    ``use_cache`` and ``skip_errors`` are honored on every path: cached
+    specs skip the engines entirely, and with ``skip_errors`` a failing
+    spec yields ``None`` without disturbing the rest of the batch.
     """
+    from repro.exec import SpecJob, default_executor
+
     specs = list(specs)
     if not specs:
         return []
-    if batch and backend == "fluid":
-        from repro.backends.batch import run_specs_batched
-
-        return run_specs_batched(
-            specs,
-            use_cache=use_cache,
-            skip_errors=skip_errors,
-            workers=workers,
-        )
-    if batch and backend == "packet":
-        from repro.backends.batch import run_packet_specs_batched
-
-        return run_packet_specs_batched(
-            specs, use_cache=use_cache, skip_errors=skip_errors
-        )
-    sweep = Sweep(
-        axes={"index": list(range(len(specs)))},
-        measure=functools.partial(
-            spec_job, specs=specs, backend=backend, use_cache=use_cache
-        ),
+    return default_executor().run(
+        [SpecJob(spec=spec, backend=backend) for spec in specs],
+        batch=batch,
+        workers=workers,
+        use_cache=use_cache,
         skip_errors=skip_errors,
     )
-    rows = sweep.run(**workers_sweep_options(workers))
-    return [row.value for row in rows]

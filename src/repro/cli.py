@@ -11,6 +11,8 @@ Usage::
     repro run --backend {backends} --protocols reno cubic [--batch]
     repro simulate --protocols "AIMD(1,0.5)" "CUBIC(0.4,0.8)" --steps 2000
     repro cache stats|clear|prune [--dir PATH] [--max-mb N] [--dry-run]
+    repro serve [--host 127.0.0.1 --port 8273]
+    repro report [--html out.html] [--summary FILE] [--baselines FILE]
     repro lint [paths] [--select/--ignore CODES] [--profile fast|full]
                [--baseline FILE | --write-baseline FILE] [--stats]
                [--format json|github]
@@ -215,6 +217,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="with 'prune': report what oldest-first "
                        "eviction would remove without deleting anything")
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="simulation-as-a-service: HTTP/JSON endpoint over the "
+        "unified executor (POST /run, GET /stats)",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="interface to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8273,
+                       help="port to bind (default: 8273; 0 picks a free one)")
+
+    report = subparsers.add_parser(
+        "report", help="render benchmark results (text, or --html page)"
+    )
+    report.add_argument("--html", type=str, nargs="?",
+                        const="benchmarks/results/report.html", default=None,
+                        help="write a self-contained HTML page here "
+                        "(default: benchmarks/results/report.html)")
+    report.add_argument("--summary", type=str,
+                        default="benchmarks/results/summary.json",
+                        help="bench_all.py summary to render")
+    report.add_argument("--baselines", type=str,
+                        default="benchmarks/results/baselines.json",
+                        help="baseline walls for the speedup column")
+
     from repro.lint.cli import add_lint_arguments
 
     lint = subparsers.add_parser(
@@ -327,9 +353,43 @@ def main(argv: list[str] | None = None) -> int:
             print(REGISTRY.render(), file=sys.stderr)
 
 
+def _run_report_command(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.report_html import (
+        render_text,
+        write_html_report,
+    )
+
+    summary_path = Path(args.summary)
+    if not summary_path.is_file():
+        print(f"no benchmark summary at {summary_path} "
+              "(run benchmarks/bench_all.py first)", file=sys.stderr)
+        return 1
+    if args.html is not None:
+        out = write_html_report(summary_path, args.html, args.baselines)
+        print(f"benchmark report written to {out}")
+        return 0
+    summary = json.loads(summary_path.read_text(encoding="utf-8"))
+    baselines = {}
+    baselines_path = Path(args.baselines)
+    if baselines_path.is_file():
+        baselines = json.loads(baselines_path.read_text(encoding="utf-8"))
+    print(render_text(summary, baselines))
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "cache":
         return _run_cache_command(args)
+    if args.command == "serve":
+        from repro.exec.serve import serve_forever
+
+        serve_forever(args.host, args.port)
+        return 0
+    if args.command == "report":
+        return _run_report_command(args)
     if args.command == "run":
         return _run_run_command(args)
     if args.command == "lint":

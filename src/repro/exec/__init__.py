@@ -1,0 +1,40 @@
+"""The unified execution core: one scheduler behind every run path.
+
+``repro.exec`` owns the decisions the execution layer used to scatter
+across ``run_specs``, the batch planners and each experiment driver:
+what to compute, what to serve from the content-addressed store, what to
+attach to in-flight work, and which engine runs the rest. Callers build
+:mod:`~repro.exec.jobs` jobs and hand them to an
+:class:`~repro.exec.executor.Executor`; the serve layer
+(:mod:`repro.exec.serve`) exposes the same scheduler over HTTP.
+"""
+
+from repro.exec.executor import (
+    Executor,
+    ExecutorStats,
+    JobOutcome,
+    default_executor,
+    map_calls,
+    reset_default_executor,
+)
+from repro.exec.jobs import (
+    CallJob,
+    Job,
+    PacketScenarioJob,
+    SpecJob,
+    WorkloadJob,
+)
+
+__all__ = [
+    "CallJob",
+    "Executor",
+    "ExecutorStats",
+    "Job",
+    "JobOutcome",
+    "PacketScenarioJob",
+    "SpecJob",
+    "WorkloadJob",
+    "default_executor",
+    "map_calls",
+    "reset_default_executor",
+]

@@ -1,0 +1,98 @@
+"""A thin stdlib client for ``repro serve``.
+
+:class:`ServeClient` speaks the NDJSON protocol of
+:mod:`repro.exec.serve` over :mod:`http.client`: submit a batch of wire
+specs (build them with :func:`repro.exec.wire.spec_to_wire`), read the
+result stream line by line, and decode each trace back into the exact
+:class:`~repro.backends.trace.UnifiedTrace` the server computed.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+from repro.exec.wire import decode_trace
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """The server rejected a request or reported a failing spec."""
+
+
+class ServeClient:
+    """One serve endpoint as a blocking callable."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8273,
+                 timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: dict | None = None) -> http.client.HTTPResponse:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection.request(method, path, body=body, headers=headers)
+        return connection.getresponse()
+
+    def run_specs(
+        self,
+        wire_specs: list[dict],
+        backend: str = "fluid",
+        batch: bool = False,
+        use_cache: bool = True,
+        skip_errors: bool = False,
+    ) -> list[Any]:
+        """Run a batch of wire specs; traces in submission order.
+
+        With ``skip_errors`` a failing spec yields ``None`` in its slot
+        (mirroring ``run_specs`` locally); without it the first failure
+        raises :class:`ServeError`. The terminal stats line is kept on
+        :attr:`last_stats` for callers that want the dedup counters.
+        """
+        response = self._request("POST", "/run", {
+            "specs": list(wire_specs),
+            "backend": backend,
+            "batch": batch,
+            "use_cache": use_cache,
+        })
+        if response.status != 200:
+            detail = response.read().decode("utf-8", "replace").strip()
+            raise ServeError(f"HTTP {response.status}: {detail}")
+        results: list[Any] = [None] * len(wire_specs)
+        self.last_stats: dict | None = None
+        for raw in response:
+            record = json.loads(raw)
+            if record.get("done"):
+                self.last_stats = record.get("stats")
+                break
+            index = int(record["index"])
+            if record.get("ok"):
+                results[index] = decode_trace(record["trace"])
+            elif not skip_errors:
+                raise ServeError(
+                    f"spec {index} failed on the server: {record.get('error')}"
+                )
+        else:
+            raise ServeError("result stream ended without a terminal line")
+        return results
+
+    def stats(self) -> dict:
+        """The server's ``GET /stats`` payload."""
+        response = self._request("GET", "/stats")
+        if response.status != 200:
+            detail = response.read().decode("utf-8", "replace").strip()
+            raise ServeError(f"HTTP {response.status}: {detail}")
+        payload = json.loads(response.read())
+        if not isinstance(payload, dict):
+            raise ServeError("malformed /stats payload")
+        return payload

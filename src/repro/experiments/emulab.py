@@ -29,8 +29,8 @@ import numpy as np
 
 from repro.analysis.stats import convergence_alpha, min_over_max
 from repro.core.theory import table1
+from repro.exec import map_calls
 from repro.experiments.report import Table
-from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model import units
 from repro.packetsim.scenario import run_scenario
 from repro.protocols import presets
@@ -287,44 +287,50 @@ def run_emulab(
     ``ns=(2, 3, 4)``, ``bandwidths=(20, 30, 60, 100)``); pass the full
     tuple to reproduce every cell at higher runtime. Grid cells are
     independent; ``workers > 1`` fans them out over a process pool.
-    ``batch=True`` instead merges the grid's scenarios into shared event
+    ``batch=True`` instead submits the grid's native scenarios to the
+    unified executor as one batch, which merges them into shared event
     loops (:func:`repro.packetsim.batch.run_scenarios_batched` — every
     cell at the same bandwidth runs in one loop), with measurements
     bit-identical to the serial sweep.
     """
     protocols = protocols or default_protocols()  # kernel-scaled Cubic
     result = EmulabResult()
+    combos = [
+        (n, bw, buf, proto)
+        for n in ns for bw in bandwidths_mbps
+        for buf in buffers_mss for proto in protocols
+    ]
     if batch:
-        from repro.packetsim.batch import run_scenarios_batched
+        from repro.exec import PacketScenarioJob, default_executor
 
-        combos = [
-            (n, bw, buf, proto)
-            for n in ns for bw in bandwidths_mbps
-            for buf in buffers_mss for proto in protocols
-        ]
-        scenarios = []
+        jobs = []
         for n, bw, buf, proto in combos:
-            scenarios.extend(
-                _cell_scenarios(protocols[proto], n, bw, buf, duration)
+            jobs.extend(
+                PacketScenarioJob(scenario)
+                for scenario in _cell_scenarios(
+                    protocols[proto], n, bw, buf, duration
+                )
             )
-        runs = run_scenarios_batched(scenarios)
+        runs = default_executor().run(jobs, batch=True)
         measured = [
             (n, bw, buf,
              _cell_measurement(proto, bw, runs[2 * i], runs[2 * i + 1]))
             for i, (n, bw, buf, proto) in enumerate(combos)
         ]
     else:
-        sweep = Sweep(
-            axes={"n": list(ns), "bw": list(bandwidths_mbps),
-                  "buf": list(buffers_mss), "proto": list(protocols)},
-            measure=functools.partial(
+        values = map_calls(
+            functools.partial(
                 _emulab_protocol_cell, protocols=protocols, duration=duration
             ),
+            [
+                {"n": n, "bw": bw, "buf": buf, "proto": proto}
+                for n, bw, buf, proto in combos
+            ],
+            workers=workers,
         )
         measured = [
-            (row.parameter("n"), row.parameter("bw"), row.parameter("buf"),
-             row.value)
-            for row in sweep.run(**workers_sweep_options(workers))
+            (n, bw, buf, value)
+            for (n, bw, buf, _proto), value in zip(combos, values)
         ]
     # The protocol axis is innermost, so submission order yields each
     # cell's protocols consecutively and in dict order; regroup them back

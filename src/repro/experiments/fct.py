@@ -16,8 +16,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.exec import map_calls
 from repro.experiments.report import Table
-from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model.link import Link
 from repro.packetsim.workload import poisson_workload, run_workload
 from repro.protocols import presets
@@ -151,12 +151,12 @@ def run_fct_study(
     link = link or Link.from_mbps(20, 42, 100)
     backgrounds = backgrounds or default_backgrounds()
     pooled: dict[str, list[dict]] = {name: [] for name in backgrounds}
+    grid = [(name, rep) for name in backgrounds
+            for rep in range(replications)]
     if batch:
-        from repro.packetsim.batch import run_workloads_batched
+        from repro.exec import WorkloadJob, default_executor
 
-        # Same (background, rep) submission order as the sweep below.
-        grid = [(name, rep) for name in backgrounds
-                for rep in range(replications)]
+        # Same (background, rep) submission order as the per-job path.
         jobs = []
         for name, rep in grid:
             factory = backgrounds[name]
@@ -166,9 +166,14 @@ def run_fct_study(
                 seed=seed + rep,
             )
             jobs.append(
-                (specs, [factory()] if factory is not None else [])
+                WorkloadJob(
+                    link=link,
+                    specs=specs,
+                    duration=duration,
+                    background=[factory()] if factory is not None else [],
+                )
             )
-        outcomes = run_workloads_batched(link, jobs, duration=duration)
+        outcomes = default_executor().run(jobs, batch=True)
         for (name, _), outcome in zip(grid, outcomes):
             pooled[name].append(
                 {
@@ -179,9 +184,8 @@ def run_fct_study(
                 }
             )
         return _pool_rows(pooled)
-    sweep = Sweep(
-        axes={"background": list(backgrounds), "rep": list(range(replications))},
-        measure=functools.partial(
+    values = map_calls(
+        functools.partial(
             _fct_replication,
             backgrounds=backgrounds,
             link=link,
@@ -191,9 +195,11 @@ def run_fct_study(
             duration=duration,
             seed=seed,
         ),
+        [{"background": name, "rep": rep} for name, rep in grid],
+        workers=workers,
     )
-    for row in sweep.run(**workers_sweep_options(workers)):
-        pooled[row.parameter("background")].append(row.value)
+    for (name, _rep), value in zip(grid, values):
+        pooled[name].append(value)
     return _pool_rows(pooled)
 
 

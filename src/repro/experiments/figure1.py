@@ -44,8 +44,8 @@ from repro.core.theory.pareto import (
     frontier_friendliness,
     surface_is_mutually_non_dominated,
 )
+from repro.exec import map_calls
 from repro.experiments.report import Table
-from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model.link import Link
 from repro.protocols.aimd import AIMD
 
@@ -214,7 +214,8 @@ def run_figure1(
 ) -> Figure1Result:
     """Generate the Figure 1 surface and its empirical validation points.
 
-    The empirical (alpha, beta) grid cells are independent simulations;
+    The empirical (alpha, beta) grid cells are independent simulations,
+    scheduled through the unified executor (:mod:`repro.exec`):
     ``workers > 1`` fans them out over a process pool. With ``batch``
     the whole grid instead runs through the batched fluid kernel
     (:func:`measure_aimd_points_batched`) — same results, one NumPy pass
@@ -231,13 +232,15 @@ def run_figure1(
             points, link, config, workers=workers
         )
     else:
-        sweep = Sweep(
-            axes={"alpha": empirical_alphas, "beta": empirical_betas},
-            measure=functools.partial(measure_aimd_point, link=link, config=config),
+        empirical = map_calls(
+            functools.partial(measure_aimd_point, link=link, config=config),
+            [
+                {"alpha": alpha, "beta": beta}
+                for alpha in empirical_alphas
+                for beta in empirical_betas
+            ],
+            workers=workers,
         )
-        empirical = [
-            row.value for row in sweep.run(**workers_sweep_options(workers))
-        ]
     return Figure1Result(
         surface=surface,
         mutually_non_dominated=surface_is_mutually_non_dominated(surface),

@@ -1,0 +1,187 @@
+"""``repro report``: render benchmark results as a self-contained page.
+
+Turns ``benchmarks/results/summary.json`` (written by
+``benchmarks/bench_all.py``) into one dependency-free HTML file: a
+per-bench wall-clock table with speedups against
+``benchmarks/results/baselines.json``, the headline batched-vs-serial
+speedup cards, and the raw detail sections. Everything — styles, bars —
+is inline, so the page can be archived next to the numbers it renders
+and opened anywhere (the results front-end the ROADMAP plans to serve).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["render_html", "render_text", "write_html_report"]
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1a1a2e; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 0.35rem 0.7rem;
+         border-bottom: 1px solid #e0e0ea; font-size: 0.92rem; }
+th { background: #f4f4fa; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.bar { display: inline-block; height: 0.7rem; background: #4c6ef5;
+       border-radius: 2px; vertical-align: middle; }
+.bar.slower { background: #e8590c; }
+.cards { display: flex; flex-wrap: wrap; gap: 1rem; }
+.card { border: 1px solid #e0e0ea; border-radius: 6px; padding: 0.8rem 1rem;
+        min-width: 13rem; background: #fafaff; }
+.card .speedup { font-size: 1.6rem; font-weight: 600; color: #2b8a3e; }
+.card .label { font-size: 0.85rem; color: #555; }
+.status-passed { color: #2b8a3e; } .status-skipped { color: #868e96; }
+.status-failed { color: #c92a2a; font-weight: 600; }
+.env { font-size: 0.85rem; color: #555; }
+pre { background: #f4f4fa; padding: 0.7rem; border-radius: 4px;
+      font-size: 0.8rem; overflow-x: auto; }
+"""
+
+
+def _is_bench(value: Any) -> bool:
+    return isinstance(value, dict) and "status" in value and "wall_s" in value
+
+
+def _is_headline(value: Any) -> bool:
+    return isinstance(value, dict) and "speedup" in value
+
+
+def _bench_rows(summary: dict, baselines: dict) -> str:
+    rows = []
+    benches = {k: v for k, v in sorted(summary.items()) if _is_bench(v)}
+    walls = [v["wall_s"] for v in benches.values()]
+    scale = max(walls) if walls else 1.0
+    for name, info in benches.items():
+        wall = float(info["wall_s"])
+        status = str(info["status"])
+        baseline = baselines.get(name)
+        if isinstance(baseline, (int, float)) and wall > 0:
+            ratio = float(baseline) / wall
+            speedup = f"{ratio:.2f}&times;"
+            bar_class = "bar" if ratio >= 1.0 else "bar slower"
+        else:
+            speedup = "&mdash;"
+            bar_class = "bar"
+        width = max(2, round(220 * wall / scale)) if scale > 0 else 2
+        rows.append(
+            f"<tr><td>{html.escape(name)}</td>"
+            f'<td class="status-{html.escape(status)}">{html.escape(status)}</td>'
+            f'<td class="num">{wall:.3f}</td>'
+            f'<td class="num">{"" if baseline is None else f"{baseline:.3f}"}</td>'
+            f'<td class="num">{speedup}</td>'
+            f'<td><span class="{bar_class}" style="width:{width}px"></span></td>'
+            "</tr>"
+        )
+    return "\n".join(rows)
+
+
+def _headline_cards(summary: dict) -> str:
+    cards = []
+    for name, info in sorted(summary.items()):
+        if not _is_headline(info):
+            continue
+        detail = ", ".join(
+            f"{key}={info[key]}"
+            for key in ("serial_s", "batched_s", "flat_ratio")
+            if key in info
+        )
+        cards.append(
+            '<div class="card">'
+            f'<div class="speedup">{float(info["speedup"]):.2f}&times;</div>'
+            f'<div class="label">{html.escape(name)}</div>'
+            f'<div class="label">{html.escape(detail)}</div>'
+            "</div>"
+        )
+    return "\n".join(cards)
+
+
+def _detail_sections(summary: dict) -> str:
+    blocks = []
+    for name, info in sorted(summary.items()):
+        if _is_bench(info) or name == "environment" or not isinstance(info, dict):
+            continue
+        payload = html.escape(json.dumps(info, indent=2, sort_keys=True))
+        blocks.append(f"<h2>{html.escape(name)}</h2>\n<pre>{payload}</pre>")
+    return "\n".join(blocks)
+
+
+def render_html(summary: dict, baselines: dict | None = None) -> str:
+    """The summary as one self-contained HTML page."""
+    baselines = baselines or {}
+    environment = summary.get("environment", {})
+    env_line = ", ".join(
+        f"{key}={value}" for key, value in sorted(environment.items())
+    ) if isinstance(environment, dict) else str(environment)
+    headline = _headline_cards(summary)
+    headline_block = (
+        f'<h2>Headline speedups</h2>\n<div class="cards">{headline}</div>'
+        if headline else ""
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>repro benchmark report</title>
+<style>{_STYLE}</style>
+</head>
+<body>
+<h1>repro benchmark report</h1>
+<p class="env">{html.escape(env_line)}</p>
+{headline_block}
+<h2>Benchmarks</h2>
+<table>
+<thead><tr><th>bench</th><th>status</th><th>wall (s)</th>
+<th>baseline (s)</th><th>vs baseline</th><th></th></tr></thead>
+<tbody>
+{_bench_rows(summary, baselines)}
+</tbody>
+</table>
+{_detail_sections(summary)}
+</body>
+</html>
+"""
+
+
+def render_text(summary: dict, baselines: dict | None = None) -> str:
+    """A terminal rendering of the same numbers (no ``--html``)."""
+    baselines = baselines or {}
+    lines = ["benchmark            status    wall_s   baseline  vs baseline"]
+    for name, info in sorted(summary.items()):
+        if not _is_bench(info):
+            continue
+        wall = float(info["wall_s"])
+        baseline = baselines.get(name)
+        if isinstance(baseline, (int, float)) and wall > 0:
+            versus = f"{float(baseline) / wall:.2f}x"
+            base_text = f"{baseline:8.3f}"
+        else:
+            versus = "-"
+            base_text = "       -"
+        lines.append(
+            f"{name:<20} {info['status']:<9} {wall:8.3f} {base_text}  {versus}"
+        )
+    for name, info in sorted(summary.items()):
+        if _is_headline(info):
+            lines.append(f"{name}: {float(info['speedup']):.2f}x speedup")
+    return "\n".join(lines)
+
+
+def write_html_report(
+    summary_path: str | Path,
+    out_path: str | Path,
+    baselines_path: str | Path | None = None,
+) -> Path:
+    """Render ``summary_path`` to ``out_path``; returns the written path."""
+    summary = json.loads(Path(summary_path).read_text(encoding="utf-8"))
+    baselines = {}
+    if baselines_path is not None and Path(baselines_path).is_file():
+        baselines = json.loads(Path(baselines_path).read_text(encoding="utf-8"))
+    out = Path(out_path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_html(summary, baselines), encoding="utf-8")
+    return out

@@ -28,8 +28,8 @@ import numpy as np
 
 from repro.backends import ScenarioSpec, run_spec
 from repro.core.metrics.friendliness import friendliness_from_trace
+from repro.exec import map_calls
 from repro.experiments.report import Table
-from repro.experiments.sweep import Sweep, workers_sweep_options
 from repro.model.link import Link
 from repro.protocols import presets
 from repro.protocols.base import Protocol
@@ -219,6 +219,7 @@ def run_table2(
 ) -> Table2Result:
     """Measure every Table 2 cell (over a process pool when ``workers > 1``).
 
+    Cells are scheduled through the unified executor (:mod:`repro.exec`).
     With ``batch`` the grid runs through the batched fluid kernel instead:
     all batch-compatible cells advance in one NumPy pass per step, the
     rest (e.g. the stateful PCC stand-in) fall back serially.
@@ -226,31 +227,22 @@ def run_table2(
     pcc = pcc or presets.pcc_like()
     robust_aimd = robust_aimd or presets.robust_aimd_paper()
     result = Table2Result(pcc_standin=pcc.name)
+    cells = [(n, bw) for n in senders for bw in bandwidths_mbps]
     if batch:
-        cells = [(n, bw) for n in senders for bw in bandwidths_mbps]
         pairs = _table2_cells_batched(cells, robust_aimd, pcc, steps, workers)
-        for (n, bw), (f_robust, f_pcc) in zip(cells, pairs):
-            result.cells.append(
-                Table2Cell(
-                    n_senders=n,
-                    bandwidth_mbps=bw,
-                    friendliness_robust_aimd=f_robust,
-                    friendliness_pcc=f_pcc,
-                )
-            )
-        return result
-    sweep = Sweep(
-        axes={"n": list(senders), "bw": list(bandwidths_mbps)},
-        measure=functools.partial(
-            _table2_cell, robust_aimd=robust_aimd, pcc=pcc, steps=steps
-        ),
-    )
-    for row in sweep.run(**workers_sweep_options(workers)):
-        f_robust, f_pcc = row.value
+    else:
+        pairs = map_calls(
+            functools.partial(
+                _table2_cell, robust_aimd=robust_aimd, pcc=pcc, steps=steps
+            ),
+            [{"n": n, "bw": bw} for n, bw in cells],
+            workers=workers,
+        )
+    for (n, bw), (f_robust, f_pcc) in zip(cells, pairs):
         result.cells.append(
             Table2Cell(
-                n_senders=row.parameter("n"),
-                bandwidth_mbps=row.parameter("bw"),
+                n_senders=n,
+                bandwidth_mbps=bw,
                 friendliness_robust_aimd=f_robust,
                 friendliness_pcc=f_pcc,
             )
@@ -317,26 +309,28 @@ def run_table2_packet(
 ) -> Table2Result:
     """Packet-level Table 2 over a (reduced, configurable) grid.
 
-    Cells are independent packet simulations; ``workers > 1`` fans them
-    out over a process pool, with results in submission order (identical
-    to the serial nested loops).
+    Cells are independent packet simulations scheduled through the
+    unified executor; ``workers > 1`` fans them out over a process pool,
+    with results in submission order (identical to the serial nested
+    loops).
     """
     pcc = pcc or presets.pcc_like()
     robust_aimd = robust_aimd or presets.robust_aimd_paper()
     result = Table2Result(pcc_standin=f"{pcc.name} [packet-level]")
-    sweep = Sweep(
-        axes={"n": list(senders), "bw": list(bandwidths_mbps)},
-        measure=functools.partial(
+    cells = [(n, bw) for n in senders for bw in bandwidths_mbps]
+    pairs = map_calls(
+        functools.partial(
             _table2_packet_cell, robust_aimd=robust_aimd, pcc=pcc,
             duration=duration,
         ),
+        [{"n": n, "bw": bw} for n, bw in cells],
+        workers=workers,
     )
-    for row in sweep.run(**workers_sweep_options(workers)):
-        f_robust, f_pcc = row.value
+    for (n, bw), (f_robust, f_pcc) in zip(cells, pairs):
         result.cells.append(
             Table2Cell(
-                n_senders=row.parameter("n"),
-                bandwidth_mbps=row.parameter("bw"),
+                n_senders=n,
+                bandwidth_mbps=bw,
                 friendliness_robust_aimd=f_robust,
                 friendliness_pcc=f_pcc,
             )

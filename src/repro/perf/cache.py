@@ -52,6 +52,10 @@ from repro.storage import load_trace, save_trace
 #: the cache in this process and every child (parallel sweep workers).
 CACHE_ENV = "REPRO_SIM_CACHE"
 
+#: The per-store index file: one NDJSON record per stored entry, written
+#: at put time, so ``repro cache stats`` never opens the npz payloads.
+INDEX_NAME = "index.ndjson"
+
 #: Bump when the canonicalization or the trace format changes.
 _KEY_VERSION = 1
 
@@ -160,6 +164,32 @@ def simulation_key(
 
 
 # ----------------------------------------------------------------------
+# Entry kinds
+# ----------------------------------------------------------------------
+def kind_from_members(
+    names: Sequence[str] | set[str], unified_backend: str | None = None
+) -> str:
+    """The entry kind an npz member-name set encodes.
+
+    Kinds: ``fluid`` (native fluid traces), ``packet`` (native packet
+    statistics), ``unified:<backend>`` (unified-store traces, when the
+    caller supplies the one-string backend member), and ``unknown`` for
+    anything unrecognized. Shared by the put-time index writers here and
+    the read-time fallback classifier in :mod:`repro.perf.store`, so the
+    two can never drift.
+    """
+    if "unified_backend" in names:
+        if unified_backend is not None:
+            return f"unified:{unified_backend}"
+        return "unknown"
+    if "format_version" in names and "windows" in names:
+        return "fluid"
+    if "format" in names and "meta" in names:
+        return "packet"
+    return "unknown"
+
+
+# ----------------------------------------------------------------------
 # The cache proper
 # ----------------------------------------------------------------------
 def default_cache_dir() -> Path:
@@ -170,10 +200,17 @@ def default_cache_dir() -> Path:
 class TraceCache:
     """Trace archive addressed by :func:`simulation_key` hashes.
 
-    Entries are ``.npz`` files written through :mod:`repro.storage`, laid
-    out as ``<dir>/<key[:2]>/<key>.npz`` to keep directories shallow.
-    Writes are atomic (temp file + rename), so concurrent sweep workers
-    may race on the same key without corrupting entries.
+    Entries are ``.npz`` files written through :mod:`repro.storage`,
+    sharded as ``<dir>/<key[:2]>/<key>.npz`` so thousands of concurrent
+    clients never contend on one directory. Writes are atomic (temp file
+    + rename), so concurrent sweep workers may race on the same key
+    without corrupting entries. Every put also appends one NDJSON record
+    (key, kind, bytes) to ``index.ndjson``, which is what lets
+    ``repro cache stats`` break the store down per kind without opening
+    a single payload. Entries written by the pre-shard flat layout
+    (``<dir>/<key>.npz``) migrate transparently: lookups relocate the
+    flat file into its shard on first touch, and :meth:`entries` sweeps
+    any stragglers.
     """
 
     def __init__(self, directory: str | Path | None = None) -> None:
@@ -184,11 +221,120 @@ class TraceCache:
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.npz"
 
+    # ------------------------------------------------------------------
+    # Flat-layout migration
+    # ------------------------------------------------------------------
+    def _migrate_flat(self, key: str) -> bool:
+        """Relocate ``key``'s legacy flat entry into its shard, if any."""
+        flat = self.directory / f"{key}.npz"
+        if not flat.is_file():
+            return False
+        dest = self._path(key)
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(flat, dest)
+        except OSError:
+            return False
+        return True
+
+    def migrate_flat_entries(self) -> int:
+        """Sweep every legacy flat-layout entry into the sharded layout.
+
+        Returns how many entries moved. Concurrent migrations are safe:
+        ``os.replace`` is atomic and a file another process already moved
+        is simply skipped.
+        """
+        moved = 0
+        if not self.directory.is_dir():
+            return 0
+        for flat in sorted(self.directory.glob("*.npz")):
+            key = flat.stem
+            if key.startswith("."):
+                continue  # in-progress temp files
+            if self._migrate_flat(key):
+                moved += 1
+        return moved
+
+    # ------------------------------------------------------------------
+    # The entry-kind index
+    # ------------------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        return self.directory / INDEX_NAME
+
+    def index_append(self, key: str, kind: str, nbytes: int) -> None:
+        """Record one stored entry's kind (best-effort, O_APPEND-atomic)."""
+        record = {"bytes": int(nbytes), "key": key, "kind": kind}
+        line = json.dumps(record, sort_keys=True) + "\n"
+        try:
+            fd = os.open(
+                self.index_path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
+        except OSError:
+            pass
+
+    def read_index(self) -> dict[str, str]:
+        """Key-to-kind mapping from the index file (last record wins).
+
+        Best-effort like every index operation: a missing file means an
+        empty mapping, and a torn or foreign line is skipped — readers
+        fall back to classifying the entry itself and re-append it.
+        """
+        kinds: dict[str, str] = {}
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as handle:
+                for raw in handle:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        record = json.loads(raw)
+                    except ValueError:
+                        continue
+                    key = record.get("key") if isinstance(record, dict) else None
+                    kind = record.get("kind") if isinstance(record, dict) else None
+                    if isinstance(key, str) and isinstance(kind, str):
+                        kinds[key] = kind
+        except OSError:
+            return {}
+        return kinds
+
+    def compact_index(self) -> None:
+        """Atomically rewrite the index keeping only live entries.
+
+        Pruning deletes entry files but cannot atomically delete their
+        index lines; this drops records whose entry no longer exists and
+        collapses duplicates, bounding the file's growth.
+        """
+        kinds = self.read_index()
+        lines = []
+        for key in sorted(kinds):
+            path = self._path(key)
+            try:
+                nbytes = path.stat().st_size
+            except OSError:
+                continue
+            record = {"bytes": int(nbytes), "key": key, "kind": kinds[key]}
+            lines.append(json.dumps(record, sort_keys=True))
+        tmp = self.directory / f".tmp-index-{os.getpid()}.ndjson"
+        try:
+            tmp.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+            os.replace(tmp, self.index_path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
     def get(self, key: str):
         """The cached trace for ``key``, or ``None`` (counts hit/miss)."""
         path = self._path(key)
         with timing.measure("cache.get"):
-            if path.exists():
+            if path.exists() or self._migrate_flat(key):
                 try:
                     trace = load_trace(path)
                 except Exception:
@@ -213,6 +359,7 @@ class TraceCache:
                 tmp = path.with_name(f".tmp-{os.getpid()}-{key[:16]}.npz")
                 try:
                     save_trace(trace, tmp)
+                    nbytes = tmp.stat().st_size
                     os.replace(tmp, path)
                 except OSError:
                     try:
@@ -220,6 +367,7 @@ class TraceCache:
                     except OSError:
                         pass
                     return None
+                self.index_append(key, "fluid", nbytes)
         return path
 
     def get_arrays(self, key: str) -> dict[str, np.ndarray] | None:
@@ -231,7 +379,7 @@ class TraceCache:
         """
         path = self._path(key)
         with timing.measure("cache.get"):
-            if path.exists():
+            if path.exists() or self._migrate_flat(key):
                 try:
                     with np.load(path, allow_pickle=False) as data:
                         arrays = {name: data[name] for name in data.files}
@@ -254,6 +402,7 @@ class TraceCache:
                     path.parent.mkdir(parents=True, exist_ok=True)
                     with open(tmp, "wb") as handle:
                         np.savez_compressed(handle, **arrays)
+                    nbytes = tmp.stat().st_size
                     os.replace(tmp, path)
                 except OSError:
                     try:
@@ -261,12 +410,22 @@ class TraceCache:
                     except OSError:
                         pass
                     return None
+                backend = arrays.get("unified_backend")
+                kind = kind_from_members(
+                    set(arrays), None if backend is None else str(backend)
+                )
+                self.index_append(key, kind, nbytes)
         return path
 
     def entries(self) -> list[Path]:
-        """All archived entry files, sorted for determinism."""
+        """All archived entry files, sorted for determinism.
+
+        Sweeps any legacy flat-layout entries into their shards first,
+        so iteration sees each entry exactly once at its sharded path.
+        """
         if not self.directory.exists():
             return []
+        self.migrate_flat_entries()
         return sorted(self.directory.glob("*/*.npz"))
 
     def clear(self) -> int:
@@ -277,12 +436,23 @@ class TraceCache:
         return removed
 
     def stats(self) -> dict[str, Any]:
-        """Entry count, on-disk bytes and this process's hit/miss counters."""
-        entries = self.entries()
+        """Entry count, on-disk bytes and this process's hit/miss counters.
+
+        Entries another process evicts mid-iteration are skipped rather
+        than crashing the scan.
+        """
+        count = 0
+        total = 0
+        for path in self.entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
         return {
             "directory": str(self.directory),
-            "entries": len(entries),
-            "bytes": sum(path.stat().st_size for path in entries),
+            "entries": count,
+            "bytes": total,
             "hits": self.hits,
             "misses": self.misses,
         }

@@ -33,15 +33,23 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-from repro.perf.cache import CacheKeyError, TraceCache, _canonical
+from repro.perf.cache import (
+    CacheKeyError,
+    TraceCache,
+    _canonical,
+    kind_from_members,
+)
 
 __all__ = [
     "unified_key",
+    "trace_to_arrays",
+    "trace_from_arrays",
     "store_unified_trace",
     "load_unified_trace",
     "extract_batch_trace",
@@ -96,8 +104,12 @@ def unified_key(backend_name: str, spec) -> str | None:
 # ----------------------------------------------------------------------
 # UnifiedTrace <-> arrays
 # ----------------------------------------------------------------------
-def store_unified_trace(cache: TraceCache, key: str, trace) -> None:
-    """Archive a :class:`~repro.backends.trace.UnifiedTrace` under ``key``."""
+def trace_to_arrays(trace: Any) -> dict[str, np.ndarray]:
+    """The archived array form of a UnifiedTrace.
+
+    The one encoding shared by the on-disk store and the serve layer's
+    wire format, so the two can never drift.
+    """
     arrays: dict[str, np.ndarray] = {
         "unified_format": np.int64(_FORMAT_VERSION),
         "unified_backend": np.array(trace.backend),
@@ -108,16 +120,17 @@ def store_unified_trace(cache: TraceCache, key: str, trace) -> None:
         arrays["flow_rtts"] = trace.flow_rtts
     if trace.times is not None:
         arrays["times"] = trace.times
-    cache.put_arrays(key, arrays)
+    return arrays
 
 
-def load_unified_trace(cache: TraceCache, key: str):
-    """The cached UnifiedTrace for ``key``, or ``None`` on a miss."""
+def trace_from_arrays(arrays: dict[str, np.ndarray]) -> Any | None:
+    """Rebuild a UnifiedTrace from :func:`trace_to_arrays` output.
+
+    Returns ``None`` on a format-version mismatch (an entry written by a
+    different layout revision is a miss, not an error).
+    """
     from repro.backends.trace import UnifiedTrace
 
-    arrays = cache.get_arrays(key)
-    if arrays is None:
-        return None
     if int(arrays.get("unified_format", -1)) != _FORMAT_VERSION:
         return None
     return UnifiedTrace(
@@ -126,6 +139,19 @@ def load_unified_trace(cache: TraceCache, key: str):
         flow_rtts=arrays.get("flow_rtts"),
         times=arrays.get("times"),
     )
+
+
+def store_unified_trace(cache: TraceCache, key: str, trace: Any) -> None:
+    """Archive a :class:`~repro.backends.trace.UnifiedTrace` under ``key``."""
+    cache.put_arrays(key, trace_to_arrays(trace))
+
+
+def load_unified_trace(cache: TraceCache, key: str) -> Any | None:
+    """The cached UnifiedTrace for ``key``, or ``None`` on a miss."""
+    arrays = cache.get_arrays(key)
+    if arrays is None:
+        return None
+    return trace_from_arrays(arrays)
 
 
 # ----------------------------------------------------------------------
@@ -168,16 +194,41 @@ def extract_batch_trace(
 # ----------------------------------------------------------------------
 # Size cap / pruning
 # ----------------------------------------------------------------------
+#: The last ``REPRO_CACHE_MAX_MB`` value already warned about, so a
+#: misconfigured cap is reported once per process, not once per call.
+_warned_cap_value: str | None = None
+
+
+def _warn_bad_cap(raw: str, reason: str) -> None:
+    global _warned_cap_value
+    if raw == _warned_cap_value:
+        return
+    _warned_cap_value = raw
+    warnings.warn(
+        f"ignoring {CACHE_MAX_MB_ENV}={raw!r}: {reason}; "
+        "the cache size cap is OFF",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def size_cap_bytes() -> int | None:
-    """The ``REPRO_CACHE_MAX_MB`` cap in bytes, or ``None`` when unset."""
+    """The ``REPRO_CACHE_MAX_MB`` cap in bytes, or ``None`` when unset.
+
+    A malformed or negative value is rejected with a one-time
+    :class:`RuntimeWarning` naming the value — a misconfigured cap would
+    otherwise be an invisible no-op.
+    """
     raw = os.environ.get(CACHE_MAX_MB_ENV)
     if not raw:
         return None
     try:
         mb = float(raw)
     except ValueError:
+        _warn_bad_cap(raw, "not a number")
         return None
     if mb < 0:
+        _warn_bad_cap(raw, "negative")
         return None
     return int(mb * 1024 * 1024)
 
@@ -199,7 +250,12 @@ def prune_cache(
     """
     if max_bytes is None:
         max_bytes = size_cap_bytes()
-    entries = [(path, path.stat()) for path in cache.entries()]
+    entries = []
+    for path in cache.entries():
+        try:
+            entries.append((path, path.stat()))
+        except OSError:
+            continue  # evicted by a concurrent prune mid-scan
     total = sum(stat.st_size for _, stat in entries)
     removed = 0
     reclaimed = 0
@@ -216,6 +272,8 @@ def prune_cache(
                     continue
             removed += 1
             reclaimed += stat.st_size
+    if removed and not dry_run:
+        cache.compact_index()
     return {
         "removed": removed,
         "reclaimed_bytes": reclaimed,
@@ -239,23 +297,39 @@ def classify_entry(path: Path) -> str:
     try:
         with np.load(path, allow_pickle=False) as data:
             names = set(data.files)
-            if "unified_backend" in names:
-                return f"unified:{data['unified_backend']}"
-            if "format_version" in names and "windows" in names:
-                return "fluid"
-            if "format" in names and "meta" in names:
-                return "packet"
+            backend = (
+                str(data["unified_backend"])
+                if "unified_backend" in names
+                else None
+            )
+            return kind_from_members(names, backend)
     except Exception:
         pass
     return "unknown"
 
 
 def stats_by_kind(cache: TraceCache) -> dict[str, dict[str, Any]]:
-    """Entry counts and on-disk bytes per entry kind, sorted by kind."""
+    """Entry counts and on-disk bytes per entry kind, sorted by kind.
+
+    Kinds come from the store's ``index.ndjson`` (written at put time),
+    so no payload is opened on the steady-state path; an entry the index
+    doesn't know — a pre-index store, a migrated flat entry — is
+    classified from its member names once and the record is appended, so
+    the next scan is index-only. Entries another process evicts
+    mid-iteration are skipped rather than crashing the scan.
+    """
+    index = cache.read_index()
     breakdown: dict[str, dict[str, Any]] = {}
     for path in cache.entries():
-        kind = classify_entry(path)
+        try:
+            nbytes = path.stat().st_size
+        except OSError:
+            continue  # evicted by a concurrent prune mid-scan
+        kind = index.get(path.stem)
+        if kind is None:
+            kind = classify_entry(path)
+            cache.index_append(path.stem, kind, nbytes)
         bucket = breakdown.setdefault(kind, {"entries": 0, "bytes": 0})
         bucket["entries"] += 1
-        bucket["bytes"] += path.stat().st_size
+        bucket["bytes"] += nbytes
     return dict(sorted(breakdown.items()))

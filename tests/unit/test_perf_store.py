@@ -193,12 +193,15 @@ class TestPruneCache:
     def test_size_cap_parsing(self, monkeypatch):
         from repro.perf.store import CACHE_MAX_MB_ENV, size_cap_bytes
 
+        monkeypatch.setattr("repro.perf.store._warned_cap_value", None)
         monkeypatch.setenv(CACHE_MAX_MB_ENV, "2")
         assert size_cap_bytes() == 2 * 1024 * 1024
         monkeypatch.setenv(CACHE_MAX_MB_ENV, "not-a-number")
-        assert size_cap_bytes() is None
+        with pytest.warns(RuntimeWarning, match="not a number"):
+            assert size_cap_bytes() is None
         monkeypatch.setenv(CACHE_MAX_MB_ENV, "-1")
-        assert size_cap_bytes() is None
+        with pytest.warns(RuntimeWarning, match="negative"):
+            assert size_cap_bytes() is None
         monkeypatch.delenv(CACHE_MAX_MB_ENV)
         assert size_cap_bytes() is None
 

@@ -1,0 +1,97 @@
+"""``repro report``: HTML/text rendering of the benchmark summary."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.report_html import (
+    render_html,
+    render_text,
+    write_html_report,
+)
+
+SUMMARY = {
+    "environment": {"python": "3.12", "numpy": "2.0"},
+    "bench_figure1": {"status": "passed", "wall_s": 2.5},
+    "bench_table2": {"status": "skipped", "wall_s": 0.0},
+    "figure1_batched": {"speedup": 26.4, "serial_s": 5.3, "batched_s": 0.2},
+    "claims": {"all_hold": True},
+}
+BASELINES = {"bench_figure1": 5.0}
+
+
+class TestRenderHtml:
+    def test_self_contained_page(self):
+        page = render_html(SUMMARY, BASELINES)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<style>" in page and "http" not in page.split("<style>")[1].split("</style>")[0]
+        assert "bench_figure1" in page
+        assert "26.40" in page  # headline card
+        assert "2.00&times;" in page  # 5.0 baseline / 2.5 wall
+        assert "claims" in page  # detail section
+
+    def test_escapes_hostile_names(self):
+        page = render_html({"<script>": {"status": "passed", "wall_s": 1.0}})
+        assert "<script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_missing_baselines_render_dashes(self):
+        page = render_html(SUMMARY)
+        assert "&mdash;" in page
+
+    def test_zero_wall_does_not_divide(self):
+        page = render_html(
+            {"bench_x": {"status": "skipped", "wall_s": 0.0}},
+            {"bench_x": 3.0},
+        )
+        assert "bench_x" in page
+
+
+class TestRenderText:
+    def test_table_and_headlines(self):
+        text = render_text(SUMMARY, BASELINES)
+        assert "bench_figure1" in text
+        assert "2.00x" in text
+        assert "figure1_batched: 26.40x speedup" in text
+
+
+class TestWriteAndCli:
+    @pytest.fixture
+    def summary_path(self, tmp_path):
+        path = tmp_path / "summary.json"
+        path.write_text(json.dumps(SUMMARY), encoding="utf-8")
+        (tmp_path / "baselines.json").write_text(
+            json.dumps(BASELINES), encoding="utf-8"
+        )
+        return path
+
+    def test_write_html_report(self, tmp_path, summary_path):
+        out = write_html_report(
+            summary_path, tmp_path / "deep" / "report.html",
+            tmp_path / "baselines.json",
+        )
+        page = out.read_text(encoding="utf-8")
+        assert "bench_figure1" in page and "2.00&times;" in page
+
+    def test_cli_text(self, capsys, summary_path):
+        code = main(["report", "--summary", str(summary_path),
+                     "--baselines", str(summary_path.parent / "baselines.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bench_figure1" in out
+
+    def test_cli_html(self, capsys, tmp_path, summary_path):
+        out_path = tmp_path / "report.html"
+        code = main(["report", "--summary", str(summary_path),
+                     "--html", str(out_path)])
+        assert code == 0
+        assert out_path.is_file()
+        assert str(out_path) in capsys.readouterr().out
+
+    def test_cli_missing_summary(self, tmp_path, capsys):
+        code = main(["report", "--summary", str(tmp_path / "absent.json")])
+        assert code == 1
+        assert "absent.json" in capsys.readouterr().err
