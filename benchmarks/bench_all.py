@@ -53,10 +53,18 @@ def discover_benchmarks() -> list[Path]:
 
 def run_benchmark(path: Path, skip_slow: bool = False,
                   timeout_s: float = 3600.0) -> dict:
-    """One timed pytest run of ``path``; never raises on benchmark failure."""
-    command = [sys.executable, "-m", "pytest", str(path), "-q", "-s"]
+    """One timed pytest run of ``path``; never raises on benchmark failure.
+
+    Skipped and timed-out modules carry a ``reason`` string alongside the
+    status, so ``repro report`` can say *why* a number is missing instead
+    of leaving a bare "skipped" in summary.json.
+    """
+    # pyproject's addopts already passes -q; a second -q would go fully
+    # silent and swallow the "N deselected" line the skip reason reads.
+    command = [sys.executable, "-m", "pytest", str(path), "-s"]
     if skip_slow:
         command += ["-m", "not slow"]
+    reason = None
     start = time.perf_counter()
     try:
         completed = subprocess.run(
@@ -67,10 +75,19 @@ def run_benchmark(path: Path, skip_slow: bool = False,
         # "no tests ran" (all deselected by -m) exits 5; that's a skip.
         if completed.returncode == 5:
             status = "skipped"
+            if skip_slow and "deselected" in completed.stdout:
+                reason = ("every benchmark in the module is marked @slow; "
+                          "deselected by --skip-slow")
+            else:
+                reason = "module collected no benchmarks"
     except subprocess.TimeoutExpired:
         status = "timeout"
+        reason = f"exceeded the {timeout_s:.0f}s per-module timeout"
     wall = time.perf_counter() - start
-    return {"status": status, "wall_s": round(wall, 3)}
+    entry = {"status": status, "wall_s": round(wall, 3)}
+    if reason is not None:
+        entry["reason"] = reason
+    return entry
 
 
 def _environment() -> dict:
@@ -133,6 +150,8 @@ def main(argv: list[str] | None = None) -> int:
             failures += 1
         extra = (f", {entry['speedup_vs_baseline']}x vs baseline"
                  if "speedup_vs_baseline" in entry else "")
+        if "reason" in entry:
+            extra += f" ({entry['reason']})"
         print(f"   {entry['status']} in {entry['wall_s']:.1f}s{extra}")
 
     if args.rebaseline:

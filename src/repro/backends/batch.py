@@ -1,7 +1,9 @@
-"""Batch planning and scheduling for the fluid backend.
+"""Batch planning and scheduling for the batched spec backends.
 
 This module is the bridge between :func:`repro.backends.jobs.run_specs`
-and the batched kernel in :mod:`repro.model.batch`:
+and the batched kernels — the fluid kernel in :mod:`repro.model.batch`,
+the multi-link network kernel in :mod:`repro.netmodel.batch` and the
+stacked mean-field kernel in :mod:`repro.meanfield.batch`:
 
 - :func:`plan_batches` sorts a list of ScenarioSpecs into *batch groups*
   — specs sharing (flow count, horizon, loss-based enforcement) whose
@@ -28,6 +30,17 @@ kernel throughput in :data:`repro.perf.timing.REGISTRY` (section
 bit-identical traces; a spec that fails mid-batch is rerun serially so
 callers see the exact serial exception (or ``None`` with
 ``skip_errors=True``), and never poisons the other rows.
+
+The network backend follows the same blueprint with a structural twist:
+:func:`plan_network_batches` groups specs sharing a topology *structure*
+(flow count, horizon, per-flow link columns) while link parameters and
+protocol constants vary per row, and :func:`run_network_specs_batched`
+drives :func:`repro.netmodel.batch.run_network_batch_kernel` through the
+same shared-memory chunk scheduler generalized to the network kernel's
+five per-flow/per-link output buffers. The mean-field backend batches
+single-group scenarios sharing (cell count, horizon, feedback mode,
+trigger comparator) and runs in-process — its kernel already advances a
+whole sweep in one vectorized loop, so chunking buys nothing.
 """
 
 from __future__ import annotations
@@ -47,8 +60,17 @@ from repro.perf import timing
 __all__ = [
     "BatchGroup",
     "BatchPlan",
+    "MeanFieldBatchGroup",
+    "MeanFieldBatchPlan",
+    "NetworkBatchGroup",
+    "NetworkBatchPlan",
     "autotune_chunk_rows",
+    "autotune_network_chunk_rows",
     "plan_batches",
+    "plan_meanfield_batches",
+    "plan_network_batches",
+    "run_meanfield_specs_batched",
+    "run_network_specs_batched",
     "run_packet_specs_batched",
     "run_specs_batched",
 ]
@@ -157,8 +179,10 @@ def _lower_for_batch(index: int, spec: ScenarioSpec) -> _Lowered | None:
     )
 
 
-def _build_inputs(rows: list[_Lowered]) -> BatchInputs:
-    """Stack one group's lowered specs into cell-table kernel inputs.
+def _class_cells(
+    protocol_rows: list[list],
+) -> tuple[tuple[type, ...], np.ndarray, dict[str, np.ndarray]]:
+    """The cell-table protocol encoding shared by the batched kernels.
 
     The class table collects the distinct protocol classes in
     first-appearance order (scanning scenarios in submission order, flows
@@ -167,13 +191,12 @@ def _build_inputs(rows: list[_Lowered]) -> BatchInputs:
     ``batch_param_names``; a cell's entry for a name its class does not
     define stays NaN and is never gathered by the kernel's dispatch.
     """
-    first = rows[0]
-    b, n = len(rows), len(first.protocols)
+    b, n = len(protocol_rows), len(protocol_rows[0])
     class_table: list[type] = []
     table_index: dict[type, int] = {}
     cell_classes = np.empty((b, n), dtype=np.int64)
-    for i, row in enumerate(rows):
-        for j, protocol in enumerate(row.protocols):
+    for i, protocols in enumerate(protocol_rows):
+        for j, protocol in enumerate(protocols):
             cls = type(protocol)
             if cls not in table_index:
                 table_index[cls] = len(class_table)
@@ -181,13 +204,22 @@ def _build_inputs(rows: list[_Lowered]) -> BatchInputs:
             cell_classes[i, j] = table_index[cls]
     names = sorted({name for cls in class_table for name in cls.batch_param_names})
     cell_params = {name: np.full((b, n), np.nan) for name in names}
-    for i, row in enumerate(rows):
-        for j, protocol in enumerate(row.protocols):
+    for i, protocols in enumerate(protocol_rows):
+        for j, protocol in enumerate(protocols):
             for name in type(protocol).batch_param_names:
                 cell_params[name][i, j] = getattr(protocol, name)
+    return tuple(class_table), cell_classes, cell_params
+
+
+def _build_inputs(rows: list[_Lowered]) -> BatchInputs:
+    """Stack one group's lowered specs into cell-table kernel inputs."""
+    first = rows[0]
+    class_table, cell_classes, cell_params = _class_cells(
+        [row.protocols for row in rows]
+    )
     return BatchInputs(
         steps=first.steps,
-        class_table=tuple(class_table),
+        class_table=class_table,
         cell_classes=cell_classes,
         cell_params=cell_params,
         initial=np.array([row.initial for row in rows], dtype=float),
@@ -522,4 +554,642 @@ def run_packet_specs_batched(
         results[i] = trace
         if cache is not None and keys[i] is not None:
             store.store_unified_trace(cache, keys[i], trace)
+    return results
+
+
+# ----------------------------------------------------------------------
+# The network backend's batch lane
+# ----------------------------------------------------------------------
+@dataclass
+class _NetLowered:
+    """One spec's network-batch-eligible lowered form."""
+
+    index: int
+    links: list  # per-column Link objects, in link_names order
+    link_names: list[str]
+    paths: tuple[tuple[int, ...], ...]  # flow -> link columns
+    protocols: list
+    steps: int
+    initial: list[float]
+    random_rate: float
+    min_window: float
+    max_window: float
+    enforce_loss_based: bool
+    base_rtts: list[float]
+    timeout_caps: list[float]
+
+
+@dataclass
+class NetworkBatchGroup:
+    """Network specs the kernel advances together, plus per-row names.
+
+    Rows in a group share topology *structure* (the paths-as-columns
+    tuple), not link *names* — each row keeps its own name list so the
+    extracted :class:`~repro.netmodel.trace.NetworkTrace` matches the
+    serial one field for field.
+    """
+
+    indices: list[int]
+    inputs: "object"  # NetBatchInputs
+    link_names: list[list[str]]
+
+
+@dataclass
+class NetworkBatchPlan:
+    """The outcome of network planning: kernel groups plus fallbacks."""
+
+    groups: list[NetworkBatchGroup]
+    fallback: list[int]
+
+
+def _lower_for_network_batch(index: int, spec: ScenarioSpec) -> _NetLowered | None:
+    """``spec``'s network-batch-eligible form, or ``None`` to fall back.
+
+    Mirrors the fluid planner's protocol and loss eligibility on top of
+    the network lowering: a valid topology, one batchable stateless
+    protocol per flow, constant deterministic non-congestion loss, finite
+    non-negative initial windows, a sane clamp. ``base_rtts`` and
+    ``timeout_caps`` are precomputed here with the serial engine's own
+    Python float sums (column order, left to right), so the kernels never
+    re-derive them.
+    """
+    try:
+        topology, protocols, kwargs, steps = spec.lower_network()
+        topology.validate()
+    except Exception:
+        return None
+    if len(protocols) != topology.n_flows:
+        return None
+    min_window = kwargs["min_window"]
+    max_window = kwargs["max_window"]
+    if min_window < 0 or max_window < min_window:
+        return None
+    lp = kwargs["loss_process"]
+    if lp is None or isinstance(lp, NoLoss):
+        # The serial engine substitutes NoLoss for a missing process.
+        random_rate = 0.0
+    elif isinstance(lp, BernoulliLoss) and lp.deterministic:
+        random_rate = lp.p
+    else:
+        return None
+    for protocol in protocols:
+        cls = type(protocol)
+        if not getattr(cls, "supports_batched", False):
+            return None
+        try:
+            if set(vars(protocol)) != set(cls.batch_param_names):
+                return None
+        except TypeError:
+            return None
+    initial = (
+        list(kwargs["initial_windows"])
+        if kwargs["initial_windows"] is not None
+        else [1.0] * len(protocols)
+    )
+    if len(initial) != len(protocols):
+        return None
+    if not all(math.isfinite(w) and w >= 0 for w in initial):
+        return None
+    link_names = list(topology.links)
+    link_index = {name: i for i, name in enumerate(link_names)}
+    links = [topology.links[name] for name in link_names]
+    paths = tuple(
+        tuple(link_index[name] for name in path) for path in topology.paths
+    )
+    base_rtts = [topology.base_rtt_of(j) for j in range(topology.n_flows)]
+    timeout_caps = [
+        2 * sum(links[col].full_buffer_rtt() for col in cols) for cols in paths
+    ]
+    return _NetLowered(
+        index=index,
+        links=links,
+        link_names=link_names,
+        paths=paths,
+        protocols=list(protocols),
+        steps=steps,
+        initial=[float(w) for w in initial],
+        random_rate=float(random_rate),
+        min_window=min_window,
+        max_window=max_window,
+        enforce_loss_based=kwargs["enforce_loss_based"],
+        base_rtts=[float(r) for r in base_rtts],
+        timeout_caps=[float(r) for r in timeout_caps],
+    )
+
+
+def _build_network_inputs(rows: list[_NetLowered]):
+    """Stack one group's lowered network specs into kernel inputs."""
+    from repro.netmodel.batch import NetBatchInputs
+
+    first = rows[0]
+    class_table, cell_classes, cell_params = _class_cells(
+        [row.protocols for row in rows]
+    )
+    return NetBatchInputs(
+        steps=first.steps,
+        class_table=class_table,
+        cell_classes=cell_classes,
+        cell_params=cell_params,
+        initial=np.array([row.initial for row in rows], dtype=float),
+        capacity=np.array(
+            [[link.capacity for link in row.links] for row in rows], dtype=float
+        ),
+        bandwidth=np.array(
+            [[link.bandwidth for link in row.links] for row in rows], dtype=float
+        ),
+        buffer_size=np.array(
+            [[link.buffer_size for link in row.links] for row in rows], dtype=float
+        ),
+        pipe_limit=np.array(
+            [[link.pipe_limit for link in row.links] for row in rows], dtype=float
+        ),
+        base_rtts=np.array([row.base_rtts for row in rows], dtype=float),
+        timeout_caps=np.array([row.timeout_caps for row in rows], dtype=float),
+        random_rate=np.array([row.random_rate for row in rows], dtype=float),
+        min_window=np.array([row.min_window for row in rows], dtype=float),
+        max_window=np.array([row.max_window for row in rows], dtype=float),
+        paths=first.paths,
+        enforce_loss_based=first.enforce_loss_based,
+    )
+
+
+def plan_network_batches(
+    specs: Sequence[ScenarioSpec],
+    indices: Sequence[int] | None = None,
+) -> NetworkBatchPlan:
+    """Group ``specs`` (or the subset ``indices``) for the network kernel.
+
+    Specs batch together when they share the topology *structure* — flow
+    count, link count, the flow-to-column path map — plus the horizon
+    and loss-based enforcement. Link names and parameters, protocol
+    classes and constants, initial windows, clamps and random loss rates
+    all vary along the batch axis.
+    """
+    if indices is None:
+        indices = range(len(specs))
+    grouped: dict[tuple, list[_NetLowered]] = {}
+    fallback: list[int] = []
+    with timing.measure("batch.plan"):
+        for index in indices:
+            lowered = _lower_for_network_batch(index, specs[index])
+            if lowered is None:
+                fallback.append(index)
+                continue
+            key = (
+                len(lowered.protocols),
+                len(lowered.link_names),
+                lowered.paths,
+                lowered.steps,
+                lowered.enforce_loss_based,
+            )
+            grouped.setdefault(key, []).append(lowered)
+        groups = [
+            NetworkBatchGroup(
+                indices=[row.index for row in rows],
+                inputs=_build_network_inputs(rows),
+                link_names=[row.link_names for row in rows],
+            )
+            for rows in grouped.values()
+        ]
+    return NetworkBatchPlan(groups=groups, fallback=fallback)
+
+
+def autotune_network_chunk_rows(steps: int) -> int:
+    """Rows per network-kernel chunk targeting the usual chunk seconds.
+
+    The network analogue of :func:`autotune_chunk_rows`, fed by the
+    ``batch.net_kernel`` timing section over
+    :func:`repro.netmodel.batch.net_kernel_cells`.
+    """
+    from repro.netmodel.batch import net_kernel_cells
+
+    cells = net_kernel_cells()
+    spent = timing.REGISTRY.total("batch.net_kernel")
+    if cells <= 0 or spent <= 0.0:
+        return _DEFAULT_CHUNK_ROWS
+    seconds_per_cell = spent / cells
+    rows = int(_TARGET_CHUNK_SECONDS / max(seconds_per_cell * steps, 1e-12))
+    return max(1, min(rows, 4096))
+
+
+def _net_kernel_chunk(
+    shm_names: dict[str, str],
+    steps: int,
+    total_rows: int,
+    widths: dict[str, int],
+    chunk,
+    lo: int,
+    hi: int,
+) -> dict[int, int]:
+    """Worker: advance network rows ``lo:hi`` into the shared buffers.
+
+    The network twin of :func:`_kernel_chunk`; every output buffer is
+    3-D here (per-flow or per-link wide). The same write-safety contract
+    applies (REP701/702): every array built over a shared segment is
+    accessed only through a ``[lo:hi]`` row slice with the pristine
+    planner-assigned bounds.
+    """
+    from multiprocessing import shared_memory
+
+    from repro.netmodel.batch import run_network_batch_kernel
+
+    segments = []
+    try:
+        out: dict[str, np.ndarray] = {}
+        for name, shm_name in shm_names.items():
+            shm = shared_memory.SharedMemory(name=shm_name)
+            segments.append(shm)
+            full = np.ndarray(
+                (steps, total_rows, widths[name]), dtype=np.float64, buffer=shm.buf
+            )
+            out[name] = full[:, lo:hi, :]
+        result = run_network_batch_kernel(chunk, out=out)
+        failed = {lo + row: step for row, step in result.failed.items()}
+        # Drop every view into the buffers before closing the segments.
+        del result, out, full
+        return failed
+    finally:
+        for shm in segments:
+            try:
+                shm.close()
+            except BufferError:
+                pass  # released at worker exit
+
+
+def _run_network_group_shm(inputs, workers: int, chunk_rows: int):
+    """Chunk a network batch across a pool via shared-memory buffers.
+
+    Same contract as :func:`_run_group_shm`: ``None`` when shared memory
+    or a pool is unavailable, bit-identical output either way, and the
+    REP7xx chunk discipline binds only the attaching workers.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import shared_memory
+
+    from repro.netmodel.batch import NetBatchResult
+
+    steps, b = inputs.steps, inputs.batch_size
+    widths = {
+        "windows": inputs.n_senders,
+        "flow_loss": inputs.n_senders,
+        "flow_rtts": inputs.n_senders,
+        "link_load": inputs.n_links,
+        "link_loss": inputs.n_links,
+    }
+    segments: dict[str, object] = {}
+    try:
+        try:
+            for name, width in widths.items():
+                nbytes = steps * b * width * 8
+                segments[name] = shared_memory.SharedMemory(
+                    create=True, size=max(nbytes, 1)
+                )
+        except OSError:
+            return None
+        chunks = [(lo, min(lo + chunk_rows, b)) for lo in range(0, b, chunk_rows)]
+        shm_names = {name: seg.name for name, seg in segments.items()}
+        failed: dict[int, int] = {}
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(chunks)))
+        except (OSError, ValueError, RuntimeError):
+            return None
+        with timing.measure("batch.scheduler"), pool:
+            futures = [
+                pool.submit(
+                    _net_kernel_chunk,
+                    shm_names,
+                    steps,
+                    b,
+                    widths,
+                    inputs.rows(lo, hi),
+                    lo,
+                    hi,
+                )
+                for lo, hi in chunks
+            ]
+            for future in futures:
+                failed.update(future.result())
+        arrays = {}
+        for name, seg in segments.items():
+            view = np.ndarray(
+                (steps, b, widths[name]), dtype=np.float64, buffer=seg.buf
+            )
+            arrays[name] = view.copy()
+            del view
+        return NetBatchResult(failed=failed, **arrays)
+    finally:
+        for seg in segments.values():
+            try:
+                seg.close()
+                seg.unlink()
+            except (BufferError, FileNotFoundError, OSError):
+                pass
+
+
+def _run_network_group(
+    inputs,
+    workers: int | None = None,
+    chunk_rows: int | None = None,
+):
+    """Run one network group: chunked when it pays, else in-process."""
+    from repro.netmodel.batch import run_network_batch_kernel
+
+    if workers is not None and workers > 1 and inputs.batch_size > 1:
+        rows = (
+            chunk_rows
+            if chunk_rows is not None
+            else autotune_network_chunk_rows(inputs.steps)
+        )
+        if inputs.batch_size > rows:
+            result = _run_network_group_shm(inputs, workers, rows)
+            if result is not None:
+                return result
+    return run_network_batch_kernel(inputs)
+
+
+def run_network_specs_batched(
+    specs: Sequence[ScenarioSpec],
+    use_cache: bool = True,
+    skip_errors: bool = False,
+    workers: int | None = None,
+    chunk_rows: int | None = None,
+) -> list:
+    """Run every spec on the network backend, batching compatible ones.
+
+    The multi-link analogue of :func:`run_specs_batched`: results are
+    :class:`~repro.backends.trace.UnifiedTrace` objects in spec order,
+    bit-identical to ``run_spec(spec, "network")`` on every path — cache
+    hit, batch kernel (NumPy or JIT), chunked kernel, or serial fallback
+    — and they warm the same unified-store entries serial runs read.
+    """
+    from repro.backends.trace import from_network_trace
+    from repro.netmodel.trace import NetworkTrace
+    from repro.perf import store
+    from repro.perf.cache import active_cache
+
+    specs = list(specs)
+    results: list = [None] * len(specs)
+    cache = active_cache() if use_cache else None
+    keys: list[str | None] = [None] * len(specs)
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            keys[i] = store.unified_key("network", spec)
+            if keys[i] is not None:
+                hit = store.load_unified_trace(cache, keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    continue
+        pending.append(i)
+
+    plan = plan_network_batches(specs, pending)
+    serial = list(plan.fallback)
+    for group in plan.groups:
+        result = _run_network_group(
+            group.inputs, workers=workers, chunk_rows=chunk_rows
+        )
+        for pos, index in enumerate(group.indices):
+            if pos in result.failed:
+                # Recompute serially to raise the exact serial error.
+                serial.append(index)
+                continue
+            net = NetworkTrace(
+                windows=result.windows[:, pos].copy(),
+                flow_loss=result.flow_loss[:, pos].copy(),
+                flow_rtts=result.flow_rtts[:, pos].copy(),
+                link_load=result.link_load[:, pos].copy(),
+                link_loss=result.link_loss[:, pos].copy(),
+                link_names=list(group.link_names[pos]),
+                base_rtts=group.inputs.base_rtts[pos].copy(),
+            )
+            trace = from_network_trace(net, specs[index].link, backend="network")
+            results[index] = trace
+            if cache is not None and keys[index] is not None:
+                store.store_unified_trace(cache, keys[index], trace)
+
+    for index in sorted(serial):
+        try:
+            results[index] = run_spec(specs[index], "network", use_cache=use_cache)
+        except Exception:
+            if not skip_errors:
+                raise
+            results[index] = None
+    return results
+
+
+# ----------------------------------------------------------------------
+# The mean-field backend's batch lane
+# ----------------------------------------------------------------------
+@dataclass
+class _MeanFieldLowered:
+    """One spec's mean-field-batch-eligible lowered form."""
+
+    index: int
+    scenario: object  # MeanFieldScenario
+    grid: object  # WindowGrid
+    state: object  # _GroupState: plans, trigger, initial mass
+
+
+@dataclass
+class MeanFieldBatchGroup:
+    """Mean-field specs the stacked kernel advances together."""
+
+    indices: list[int]
+    inputs: "object"  # MeanFieldBatchInputs
+    rows: list[_MeanFieldLowered]
+
+
+@dataclass
+class MeanFieldBatchPlan:
+    """The outcome of mean-field planning: groups plus fallbacks."""
+
+    groups: list[MeanFieldBatchGroup]
+    fallback: list[int]
+
+
+def _lower_for_meanfield_batch(
+    index: int, spec: ScenarioSpec
+) -> _MeanFieldLowered | None:
+    """``spec``'s mean-field-batch-eligible form, or ``None``.
+
+    The stacked kernel advances one density per scenario, so only
+    single-group scenarios qualify (multi-protocol mixes keep their
+    per-group serial loop); AQM marking stays serial too — the batch
+    step hard-codes the zero mark fraction of a droptail link. Building
+    the group state here also front-loads every precondition error
+    (trigger separation, non-finite branch images): a spec that fails
+    falls back and reproduces the exact serial exception.
+    """
+    from repro.meanfield.dynamics import _GroupState
+
+    try:
+        scenario = spec.lower_meanfield()
+    except Exception:
+        return None
+    if len(scenario.groups) != 1:
+        return None
+    if scenario.link.marking_enabled:
+        return None
+    try:
+        grid = scenario.resolved_grid()
+        state = _GroupState(
+            scenario.groups[0], grid, scenario.min_window, scenario.max_window
+        )
+    except Exception:
+        return None
+    return _MeanFieldLowered(index=index, scenario=scenario, grid=grid, state=state)
+
+
+def _build_meanfield_inputs(rows: list[_MeanFieldLowered]):
+    """Stack one group's lowered mean-field specs into kernel inputs."""
+    from repro.meanfield.batch import (
+        MeanFieldBatchInputs,
+        mass_support,
+        stack_plans,
+    )
+
+    first = rows[0]
+    plans_lo, plans_hi = stack_plans(
+        [row.state.growth_plan for row in rows],
+        [row.state.decrease_plan for row in rows],
+    )
+    supports = [mass_support(row.state.mass) for row in rows]
+    return MeanFieldBatchInputs(
+        steps=first.scenario.steps,
+        synchronized=first.scenario.synchronized,
+        op=first.state.trigger_op,
+        thresholds=np.array(
+            [row.state.trigger_threshold for row in rows], dtype=float
+        ),
+        points=np.stack([row.grid.points() for row in rows]),
+        plans_lo=plans_lo,
+        plans_hi=plans_hi,
+        mass=np.stack([row.state.mass for row in rows]),
+        supp_start=np.array([s[0] for s in supports], dtype=np.int64),
+        supp_len=np.array([s[1] for s in supports], dtype=np.int64),
+        populations=np.array([row.state.population for row in rows], dtype=float),
+        capacity=np.array([row.scenario.link.capacity for row in rows], dtype=float),
+        bandwidth=np.array(
+            [row.scenario.link.bandwidth for row in rows], dtype=float
+        ),
+        base_rtt=np.array([row.scenario.link.base_rtt for row in rows], dtype=float),
+        pipe_limit=np.array(
+            [row.scenario.link.pipe_limit for row in rows], dtype=float
+        ),
+        timeout_rtt=np.array(
+            [row.scenario.link.timeout_rtt for row in rows], dtype=float
+        ),
+        random_rate=np.array(
+            [row.scenario.random_loss_rate for row in rows], dtype=float
+        ),
+    )
+
+
+def plan_meanfield_batches(
+    specs: Sequence[ScenarioSpec],
+    indices: Sequence[int] | None = None,
+) -> MeanFieldBatchPlan:
+    """Group ``specs`` (or the subset ``indices``) for the stacked kernel.
+
+    Specs batch together when they share the cell count, the horizon,
+    the feedback mode and the trigger comparator; each row keeps its own
+    grid (resolution and span), branch plans, link parameters, trigger
+    threshold, population and random loss rate.
+    """
+    if indices is None:
+        indices = range(len(specs))
+    grouped: dict[tuple, list[_MeanFieldLowered]] = {}
+    fallback: list[int] = []
+    with timing.measure("batch.plan"):
+        for index in indices:
+            lowered = _lower_for_meanfield_batch(index, specs[index])
+            if lowered is None:
+                fallback.append(index)
+                continue
+            key = (
+                lowered.grid.cells,
+                lowered.scenario.steps,
+                lowered.scenario.synchronized,
+                lowered.state.trigger_op,
+            )
+            grouped.setdefault(key, []).append(lowered)
+        groups = [
+            MeanFieldBatchGroup(
+                indices=[row.index for row in rows],
+                inputs=_build_meanfield_inputs(rows),
+                rows=rows,
+            )
+            for rows in grouped.values()
+        ]
+    return MeanFieldBatchPlan(groups=groups, fallback=fallback)
+
+
+def run_meanfield_specs_batched(
+    specs: Sequence[ScenarioSpec],
+    use_cache: bool = True,
+    skip_errors: bool = False,
+) -> list:
+    """Run every spec on the mean-field backend, batching compatible ones.
+
+    The density analogue of :func:`run_specs_batched`: results are
+    :class:`~repro.backends.trace.UnifiedTrace` objects in spec order,
+    bit-identical to ``run_spec(spec, "meanfield")`` on every path, and
+    they warm the same unified-store entries serial runs read. The
+    stacked kernel runs in-process — one vectorized loop already covers
+    the whole group, so there is nothing for a pool to parallelize.
+    """
+    from repro.backends.trace import from_meanfield_result
+    from repro.meanfield.batch import run_meanfield_batch_kernel
+    from repro.meanfield.dynamics import MeanFieldResult
+    from repro.perf import store
+    from repro.perf.cache import active_cache
+
+    specs = list(specs)
+    results: list = [None] * len(specs)
+    cache = active_cache() if use_cache else None
+    keys: list[str | None] = [None] * len(specs)
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            keys[i] = store.unified_key("meanfield", spec)
+            if keys[i] is not None:
+                hit = store.load_unified_trace(cache, keys[i])
+                if hit is not None:
+                    results[i] = hit
+                    continue
+        pending.append(i)
+
+    plan = plan_meanfield_batches(specs, pending)
+    serial = list(plan.fallback)
+    for group in plan.groups:
+        result = run_meanfield_batch_kernel(group.inputs)
+        for pos, index in enumerate(group.indices):
+            if pos in result.failed:
+                # Recompute serially to raise the exact serial error.
+                serial.append(index)
+                continue
+            row = group.rows[pos]
+            mf = MeanFieldResult(
+                grid=row.grid,
+                link=row.scenario.link,
+                populations=np.array([row.state.population], dtype=float),
+                group_names=[row.state.protocol.name],
+                mean_windows=result.mean_windows[:, pos : pos + 1].copy(),
+                observed_loss=result.observed_loss[:, pos : pos + 1].copy(),
+                congestion_loss=result.congestion_loss[:, pos].copy(),
+                rtts=result.rtts[:, pos].copy(),
+                masses=[result.masses[pos].copy()],
+            )
+            trace = from_meanfield_result(mf, backend="meanfield")
+            results[index] = trace
+            if cache is not None and keys[index] is not None:
+                store.store_unified_trace(cache, keys[index], trace)
+
+    for index in sorted(serial):
+        try:
+            results[index] = run_spec(specs[index], "meanfield", use_cache=use_cache)
+        except Exception:
+            if not skip_errors:
+                raise
+            results[index] = None
     return results

@@ -8,19 +8,22 @@ identical to in-flight work (another thread, another serve client)
 attach as waiters, and the rest route to the cheapest engine — returning
 :class:`~repro.backends.trace.UnifiedTrace` objects in submission order.
 
-With ``batch=True`` on the fluid backend the executor routes the batch
+With ``batch=True`` every spec backend has a batched engine. On the
+fluid, network and mean-field backends the executor routes the batch
 through the batch planner (:mod:`repro.backends.batch`): compatible
-specs are stacked and advanced through one NumPy kernel pass per step —
-bit-identical to the serial path, typically several times faster on
-sweep grids — with per-spec serial fallback for anything the kernel
-cannot express. Large batches additionally spread row chunks over a
-shared-memory scheduler instead of pickling per-job results. On the
-packet backend, ``batch=True`` routes through the merged-scheduler
-replication runner (:mod:`repro.packetsim.batch`) instead: scenarios
-sharing a link and duration run inside one event loop, again
-bit-identical to the serial engine. Without ``batch`` the executor falls
-back to the :class:`~repro.experiments.sweep.Sweep` process pool (or a
-serial loop), exactly the pre-executor dispatch.
+specs are stacked and advanced through one vectorized kernel pass per
+step — bit-identical to the serial path, typically several times faster
+on sweep grids — with per-spec serial fallback for anything the kernels
+cannot express. Large fluid and network batches additionally spread row
+chunks over a shared-memory scheduler instead of pickling per-job
+results. On the packet backend, ``batch=True`` routes through the
+merged-scheduler replication runner (:mod:`repro.packetsim.batch`)
+instead: scenarios sharing a link and duration run inside one event
+loop, again bit-identical to the serial engine. A (hypothetical future)
+backend without a batch lane warns once, naming the backend, and runs
+per-job. Without ``batch`` the executor falls back to the
+:class:`~repro.experiments.sweep.Sweep` process pool (or a serial
+loop), exactly the pre-executor dispatch.
 """
 
 from __future__ import annotations
@@ -56,10 +59,11 @@ def run_specs(
     Results come back in spec order regardless of completion order,
     identical to a serial loop (the executor's guarantee).
 
-    ``batch=True`` enables the batched paths: the stacked NumPy kernel on
-    the ``"fluid"`` backend, and the merged-scheduler replication runner
-    (:mod:`repro.packetsim.batch`) on the ``"packet"`` backend; other
-    backends have no batched engine and run exactly as before.
+    ``batch=True`` enables the batched paths: the stacked kernels on the
+    ``"fluid"``, ``"network"`` and ``"meanfield"`` backends, and the
+    merged-scheduler replication runner (:mod:`repro.packetsim.batch`)
+    on the ``"packet"`` backend; a backend without a batched engine
+    warns once and runs per-job exactly as before.
     ``use_cache`` and ``skip_errors`` are honored on every path: cached
     specs skip the engines entirely, and with ``skip_errors`` a failing
     spec yields ``None`` without disturbing the rest of the batch.

@@ -172,9 +172,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--no-cache", action="store_true",
                        help="bypass the unified trace cache")
     run_p.add_argument("--batch", action="store_true",
-                       help="route through the batched fluid kernel "
-                       "(fluid backend only; falls back serially when the "
-                       "scenario is not batch-compatible)")
+                       help="route through the backend's batched engine "
+                       "(fluid, packet, network and meanfield all have "
+                       "one; falls back serially when the scenario is "
+                       "not batch-compatible)")
 
     sim = subparsers.add_parser("simulate", help="run an ad-hoc fluid simulation")
     _add_link_arguments(sim)

@@ -12,9 +12,10 @@ while the executor decides how little work that actually requires:
    serve layer's concurrent clients rely on); keyed jobs whose result is
    already in the content-addressed store are served from it.
 3. **Route** — the jobs that remain are grouped per kind and sent to the
-   cheapest engine that preserves bit-identity: the stacked fluid kernel
-   or the merged packet scheduler with ``batch=True`` where the kind has
-   one, a process pool when ``workers > 1``, a serial loop otherwise.
+   cheapest engine that preserves bit-identity: with ``batch=True`` the
+   stacked fluid, network or mean-field kernel or the merged packet
+   scheduler (one batch lane per spec backend), a process pool when
+   ``workers > 1``, a serial loop otherwise.
 4. **Fall back** — anything a batched engine cannot express runs per-job
    through exactly the code path a hand-written driver would have used.
 
@@ -32,6 +33,7 @@ the lock.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
@@ -42,6 +44,13 @@ from repro.exec.jobs import (
     WorkloadJob,
     job_runner,
 )
+
+#: Spec backends with a batched engine; SpecJobs on any other backend
+#: fall back per-job (with a one-time warning naming the backend).
+_BATCHED_SPEC_BACKENDS = ("fluid", "packet", "network", "meanfield")
+
+#: Backends already warned about falling back from ``batch=True``.
+_warned_laneless: set[str] = set()
 
 __all__ = [
     "ExecutorStats",
@@ -340,10 +349,12 @@ class Executor:
     ) -> dict[int, JobOutcome]:
         """Run the planned jobs, grouped per batched engine.
 
-        Batched lanes exist for fluid and packet spec jobs, packet
-        scenarios and workloads; every other (kind, flags) combination
-        falls back to the per-job lane, which preserves the pooled /
-        serial semantics of the pre-executor drivers exactly.
+        Batched lanes exist for every spec backend — fluid, packet,
+        network and mean-field — plus packet scenarios and workloads;
+        every other (kind, flags) combination falls back to the per-job
+        lane, which preserves the pooled / serial semantics of the
+        pre-executor drivers exactly. A spec job on a backend without a
+        batch lane warns once, naming the backend, before falling back.
         """
         outcomes: dict[int, JobOutcome] = {}
         if not indices:
@@ -353,8 +364,18 @@ class Executor:
             lanes: dict[str, list[int]] = {}
             for index in indices:
                 job = jobs[index]
-                if isinstance(job, SpecJob) and job.backend in ("fluid", "packet"):
+                if isinstance(job, SpecJob) and job.backend in _BATCHED_SPEC_BACKENDS:
                     lanes.setdefault(f"spec-{job.backend}", []).append(index)
+                elif isinstance(job, SpecJob):
+                    if job.backend not in _warned_laneless:
+                        _warned_laneless.add(job.backend)
+                        warnings.warn(
+                            f"backend {job.backend!r} has no batched engine; "
+                            "its specs run per-job",
+                            RuntimeWarning,
+                            stacklevel=4,
+                        )
+                    leftover.append(index)
                 elif isinstance(job, PacketScenarioJob):
                     lanes.setdefault("scenario", []).append(index)
                 elif isinstance(job, WorkloadJob):
@@ -368,6 +389,14 @@ class Executor:
                     )
                 elif lane == "spec-packet":
                     self._run_spec_batch_packet(
+                        jobs, members, outcomes, use_cache, skip_errors
+                    )
+                elif lane == "spec-network":
+                    self._run_spec_batch_network(
+                        jobs, members, outcomes, workers, use_cache, skip_errors
+                    )
+                elif lane == "spec-meanfield":
+                    self._run_spec_batch_meanfield(
                         jobs, members, outcomes, use_cache, skip_errors
                     )
                 elif lane == "scenario":
@@ -405,6 +434,31 @@ class Executor:
         from repro.backends.batch import run_packet_specs_batched
 
         traces = run_packet_specs_batched(
+            [jobs[i].spec for i in members],
+            use_cache=use_cache,
+            skip_errors=skip_errors,
+        )
+        self._fill(members, traces, outcomes)
+
+    def _run_spec_batch_network(
+        self, jobs, members, outcomes, workers, use_cache, skip_errors
+    ) -> None:
+        from repro.backends.batch import run_network_specs_batched
+
+        traces = run_network_specs_batched(
+            [jobs[i].spec for i in members],
+            use_cache=use_cache,
+            skip_errors=skip_errors,
+            workers=workers,
+        )
+        self._fill(members, traces, outcomes)
+
+    def _run_spec_batch_meanfield(
+        self, jobs, members, outcomes, use_cache, skip_errors
+    ) -> None:
+        from repro.backends.batch import run_meanfield_specs_batched
+
+        traces = run_meanfield_specs_batched(
             [jobs[i].spec for i in members],
             use_cache=use_cache,
             skip_errors=skip_errors,

@@ -37,6 +37,7 @@ td.num { text-align: right; font-variant-numeric: tabular-nums; }
 .card .label { font-size: 0.85rem; color: #555; }
 .status-passed { color: #2b8a3e; } .status-skipped { color: #868e96; }
 .status-failed { color: #c92a2a; font-weight: 600; }
+.reason { font-size: 0.75rem; color: #868e96; max-width: 16rem; }
 .env { font-size: 0.85rem; color: #555; }
 pre { background: #f4f4fa; padding: 0.7rem; border-radius: 4px;
       font-size: 0.8rem; overflow-x: auto; }
@@ -68,9 +69,16 @@ def _bench_rows(summary: dict, baselines: dict) -> str:
             speedup = "&mdash;"
             bar_class = "bar"
         width = max(2, round(220 * wall / scale)) if scale > 0 else 2
+        status_cell = html.escape(status)
+        reason = info.get("reason")
+        if reason:
+            status_cell = (
+                f'<span title="{html.escape(str(reason))}">{status_cell}</span>'
+                f'<div class="reason">{html.escape(str(reason))}</div>'
+            )
         rows.append(
             f"<tr><td>{html.escape(name)}</td>"
-            f'<td class="status-{html.escape(status)}">{html.escape(status)}</td>'
+            f'<td class="status-{html.escape(status)}">{status_cell}</td>'
             f'<td class="num">{wall:.3f}</td>'
             f'<td class="num">{"" if baseline is None else f"{baseline:.3f}"}</td>'
             f'<td class="num">{speedup}</td>'
@@ -162,8 +170,10 @@ def render_text(summary: dict, baselines: dict | None = None) -> str:
         else:
             versus = "-"
             base_text = "       -"
+        suffix = f"  ({info['reason']})" if info.get("reason") else ""
         lines.append(
-            f"{name:<20} {info['status']:<9} {wall:8.3f} {base_text}  {versus}"
+            f"{name:<20} {info['status']:<9} {wall:8.3f} {base_text}  "
+            f"{versus}{suffix}"
         )
     for name, info in sorted(summary.items()):
         if _is_headline(info):

@@ -629,9 +629,16 @@ class _KernelModel:
     #: Kernel id -> the dispatch statement findings anchor to.
     anchors: dict[int, ast.stmt] = field(default_factory=dict)
     node: ast.FunctionDef | None = None
+    #: The same three maps for the network kernel's dispatch chain
+    #: (``_advance_net_cells``), when that transliteration exists.
+    net_branches: dict[int, Sym] = field(default_factory=dict)
+    net_errors: dict[int, str] = field(default_factory=dict)
+    net_anchors: dict[int, ast.stmt] = field(default_factory=dict)
+    net_node: ast.FunctionDef | None = None
 
 
 _KERNELS_MODULE = "repro/model/kernels.py"
+_MEANFIELD_KERNEL_MODULE = "repro/meanfield/kernel.py"
 
 
 def _parse_layout(
@@ -775,6 +782,70 @@ def _branch_expr(stmts: list[ast.stmt], env: _Env) -> Sym:
     raise ExtractionError("dispatch branch is not a single assignment")
 
 
+def _parse_dispatch(
+    ctx: FileContext,
+    advance: ast.FunctionDef,
+    kids: set[int],
+    layout: Mapping[int, tuple[str, ...]],
+    roles: Mapping[str, str],
+) -> tuple[dict[int, Sym], dict[int, str], dict[int, ast.stmt]] | None:
+    """One function's kernel-id dispatch chain: branches, errors, anchors.
+
+    ``None`` means the function contains no ``kid == <int>`` chain at
+    all; callers decide whether that is an error (``_advance_cells``
+    must dispatch) or fine.
+    """
+    chain_head: ast.If | None = None
+    for node in ast.walk(advance):
+        if isinstance(node, ast.If) and _is_kid_test(node.test):
+            chain_head = node
+            break
+    if chain_head is None:
+        return None
+
+    summary = summaries(ctx, advance)
+    claimed: dict[int, tuple[ast.stmt, list[ast.stmt]]] = {}
+    current: ast.If = chain_head
+    while True:
+        test = current.test
+        assert isinstance(test, ast.Compare)  # _is_kid_test guarantees it
+        comparator = test.comparators[0]
+        assert isinstance(comparator, ast.Constant)
+        claimed[int(comparator.value)] = (current, current.body)
+        orelse = current.orelse
+        if (
+            len(orelse) == 1
+            and isinstance(orelse[0], ast.If)
+            and _is_kid_test(orelse[0].test)
+        ):
+            current = orelse[0]
+            continue
+        if orelse:
+            leftover = sorted(kids - set(claimed))
+            if len(leftover) == 1:
+                claimed[leftover[0]] = (current, orelse)
+        break
+
+    branches: dict[int, Sym] = {}
+    errors: dict[int, str] = {}
+    anchors: dict[int, ast.stmt] = {}
+    for kid in sorted(kids):
+        if kid not in claimed:
+            errors[kid] = f"no dispatch branch in {advance.name}"
+            continue
+        anchor, body = claimed[kid]
+        anchors[kid] = anchor
+        env = _Env(
+            resolve=_make_kernel_resolver(kid, layout.get(kid, ()), roles, summary),
+            summary=None,
+        )
+        try:
+            branches[kid] = normalize(_branch_expr(body, env))
+        except ExtractionError as exc:
+            errors[kid] = str(exc)
+    return branches, errors, anchors
+
+
 def _kernel_model(contexts: dict[str, FileContext]) -> _KernelModel:
     """Recover coverage, layout and per-id branch expressions statically.
 
@@ -782,6 +853,9 @@ def _kernel_model(contexts: dict[str, FileContext]) -> _KernelModel:
     not an error — there is simply nothing to compare against. A present
     module that registers classes but cannot be modeled *is* an error
     (REP602): it advertises compiled coverage the gate cannot verify.
+    Both per-cell dispatch chains are modeled: the fluid kernel's
+    ``_advance_cells`` (mandatory once classes register) and the network
+    kernel's ``_advance_net_cells`` (verified whenever it exists).
     """
     model = _KernelModel()
     ctx = contexts.get(_KERNELS_MODULE)
@@ -793,6 +867,7 @@ def _kernel_model(contexts: dict[str, FileContext]) -> _KernelModel:
     layout: dict[int, tuple[str, ...]] = {}
     roles: dict[str, str] = {}
     advance: ast.FunctionDef | None = None
+    advance_net: ast.FunctionDef | None = None
     for stmt in ctx.tree.body:
         if (
             isinstance(stmt, ast.Assign)
@@ -813,6 +888,8 @@ def _kernel_model(contexts: dict[str, FileContext]) -> _KernelModel:
         elif isinstance(stmt, ast.FunctionDef):
             if stmt.name == "_advance_cells":
                 advance = stmt
+            elif stmt.name == "_advance_net_cells":
+                advance_net = stmt
             elif stmt.name == "_class_ids":
                 model.coverage = _parse_coverage(stmt, consts)
 
@@ -829,52 +906,22 @@ def _kernel_model(contexts: dict[str, FileContext]) -> _KernelModel:
         )
         return model
 
-    chain_head: ast.If | None = None
-    for node in ast.walk(advance):
-        if isinstance(node, ast.If) and _is_kid_test(node.test):
-            chain_head = node
-            break
-    if chain_head is None:
+    kids = set(model.coverage.values())
+    parsed = _parse_dispatch(ctx, advance, kids, layout, roles)
+    if parsed is None:
         model.error = "no kernel-id dispatch chain found in _advance_cells"
         return model
+    model.branches, model.errors, model.anchors = parsed
 
-    summary = summaries(ctx, advance)
-    claimed: dict[int, tuple[ast.stmt, list[ast.stmt]]] = {}
-    current: ast.If = chain_head
-    while True:
-        test = current.test
-        assert isinstance(test, ast.Compare)  # _is_kid_test guarantees it
-        comparator = test.comparators[0]
-        assert isinstance(comparator, ast.Constant)
-        claimed[int(comparator.value)] = (current, current.body)
-        orelse = current.orelse
-        if (
-            len(orelse) == 1
-            and isinstance(orelse[0], ast.If)
-            and _is_kid_test(orelse[0].test)
-        ):
-            current = orelse[0]
-            continue
-        if orelse:
-            leftover = sorted(set(model.coverage.values()) - set(claimed))
-            if len(leftover) == 1:
-                claimed[leftover[0]] = (current, orelse)
-        break
-
-    for kid in sorted(set(model.coverage.values())):
-        if kid not in claimed:
-            model.errors[kid] = "no dispatch branch in _advance_cells"
-            continue
-        anchor, body = claimed[kid]
-        model.anchors[kid] = anchor
-        env = _Env(
-            resolve=_make_kernel_resolver(kid, layout.get(kid, ()), roles, summary),
-            summary=None,
-        )
-        try:
-            model.branches[kid] = normalize(_branch_expr(body, env))
-        except ExtractionError as exc:
-            model.errors[kid] = str(exc)
+    if advance_net is not None:
+        model.net_node = advance_net
+        parsed = _parse_dispatch(ctx, advance_net, kids, layout, roles)
+        if parsed is None:
+            model.net_errors = {
+                kid: "no dispatch branch in _advance_net_cells" for kid in kids
+            }
+        else:
+            model.net_branches, model.net_errors, model.net_anchors = parsed
     return model
 
 
@@ -903,6 +950,64 @@ def _cached_model(contexts: dict[str, FileContext]) -> _KernelModel:
         cached = _kernel_model(contexts)
         ctx.cache["kernel-model"] = cached
     return cached
+
+
+def _find_function(
+    ctx: FileContext | None, name: str
+) -> ast.FunctionDef | None:
+    """A module-level function by name, or ``None``."""
+    if ctx is None:
+        return None
+    for stmt in ctx.tree.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+#: The canonical operands of the cloud-in-cell mass split. Both scatter
+#: renderings spell them differently (``plan.weight_hi`` vs
+#: ``weight_hi[k]``), so the resolver maps every spelling to one Var.
+_SCATTER_BASES = frozenset({"mass", "weight_hi", "index_lo"})
+
+
+def _resolve_scatter(node: ast.expr) -> Sym | None:
+    if isinstance(node, ast.Subscript) and isinstance(node.value, ast.Name):
+        if node.value.id in _SCATTER_BASES:
+            return Var(node.value.id)
+        return None
+    if isinstance(node, ast.Attribute) and node.attr in _SCATTER_BASES:
+        return Var(node.attr)
+    if isinstance(node, ast.Name) and node.id in _SCATTER_BASES:
+        return Var(node.id)
+    return None
+
+
+def _scatter_exprs(
+    ctx: FileContext, fn: ast.FunctionDef
+) -> tuple[Sym, Sym] | str:
+    """The normalized ``(upper, lower)`` mass-split expressions of a
+    scatter rendering, or an error string when extraction fails.
+
+    Both :func:`repro.meanfield.kernel.meanfield_deposit` and its
+    compiled transliteration ``_deposit_cells`` split each particle's
+    mass into an upper and lower deposit before accumulating; those two
+    products are the only arithmetic the scatter performs, so comparing
+    them is the whole bit-identity story (accumulation order is pinned
+    by the bincount-pair structure, which the property tests cover).
+    """
+    summary = summaries(ctx, fn)
+    env = _Env(resolve=_resolve_scatter, summary=summary)
+    upper_def = summary.single_def("upper")
+    lower_def = summary.single_def("lower")
+    if upper_def is None or lower_def is None:
+        return "no single 'upper'/'lower' mass-split assignments"
+    try:
+        return (
+            normalize(_expr(upper_def, env)),
+            normalize(_expr(lower_def, env)),
+        )
+    except ExtractionError as exc:
+        return str(exc)
 
 
 # ----------------------------------------------------------------------
@@ -963,7 +1068,8 @@ def _check_implementation_drift(
                     ),
                 )
 
-        # The compiled kernel's branch for this class, when covered.
+        # The compiled kernel's branch for this class, when covered —
+        # once against the fluid chain, once against the network chain.
         if model.ctx is not None and model.error is None:
             kid = _class_kid(chain, model.coverage)
             if kid is not None and kid in model.branches:
@@ -983,6 +1089,24 @@ def _check_implementation_drift(
                             f"{batched.label}': {render(pair[1])} vs "
                             f"{render(pair[0])} — the JIT transliteration "
                             "must stay bit-identical",
+                        )
+            if kid is not None and kid in model.net_branches:
+                batched = next(
+                    (i for i in good if i.label == "batched_next"), ref
+                )
+                key = ("jit-net", id(batched.node), kid)
+                if key not in seen:
+                    seen.add(key)
+                    if model.net_branches[kid] != batched.sym:
+                        pair = diff(batched.sym, model.net_branches[kid])
+                        assert pair is not None and batched.sym is not None
+                        yield _make(
+                            rule_, model.ctx, model.net_anchors[kid],
+                            f"compiled network kernel branch for id {kid} "
+                            f"diverges from '{batched.owner.node.name}."
+                            f"{batched.label}': {render(pair[1])} vs "
+                            f"{render(pair[0])} — the network JIT "
+                            "transliteration must stay bit-identical",
                         )
 
         # The mean-field trigger against batched_next's branch condition.
@@ -1009,6 +1133,31 @@ def _check_implementation_drift(
                         f"branches on {render(batched_impl.sym.cond)}; the "
                         "mean-field branch images would disagree with the "
                         "batched kernel",
+                    )
+
+    # The mean-field scatter against its compiled transliteration: the
+    # two mass-split products must be the same arithmetic.
+    dep_ctx = contexts.get(_MEANFIELD_KERNEL_MODULE)
+    ref_fn = _find_function(dep_ctx, "meanfield_deposit")
+    cells_fn = _find_function(model.ctx, "_deposit_cells")
+    if dep_ctx is not None and ref_fn is not None and cells_fn is not None:
+        assert model.ctx is not None
+        ref_exprs = _scatter_exprs(dep_ctx, ref_fn)
+        cell_exprs = _scatter_exprs(model.ctx, cells_fn)
+        if isinstance(ref_exprs, tuple) and isinstance(cell_exprs, tuple):
+            for label, ref_sym, other_sym in (
+                ("upper", ref_exprs[0], cell_exprs[0]),
+                ("lower", ref_exprs[1], cell_exprs[1]),
+            ):
+                if other_sym != ref_sym:
+                    pair = diff(ref_sym, other_sym)
+                    assert pair is not None
+                    yield _make(
+                        rule_, model.ctx, cells_fn,
+                        f"'_deposit_cells' {label} mass split diverges from "
+                        f"'meanfield_deposit': {render(pair[1])} vs "
+                        f"{render(pair[0])} — the compiled scatter must "
+                        "stay bit-identical",
                     )
 
 
@@ -1108,6 +1257,41 @@ def _check_unverifiable_coverage(
                     rule_, model.ctx, anchor,
                     f"compiled branch for kernel id {kid} (classes: "
                     f"{', '.join(names)}) cannot be extracted: {message}",
+                )
+            # Same story for the network kernel's chain, when it exists.
+            for kid in sorted(set(model.coverage.values())):
+                message = model.net_errors.get(kid)
+                if message is None:
+                    continue
+                anchor = (
+                    model.net_anchors.get(kid)
+                    or model.net_node
+                    or model.ctx.tree
+                )
+                names = sorted(
+                    cls for cls, k in model.coverage.items() if k == kid
+                )
+                yield _make(
+                    rule_, model.ctx, anchor,
+                    f"compiled network branch for kernel id {kid} (classes: "
+                    f"{', '.join(names)}) cannot be extracted: {message}",
+                )
+
+    # When both scatter renderings exist, each must stay extractable or
+    # the deposit drift comparison (REP601) is silently blind.
+    dep_ctx = contexts.get(_MEANFIELD_KERNEL_MODULE)
+    ref_fn = _find_function(dep_ctx, "meanfield_deposit")
+    cells_fn = _find_function(model.ctx, "_deposit_cells")
+    if dep_ctx is not None and ref_fn is not None and cells_fn is not None:
+        assert model.ctx is not None
+        for ctx_, fn in ((dep_ctx, ref_fn), (model.ctx, cells_fn)):
+            exprs = _scatter_exprs(ctx_, fn)
+            if isinstance(exprs, str):
+                yield _make(
+                    rule_, ctx_, fn,
+                    f"scatter rendering '{fn.name}' cannot be extracted "
+                    f"({exprs}); the deposit drift comparison cannot "
+                    "verify it",
                 )
 
 

@@ -226,6 +226,16 @@ class _GroupState:
             meanfield_plan(np.array([start]), grid), np.array([1.0])
         )
 
+    @property
+    def trigger_op(self) -> str:
+        """The trigger comparator, ``"gt"`` or ``"ge"`` (batch group key)."""
+        return self._op
+
+    @property
+    def trigger_threshold(self) -> float:
+        """The resolved numeric trigger threshold (batch kernel input)."""
+        return self._threshold
+
     def trigger_hit(self, observed: float) -> bool:
         """Whether an observed loss signal takes the decrease branch."""
         if self._op == "gt":

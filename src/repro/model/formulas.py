@@ -32,7 +32,9 @@ __all__ = [
     "eq1_rtt_array",
     "path_loss",
     "queue_occupancy",
+    "queue_occupancy_array",
     "queueing_delay",
+    "queueing_delay_array",
     "red_mark_fraction",
     "step_mark_fraction",
 ]
@@ -110,6 +112,29 @@ def queueing_delay(
 ) -> float:
     """Per-link queueing delay: the standing queue drained at link rate."""
     return queue_occupancy(total_window, capacity, buffer_size) / bandwidth
+
+
+def queue_occupancy_array(
+    total_window: np.ndarray, capacity: np.ndarray, buffer_size: np.ndarray
+) -> np.ndarray:
+    """Elementwise :func:`queue_occupancy` over a batch of scenarios.
+
+    ``np.maximum``/``np.minimum`` select the same values as Python's
+    ``max``/``min`` for finite float64 inputs (a negative zero cannot
+    arise: ``X - C`` of equal finite values is ``+0.0``), so each element
+    equals the scalar helper bit for bit.
+    """
+    return np.minimum(np.maximum(total_window - capacity, 0.0), buffer_size)
+
+
+def queueing_delay_array(
+    total_window: np.ndarray,
+    capacity: np.ndarray,
+    buffer_size: np.ndarray,
+    bandwidth: np.ndarray,
+) -> np.ndarray:
+    """Elementwise :func:`queueing_delay` over a batch of scenarios."""
+    return queue_occupancy_array(total_window, capacity, buffer_size) / bandwidth
 
 
 def step_mark_fraction(

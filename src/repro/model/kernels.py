@@ -49,7 +49,15 @@ try:  # pragma: no cover - exercised only with the `fast` extra installed
 except ImportError:  # the supported default environment
     _numba = None
 
-__all__ = ["advance", "jit_enabled", "kernel_id", "numba_version", "use_jit"]
+__all__ = [
+    "advance",
+    "advance_network",
+    "deposit",
+    "jit_enabled",
+    "kernel_id",
+    "numba_version",
+    "use_jit",
+]
 
 #: Update-rule ids burned into the compiled dispatch table.
 _KERNEL_AIMD = 0
@@ -78,6 +86,8 @@ _PARAM_SLOTS = 3
 
 _CLASS_IDS: dict[type, int] | None = None
 _COMPILED = None
+_COMPILED_NET = None
+_COMPILED_DEPOSIT = None
 
 
 def _class_ids() -> dict[type, int]:
@@ -317,3 +327,264 @@ def advance(
         int(row): int(failed_step[row])
         for row in np.nonzero(failed_step >= 0)[0]
     }
+
+
+def _advance_net_cells(
+    steps,
+    ids,
+    params,
+    current,
+    path_offsets,
+    path_cols,
+    capacity,
+    bandwidth,
+    buffer_size,
+    pipe_limit,
+    base_rtts,
+    timeout_caps,
+    random_rate,
+    min_window,
+    max_window,
+    windows_out,
+    flow_loss_out,
+    flow_rtts_out,
+    link_load_out,
+    link_loss_out,
+    failed_step,
+):  # pragma: no branch - structure mirrors the NumPy loop exactly
+    """Scalar transliteration of ``repro.netmodel.batch._advance_network_numpy``.
+
+    Plain Python by design, njit-wrapped without fastmath — the same
+    contract as :func:`_advance_cells`. Flow paths arrive flattened:
+    flow ``j`` crosses ``path_cols[path_offsets[j]:path_offsets[j + 1]]``,
+    and every fold (link load, path survival, queueing-delay sum) walks
+    those columns in the serial engine's order.
+    """
+    b, n = current.shape
+    n_links = link_load_out.shape[2]
+    load = np.empty(n_links)
+    link_loss = np.empty(n_links)
+    queue_delay = np.empty(n_links)
+    scratch = np.empty(n)
+    for i in range(b):
+        rand = random_rate[i]
+        lo = min_window[i]
+        hi = max_window[i]
+        for t in range(steps):
+            # Left-fold link loads, flow-outer / path-column-inner.
+            for col in range(n_links):
+                load[col] = 0.0
+            for j in range(n):
+                for k in range(path_offsets[j], path_offsets[j + 1]):
+                    col = path_cols[k]
+                    load[col] = load[col] + current[i, j]
+            for col in range(n_links):
+                x = load[col]
+                pipe = pipe_limit[i, col]
+                # droptail_loss_rate
+                if x <= pipe:
+                    link_loss[col] = 0.0
+                else:
+                    link_loss[col] = 1.0 - pipe / x
+                # queue_occupancy clamp, ordered like maximum/minimum
+                occ = x - capacity[i, col]
+                if occ < 0.0:
+                    occ = 0.0
+                if occ > buffer_size[i, col]:
+                    occ = buffer_size[i, col]
+                queue_delay[col] = occ / bandwidth[i, col]
+                link_load_out[t, i, col] = load[col]
+                link_loss_out[t, i, col] = link_loss[col]
+            for j in range(n):
+                windows_out[t, i, j] = current[i, j]
+
+            finite = True
+            for j in range(n):
+                # path_loss: left-fold survival product in path order,
+                # then the random-loss combine (applied even at rate 0).
+                survival = 1.0
+                lossy = False
+                delay = 0.0
+                for k in range(path_offsets[j], path_offsets[j + 1]):
+                    col = path_cols[k]
+                    survival = survival * (1.0 - link_loss[col])
+                    if link_loss[col] > 0.0:
+                        lossy = True
+                    delay = delay + queue_delay[col]
+                loss = 1.0 - survival
+                # combine_loss
+                seen = 1.0 - (1.0 - loss) * (1.0 - rand)
+                if lossy:
+                    rtt = timeout_caps[i, j]
+                else:
+                    rtt = base_rtts[i, j] + delay
+                flow_loss_out[t, i, j] = seen
+                flow_rtts_out[t, i, j] = rtt
+
+                w = current[i, j]
+                kid = ids[i, j]
+                p0 = params[i, j, 0]
+                p1 = params[i, j, 1]
+                if kid == 0:  # AIMD: w*b on loss, else w+a
+                    if seen > 0.0:
+                        nxt = w * p1
+                    else:
+                        nxt = w + p0
+                elif kid == 1:  # MIMD: w*b on loss, else w*a
+                    if seen > 0.0:
+                        nxt = w * p1
+                    else:
+                        nxt = w * p0
+                else:  # Robust-AIMD: w*b when seen >= epsilon, else w+a
+                    if seen >= params[i, j, 2]:
+                        nxt = w * p1
+                    else:
+                        nxt = w + p0
+                scratch[j] = nxt
+                if not np.isfinite(nxt):
+                    finite = False
+            if not finite:
+                if failed_step[i] < 0:
+                    failed_step[i] = t
+                for j in range(n):
+                    scratch[j] = 1.0
+            # np.clip(x, lo, hi) == minimum(maximum(x, lo), hi)
+            for j in range(n):
+                v = scratch[j]
+                if v < lo:
+                    v = lo
+                if v > hi:
+                    v = hi
+                current[i, j] = v
+
+
+def _compiled_net():
+    """The ``njit``-compiled network loop, built once per process."""
+    global _COMPILED_NET
+    if _COMPILED_NET is None:
+        _COMPILED_NET = _numba.njit(cache=False)(_advance_net_cells)
+    return _COMPILED_NET
+
+
+def _pack_paths(paths) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten the shared flow paths into (offsets, columns) arrays."""
+    offsets = np.zeros(len(paths) + 1, dtype=np.int64)
+    for j, cols in enumerate(paths):
+        offsets[j + 1] = offsets[j] + len(cols)
+    flat = np.empty(int(offsets[-1]), dtype=np.int64)
+    for j, cols in enumerate(paths):
+        for k, col in enumerate(cols):
+            flat[offsets[j] + k] = col
+    return offsets, flat
+
+
+def advance_network(
+    inputs,
+    current: np.ndarray,
+    windows_out: np.ndarray,
+    flow_loss_out: np.ndarray,
+    flow_rtts_out: np.ndarray,
+    link_load_out: np.ndarray,
+    link_loss_out: np.ndarray,
+    force_python: bool = False,
+) -> dict[int, int]:
+    """Compiled drop-in for ``repro.netmodel.batch._advance_network_numpy``.
+
+    Fills the five output arrays in place from the (already
+    initial-clamped) ``current`` windows and returns the ``{row: first
+    failing step}`` map; ``force_python`` runs the transliteration
+    interpreted, same bits, for environments without numba.
+    """
+    ids, params = _pack(inputs)
+    path_offsets, path_cols = _pack_paths(inputs.paths)
+    b = inputs.batch_size
+    failed_step = np.full(b, -1, dtype=np.int64)
+    loop = _advance_net_cells if force_python or _numba is None else _compiled_net()
+    loop(
+        inputs.steps,
+        ids,
+        params,
+        np.ascontiguousarray(current),
+        path_offsets,
+        path_cols,
+        inputs.capacity,
+        inputs.bandwidth,
+        inputs.buffer_size,
+        inputs.pipe_limit,
+        inputs.base_rtts,
+        inputs.timeout_caps,
+        inputs.random_rate,
+        inputs.min_window,
+        inputs.max_window,
+        windows_out,
+        flow_loss_out,
+        flow_rtts_out,
+        link_load_out,
+        link_loss_out,
+        failed_step,
+    )
+    return {
+        int(row): int(failed_step[row])
+        for row in np.nonzero(failed_step >= 0)[0]
+    }
+
+
+def _deposit_cells(index_lo, weight_hi, mass, out, scratch):
+    """Scalar transliteration of the cloud-in-cell scatter.
+
+    Bit-identity with :func:`repro.meanfield.kernel.meanfield_deposit`
+    requires reproducing the ``bincount`` *pair*: the lower contributions
+    accumulate into ``out`` in input order, the upper contributions into
+    the separate ``scratch``, and the two vectors add elementwise at the
+    end — fusing them into one accumulator would interleave the folds
+    and round differently.
+    """
+    length = out.shape[0]
+    for k in range(length):
+        out[k] = 0.0
+        scratch[k] = 0.0
+    for k in range(index_lo.shape[0]):
+        m = mass[k]
+        upper = m * weight_hi[k]
+        lower = m - upper
+        j = index_lo[k]
+        out[j] = out[j] + lower
+        scratch[j + 1] = scratch[j + 1] + upper
+    for k in range(length):
+        out[k] = out[k] + scratch[k]
+
+
+def _compiled_deposit():
+    """The ``njit``-compiled scatter, built once per process."""
+    global _COMPILED_DEPOSIT
+    if _COMPILED_DEPOSIT is None:
+        _COMPILED_DEPOSIT = _numba.njit(cache=False)(_deposit_cells)
+    return _COMPILED_DEPOSIT
+
+
+def deposit(
+    index_lo: np.ndarray,
+    weight_hi: np.ndarray,
+    mass: np.ndarray,
+    length: int,
+    force_python: bool = False,
+) -> np.ndarray:
+    """Compiled drop-in for the mean-field ``bincount`` scatter pair.
+
+    Equivalent, bit for bit, to ``bincount(index_lo, mass - mass *
+    weight_hi, minlength=length) + bincount(index_lo + 1, mass *
+    weight_hi, minlength=length)`` for in-range indices. ``force_python``
+    runs the transliteration interpreted, same bits, which is how
+    environments without numba property-test it.
+    """
+    out = np.empty(length)
+    scratch = np.empty(length)
+    loop = _deposit_cells if force_python or _numba is None else _compiled_deposit()
+    loop(
+        np.ascontiguousarray(index_lo, dtype=np.int64),
+        np.ascontiguousarray(weight_hi, dtype=float),
+        np.ascontiguousarray(mass, dtype=float),
+        out,
+        scratch,
+    )
+    return out

@@ -140,6 +140,38 @@ class TestUnifiedBackendAgreement:
         assert all(0.0 <= s < 0.1 for s in scores)
 
 
+class TestNetworkAgreement:
+    def test_single_link_network_agrees_with_fluid_serial_and_batched(self):
+        """The multi-link engine on a degenerate one-link topology rides
+        the same Eq. (1) closure as the fluid model, so their aggregate
+        trajectories coincide; the batched network lane must reproduce
+        the serial engine bit for bit and therefore inherit the rung."""
+        from repro.backends import run_specs
+        from repro.netmodel.topology import single_link
+
+        n = 4
+        link = Link.from_mbps(2e-3 * n * 1000, 42, 10 * n)
+        net_spec = ScenarioSpec(
+            protocols=[AIMD(1, 0.5)] * n, link=link, steps=500,
+            topology=single_link(link, n), initial_windows=[1.0] * n,
+        )
+        fluid_spec = ScenarioSpec(
+            protocols=[AIMD(1, 0.5)] * n, link=link, steps=500,
+            initial_windows=[1.0] * n,
+        )
+        (batched,) = run_specs(
+            [net_spec], "network", batch=True, use_cache=False
+        )
+        serial = run_spec(net_spec, "network", use_cache=False)
+        assert np.array_equal(
+            np.ascontiguousarray(batched.windows).view(np.uint64),
+            np.ascontiguousarray(serial.windows).view(np.uint64),
+        )
+        fluid = run_spec(fluid_spec, "fluid", use_cache=False)
+        tail = lambda t: float(t.total_window()[250:].mean())  # noqa: E731
+        assert tail(batched) == pytest.approx(tail(fluid), rel=1e-9)
+
+
 class TestRobustnessAgreement:
     def test_random_loss_kills_reno_but_not_robust_aimd(self):
         # Packet-level rendition of Metric VI's scenario.

@@ -102,6 +102,26 @@ def test_packet_converges_to_synchronized_meanfield(n):
     assert rel <= PACKET_SYNC_TOLERANCES[n], (n, mf, pk, rel)
 
 
+@pytest.mark.parametrize("n", [10, 100])
+def test_batched_meanfield_lane_slots_into_the_ladder(n):
+    """The batched density kernel is a pure execution hint: its trace is
+    bit-identical to the serial engine's, so the fluid-agreement rung
+    holds for ``run_specs(batch=True)`` at the same tolerance."""
+    from repro.backends import run_specs
+
+    spec = _spec(n, steps=600, unsync=True)
+    (batched,) = run_specs([spec], "meanfield", batch=True, use_cache=False)
+    serial = run_spec(spec, "meanfield", use_cache=False)
+    assert np.array_equal(
+        np.ascontiguousarray(batched.windows).view(np.uint64),
+        np.ascontiguousarray(serial.windows).view(np.uint64),
+    )
+    mf = _tail_share(batched, n)
+    fl = _tail_share(run_spec(spec, "fluid", use_cache=False), n)
+    rel = abs(mf - fl) / fl
+    assert rel <= FLUID_UNSYNC_TOLERANCES[n], (n, mf, fl, rel)
+
+
 def test_meanfield_is_flow_count_independent():
     """The same per-flow physics at 1000x the population: identical
     per-flow trajectory (bit-for-bit), since only populations scale."""

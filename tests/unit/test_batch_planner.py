@@ -8,6 +8,10 @@ from repro.backends.batch import (
     _DEFAULT_CHUNK_ROWS,
     autotune_chunk_rows,
     plan_batches,
+    plan_meanfield_batches,
+    plan_network_batches,
+    run_meanfield_specs_batched,
+    run_network_specs_batched,
 )
 from repro.backends.spec import LoweringError
 from repro.model.link import Link
@@ -234,6 +238,139 @@ class TestErrorIsolation:
             np.ascontiguousarray(results[1].windows).view(np.uint64),
             np.ascontiguousarray(reference.windows).view(np.uint64),
         )
+
+
+def _dumbbell_spec(a=1.0, bw=20.0, steps=60, n=3, protocols=None):
+    from repro.netmodel.topology import dumbbell
+
+    bottleneck = Link.from_mbps(bw, 42, 100)
+    return ScenarioSpec(
+        protocols=protocols or [AIMD(a, 0.5)] * n,
+        link=bottleneck,
+        steps=steps,
+        topology=dumbbell(Link.from_mbps(200, 10, 200), bottleneck, n),
+        initial_windows=[1.0] * (len(protocols) if protocols else n),
+    )
+
+
+def _bit_equal(a, b):
+    return np.array_equal(
+        np.ascontiguousarray(a).view(np.uint64),
+        np.ascontiguousarray(b).view(np.uint64),
+    )
+
+
+class TestPlanNetworkBatches:
+    def test_mixed_class_grids_share_a_group(self):
+        """Protocol classes never split network groups: per-cell dispatch."""
+        specs = [
+            _dumbbell_spec(a=1.0),
+            _dumbbell_spec(protocols=[MIMD(1.01, 0.9)] * 3),
+            _dumbbell_spec(protocols=[AIMD(1.0, 0.5), MIMD(1.02, 0.9),
+                                      AIMD(2.0, 0.7)]),
+        ]
+        plan = plan_network_batches(specs)
+        assert plan.fallback == []
+        assert [g.indices for g in plan.groups] == [[0, 1, 2]]
+        inputs = plan.groups[0].inputs
+        assert len(inputs.class_table) == 2
+        assert inputs.cell_classes.tolist() == [[0, 0, 0], [1, 1, 1], [0, 1, 0]]
+
+    def test_topology_structure_splits_groups(self):
+        """Same flow count, different path structure — separate kernels."""
+        from repro.netmodel.topology import parking_lot
+
+        link = Link.from_mbps(30, 42, 100)
+        lot = ScenarioSpec(
+            protocols=[AIMD(1.0, 0.5)] * 4,
+            link=link,
+            steps=60,
+            topology=parking_lot(link, 3),
+            initial_windows=[1.0] * 4,
+        )
+        specs = [_dumbbell_spec(n=4), lot, _dumbbell_spec(a=2.0, n=4)]
+        plan = plan_network_batches(specs)
+        assert plan.fallback == []
+        assert {tuple(g.indices) for g in plan.groups} == {(0, 2), (1,)}
+
+    def test_missing_loss_process_batches_as_no_loss(self):
+        """lower_network leaves loss_process=None; the planner must accept
+        it (the serial engine substitutes NoLoss)."""
+        spec = _dumbbell_spec()
+        assert spec.lower_network()[2]["loss_process"] is None
+        plan = plan_network_batches([spec])
+        assert plan.fallback == []
+        assert float(plan.groups[0].inputs.random_rate[0]) == 0.0
+
+    def test_stateful_protocol_falls_back_and_stays_serial_identical(self):
+        specs = [
+            _dumbbell_spec(),
+            _dumbbell_spec(protocols=[pcc_like(), AIMD(1.0, 0.5),
+                                      AIMD(1.0, 0.5)]),
+        ]
+        plan = plan_network_batches(specs)
+        assert plan.fallback == [1]
+        results = run_network_specs_batched(specs, use_cache=False)
+        for spec, trace in zip(specs, results):
+            reference = run_spec(spec, "network", use_cache=False)
+            assert _bit_equal(trace.windows, reference.windows)
+
+
+def _sweep_spec(a=1.0, bw=20.0, steps=80, population=10):
+    return ScenarioSpec.from_mbps(
+        bw, 42, 100, [AIMD(a, 0.5)],
+        steps=steps, flow_multiplicity=population,
+    )
+
+
+class TestPlanMeanFieldBatches:
+    def test_single_population_sweeps_share_a_group(self):
+        specs = [_sweep_spec(a=a, bw=bw) for a, bw in
+                 ((1.0, 10.0), (2.0, 40.0), (0.5, 120.0))]
+        plan = plan_meanfield_batches(specs)
+        assert plan.fallback == []
+        assert [g.indices for g in plan.groups] == [[0, 1, 2]]
+
+    def test_multi_population_spec_is_isolated_per_spec(self):
+        """Two densities per scenario exceed the stacked kernel's shape;
+        the spec falls back to the serial engine, bit-identically."""
+        multi = ScenarioSpec.from_mbps(
+            20, 42, 100, [AIMD(1.0, 0.5), MIMD(1.01, 0.9)],
+            steps=80, flow_multiplicity=5,
+        )
+        assert len(multi.lower_meanfield().groups) == 2
+        specs = [_sweep_spec(), multi, _sweep_spec(a=2.0)]
+        plan = plan_meanfield_batches(specs)
+        assert plan.fallback == [1]
+        assert [g.indices for g in plan.groups] == [[0, 2]]
+        results = run_meanfield_specs_batched(specs, use_cache=False)
+        for spec, trace in zip(specs, results):
+            reference = run_spec(spec, "meanfield", use_cache=False)
+            assert _bit_equal(trace.windows, reference.windows)
+
+    def test_incompatible_grids_are_isolated_per_spec(self):
+        """Different cell counts cannot stack; each grid gets its own
+        kernel pass and still matches its serial run bit for bit."""
+        from repro.meanfield.grid import WindowGrid
+
+        coarse = _sweep_spec()
+        scenario = coarse.lower_meanfield()
+        scenario.grid = WindowGrid(lo=1.0, hi=200.0, cells=512)
+        coarse.lower_meanfield = lambda: scenario
+        specs = [coarse, _sweep_spec(a=2.0)]
+        plan = plan_meanfield_batches(specs)
+        assert plan.fallback == []
+        assert {tuple(g.indices) for g in plan.groups} == {(0,), (1,)}
+        results = run_meanfield_specs_batched(specs, use_cache=False)
+        for spec, trace in zip(specs, results):
+            reference = run_spec(spec, "meanfield", use_cache=False)
+            assert _bit_equal(trace.windows, reference.windows)
+
+    def test_horizon_splits_groups(self):
+        specs = [_sweep_spec(steps=50), _sweep_spec(steps=100),
+                 _sweep_spec(a=2.0, steps=50)]
+        plan = plan_meanfield_batches(specs)
+        assert {tuple(g.indices) for g in plan.groups} == {(0, 2), (1,)}
 
 
 class TestChunkAutotune:

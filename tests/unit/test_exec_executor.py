@@ -224,13 +224,39 @@ class TestRunSpecsEdges:
             run_specs([_spec(), _failing_spec()], batch=batch,
                       use_cache=False)
 
-    def test_batch_falls_back_without_a_batched_engine(self):
-        # meanfield has no batched lane: batch=True must quietly take the
-        # per-spec path and match the serial result bit for bit.
+    def test_batch_without_a_batched_engine_warns_once_then_falls_back(
+        self, monkeypatch
+    ):
+        # A backend outside the batched lanes: batch=True warns exactly
+        # once, naming the backend, then takes the per-spec path and
+        # matches the serial result bit for bit.
+        import warnings
+
+        import repro.exec.executor as executor_mod
+        from repro.backends.base import _BACKENDS, Backend, get_backend
+
+        class LanelessBackend(Backend):
+            name = "laneless"
+
+            def run(self, spec):
+                return get_backend("fluid").run(spec)
+
+            def cache_key(self, spec):
+                return None
+
+        monkeypatch.setitem(_BACKENDS, "laneless", LanelessBackend())
+        monkeypatch.setattr(executor_mod, "_warned_laneless", set())
         specs = [_spec(1.0, steps=24), _spec(1.5, steps=24)]
-        batched = run_specs(specs, backend="meanfield", batch=True,
-                            use_cache=False)
-        serial = run_specs(specs, backend="meanfield", use_cache=False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            batched = run_specs(specs, backend="laneless", batch=True,
+                                use_cache=False)
+            run_specs(specs, backend="laneless", batch=True, use_cache=False)
+        laneless = [w for w in caught
+                    if "has no batched engine" in str(w.message)]
+        assert len(laneless) == 1
+        assert "'laneless'" in str(laneless[0].message)
+        serial = run_specs(specs, backend="laneless", use_cache=False)
         for a, b in zip(batched, serial):
             _assert_bit_identical(a, b)
 

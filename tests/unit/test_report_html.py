@@ -16,7 +16,11 @@ from repro.experiments.report_html import (
 SUMMARY = {
     "environment": {"python": "3.12", "numpy": "2.0"},
     "bench_figure1": {"status": "passed", "wall_s": 2.5},
-    "bench_table2": {"status": "skipped", "wall_s": 0.0},
+    "bench_table2": {
+        "status": "skipped",
+        "wall_s": 0.0,
+        "reason": "every benchmark in the module is marked @slow",
+    },
     "figure1_batched": {"speedup": 26.4, "serial_s": 5.3, "batched_s": 0.2},
     "claims": {"all_hold": True},
 }
@@ -49,6 +53,16 @@ class TestRenderHtml:
         )
         assert "bench_x" in page
 
+    def test_skip_reason_is_rendered_and_escaped(self):
+        page = render_html(SUMMARY)
+        assert "marked @slow" in page
+        hostile = render_html({
+            "bench_x": {"status": "skipped", "wall_s": 0.0,
+                        "reason": "<img src=x>"},
+        })
+        assert "<img" not in hostile
+        assert "&lt;img" in hostile
+
 
 class TestRenderText:
     def test_table_and_headlines(self):
@@ -56,6 +70,11 @@ class TestRenderText:
         assert "bench_figure1" in text
         assert "2.00x" in text
         assert "figure1_batched: 26.40x speedup" in text
+
+    def test_skip_reason_follows_the_row(self):
+        text = render_text(SUMMARY, BASELINES)
+        (row,) = [l for l in text.splitlines() if l.startswith("bench_table2")]
+        assert "(every benchmark in the module is marked @slow)" in row
 
 
 class TestWriteAndCli:
